@@ -1,0 +1,28 @@
+"""Benchmark-session plumbing: collect every figure table produced by
+the benchmarks and print them in the terminal summary (so the tables
+survive pytest's output capture)."""
+
+from typing import List, Tuple
+
+import pytest
+
+_TABLES: List[Tuple[str, str]] = []
+
+
+def record_table(title: str, text: str) -> None:
+    """Called by benchmarks to register a rendered figure table."""
+    _TABLES.append((title, text))
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("EFind reproduction: figure tables (simulated seconds)")
+    terminalreporter.write_line("=" * 78)
+    for _title, text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

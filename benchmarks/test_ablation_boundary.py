@@ -1,0 +1,83 @@
+"""Ablation: job-boundary placement in the re-partitioning strategy.
+
+Section 3.3 picks the boundary that minimises the first job's
+materialised result size (Cost_result's S_min). This ablation forces
+each boundary and reports the resulting runtimes on two contrasting
+workloads: one whose post-lookup records shrink (post wins) and one
+whose lookup results are huge (pre wins).
+"""
+
+from conftest import record_table
+
+from repro.bench.harness import bench_cluster
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.workloads import synthetic
+
+BOUNDARIES = ("pre", "idx", "post")
+
+
+def run_sweep():
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    results = []
+    for label, result_size in (("small results (64B)", 64), ("big results (8KB)", 8192)):
+        cfg = synthetic.SyntheticConfig(
+            num_records=6_000,
+            num_distinct_keys=1_000,
+            record_value_size=64,
+            result_size=result_size,
+        )
+        synthetic.generate(dfs, "/in/ab-syn", cfg)
+        index = synthetic.build_index(cluster, cfg, service_time=1e-3)
+        times = {}
+        reference = None
+        for boundary in BOUNDARIES:
+            job = synthetic.make_join_job(
+                f"ab-bound-{result_size}-{boundary}",
+                "/in/ab-syn",
+                f"/out/ab-bound-{result_size}-{boundary}",
+                index,
+            )
+            res = EFindRunner(cluster, dfs).run(
+                job,
+                mode="forced",
+                forced_strategy=Strategy.REPART,
+                extra_job_targets=["head0"],
+                boundary_override=boundary,
+            )
+            times[boundary] = res.sim_time
+            output = sorted(res.output)
+            if reference is None:
+                reference = output
+            assert output == reference, f"boundary {boundary} changed the answer"
+        results.append((label, times))
+    return results
+
+
+def check_shape(results):
+    small, big = results
+    # With huge lookup results, materialising *before* the lookup (pre)
+    # beats materialising results (idx): S_pre << S_idx.
+    assert big[1]["pre"] < big[1]["idx"]
+    # All boundaries stay correct and within sane range of each other.
+    for _label, times in results:
+        assert max(times.values()) < min(times.values()) * 5
+
+
+def test_ablation_boundary(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    check_shape(results)
+    lines = [
+        "Ablation  Re-partitioning job boundary (synthetic join)",
+        "-" * 70,
+        f"{'workload':>22s} | " + " | ".join(f"{b:>8s}" for b in BOUNDARIES),
+        "-" * 70,
+    ]
+    for label, times in results:
+        lines.append(
+            f"{label:>22s} | " + " | ".join(f"{times[b]:8.2f}" for b in BOUNDARIES)
+        )
+    lines.append("-" * 70)
+    record_table("ablation-boundary", "\n".join(lines))

@@ -1,0 +1,55 @@
+"""Ablation: lookup-cache size.
+
+The paper fixes the cache at 1024 entries and leaves a size study to
+future work (footnote 4). This sweep shows the dependency: more entries
+help until the working set fits, then returns flatten.
+"""
+
+from conftest import record_table
+
+from repro.bench.harness import bench_cluster
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.workloads import weblog
+
+CAPACITIES = (64, 256, 1024, 4096)
+
+
+def run_sweep():
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=16 * 1024)
+    cfg = weblog.LogConfig(num_events=16_000, num_ips=2_500, num_urls=1_000)
+    paths = weblog.generate(dfs, "/in/log", cfg)
+    results = []
+    for capacity in CAPACITIES:
+        geo = weblog.build_geo_service(cfg, extra_delay=3e-3)
+        job = weblog.make_topk_job(f"ab-cache-{capacity}", paths, f"/out/ab-{capacity}", geo)
+        runner = EFindRunner(cluster, dfs, cache_capacity=capacity)
+        res = runner.run(job, mode="forced", forced_strategy=Strategy.CACHE)
+        results.append((capacity, res.sim_time, geo.lookups_served))
+    return results
+
+
+def check_shape(results):
+    times = [t for _c, t, _l in results]
+    lookups = [l for _c, _t, l in results]
+    # A bigger cache never serves more lookups.
+    assert lookups == sorted(lookups, reverse=True)
+    # And the biggest cache is materially faster than the smallest.
+    assert times[-1] < times[0]
+
+
+def test_ablation_cache_size(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    check_shape(results)
+    lines = [
+        "Ablation  Lookup-cache capacity (LOG, +3ms delay, cache strategy)",
+        "-" * 62,
+        f"{'capacity':>10s} | {'sim time (s)':>12s} | {'index lookups':>13s}",
+        "-" * 62,
+    ]
+    for capacity, t, lookups in results:
+        lines.append(f"{capacity:>10d} | {t:12.2f} | {lookups:>13d}")
+    lines.append("-" * 62)
+    record_table("ablation-cache", "\n".join(lines))

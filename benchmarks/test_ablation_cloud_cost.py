@@ -1,0 +1,73 @@
+"""Ablation: pay-per-use cloud-service billing.
+
+Section 1's motivation: "a user is often charged on a pay-per-use
+basis. Hence we would like to reduce accesses to such cloud service as
+much as possible." This ablation prices each strategy's LOG run at a
+per-lookup fee and reports both runtime and dollars -- EFind's lookup
+reduction is a *cost* optimization, not just a latency one.
+"""
+
+from conftest import record_table
+
+from repro.bench.harness import bench_cluster
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.workloads import weblog
+
+PRICE_PER_1K = 0.40  # dollars per thousand lookups (geo-API-like pricing)
+STRATEGIES = (Strategy.BASELINE, Strategy.CACHE, Strategy.REPART)
+
+
+def run_sweep():
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=16 * 1024)
+    cfg = weblog.LogConfig(num_events=20_000, num_ips=2_500, num_urls=1_000)
+    paths = weblog.generate(dfs, "/in/log", cfg)
+    results = []
+    for strategy in STRATEGIES:
+        geo = weblog.build_geo_service(
+            cfg, extra_delay=2e-3, price_per_lookup=PRICE_PER_1K / 1000.0
+        )
+        job = weblog.make_topk_job(
+            f"bill-{strategy.value}", paths, f"/out/bill-{strategy.value}", geo
+        )
+        res = EFindRunner(cluster, dfs).run(
+            job,
+            mode="forced",
+            forced_strategy=strategy,
+            extra_job_targets=["head0"],
+        )
+        results.append(
+            (strategy.value, res.sim_time, geo.lookups_served, geo.total_charged)
+        )
+    return results
+
+
+def check_shape(results):
+    import math
+
+    by_name = {name: (t, lookups, cost) for name, t, lookups, cost in results}
+    # Bills are proportional to lookups served.
+    for name, (t, lookups, cost) in by_name.items():
+        assert math.isclose(cost, lookups * PRICE_PER_1K / 1000.0, rel_tol=1e-9)
+    # The cache cuts the bill; re-partitioning cuts it to ~one lookup
+    # per distinct IP.
+    assert by_name["cache"][2] < by_name["base"][2]
+    assert by_name["repart"][2] < by_name["cache"][2]
+    assert by_name["repart"][1] <= 2_500 * 1.2
+
+
+def test_ablation_cloud_cost(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    check_shape(results)
+    lines = [
+        "Ablation  Pay-per-use cloud billing (LOG, $0.40 per 1k lookups)",
+        "-" * 66,
+        f"{'strategy':>10s} | {'sim time (s)':>12s} | {'lookups':>9s} | {'bill ($)':>9s}",
+        "-" * 66,
+    ]
+    for name, t, lookups, cost in results:
+        lines.append(f"{name:>10s} | {t:12.2f} | {lookups:>9d} | {cost:9.2f}")
+    lines.append("-" * 66)
+    record_table("ablation-billing", "\n".join(lines))

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (which must build a wheel) fail.
+Keeping a setup.py lets ``pip install -e . --no-use-pep517`` fall back to
+the legacy ``setup.py develop`` path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

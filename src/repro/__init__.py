@@ -1,0 +1,59 @@
+"""repro: a full reproduction of "Efficient and Flexible Index Access in
+MapReduce" (EDBT 2014).
+
+Layers (bottom up):
+
+* :mod:`repro.simcluster` / :mod:`repro.dfs` / :mod:`repro.mapreduce` --
+  the simulated Hadoop-like substrate (functional execution + simulated
+  time).
+* :mod:`repro.indices` -- index substrates (KV store, B-tree, R*-tree
+  grid, inverted index, dynamic computed index, cloud service).
+* :mod:`repro.core` -- EFind itself: interface, strategies, cost model,
+  optimizer, adaptive runtime.
+* :mod:`repro.workloads` -- the paper's datasets and jobs (LOG, TPC-H
+  Q3/Q9, Synthetic, OSM kNN join, Example 2.1).
+* :mod:`repro.bench` -- the experiment harness regenerating every
+  figure of the evaluation section.
+
+Quickstart::
+
+    from repro import Cluster, DistributedFileSystem, EFindRunner
+    from repro.core import IndexJobConf, IndexOperator, IndexAccessor
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.core import (
+    AccessPlan,
+    EFindJobResult,
+    EFindRunner,
+    IndexAccessor,
+    IndexJobConf,
+    IndexOperator,
+    Placement,
+    StatisticsCatalog,
+    Strategy,
+)
+from repro.dfs import DistributedFileSystem
+from repro.mapreduce import JobConf, JobRunner
+from repro.simcluster import Cluster, TimeModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPlan",
+    "Cluster",
+    "DistributedFileSystem",
+    "EFindJobResult",
+    "EFindRunner",
+    "IndexAccessor",
+    "IndexJobConf",
+    "IndexOperator",
+    "JobConf",
+    "JobRunner",
+    "Placement",
+    "StatisticsCatalog",
+    "Strategy",
+    "TimeModel",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness: runs the paper's six solution variants over a
+workload and prints figure-shaped tables."""
+
+from repro.bench.harness import (
+    ExperimentRow,
+    bench_cluster,
+    format_table,
+    run_all_modes,
+    speedup,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "bench_cluster",
+    "format_table",
+    "run_all_modes",
+    "speedup",
+]

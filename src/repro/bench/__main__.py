@@ -1,0 +1,152 @@
+"""Standalone experiment runner: ``python -m repro.bench [names...]``.
+
+Runs the paper's experiments without pytest and prints the figure
+tables. With no arguments, runs everything (a few minutes); pass figure
+names to select, e.g.::
+
+    python -m repro.bench fig11a fig12
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+from repro.bench.harness import format_table
+
+
+def _table_fig12(rows) -> str:
+    lines = [
+        "Figure 12  Index lookup latency vs result size (ms per lookup)",
+        "-" * 58,
+        f"{'result size':>12s} | {'local':>9s} | {'remote':>9s}",
+        "-" * 58,
+    ]
+    for size, lo, re in rows:
+        label = f"{size}B" if size < 1024 else f"{size // 1024}KB"
+        lines.append(f"{label:>12s} | {lo:9.3f} | {re:9.3f}")
+    lines.append("-" * 58)
+    return "\n".join(lines)
+
+
+EXPERIMENTS = {
+    "fig11a": (
+        "LOG: runtime vs extra lookup delay",
+        figures.run_fig11a,
+        lambda rows: format_table(
+            "Figure 11(a)  LOG: runtime vs extra lookup delay",
+            rows,
+            modes=figures.FIG11A_MODES,
+            x_label="extra delay",
+        ),
+    ),
+    "fig11b": (
+        "TPC-H Q3",
+        figures.run_fig11b,
+        lambda rows: format_table(
+            "Figure 11(b)  TPC-H Q3", rows, modes=figures.SIX_MODES, x_label="query"
+        ),
+    ),
+    "fig11c": (
+        "TPC-H Q9",
+        figures.run_fig11c,
+        lambda rows: format_table(
+            "Figure 11(c)  TPC-H Q9", rows, modes=figures.SIX_MODES, x_label="query"
+        ),
+    ),
+    "fig11d": (
+        "TPC-H DUP10 Q3",
+        figures.run_fig11d,
+        lambda rows: format_table(
+            "Figure 11(d)  TPC-H DUP10 Q3",
+            rows,
+            modes=figures.SIX_MODES,
+            x_label="query",
+        ),
+    ),
+    "fig11e": (
+        "TPC-H DUP10 Q9",
+        figures.run_fig11e,
+        lambda rows: format_table(
+            "Figure 11(e)  TPC-H DUP10 Q9",
+            rows,
+            modes=figures.SIX_MODES,
+            x_label="query",
+        ),
+    ),
+    "fig11f": (
+        "Synthetic: runtime vs lookup result size",
+        figures.run_fig11f,
+        lambda rows: format_table(
+            "Figure 11(f)  Synthetic: runtime vs lookup result size",
+            rows,
+            modes=figures.SIX_MODES,
+            x_label="result size",
+        ),
+    ),
+    "fig12": ("lookup latency vs result size", figures.run_fig12, _table_fig12),
+    "fig13": (
+        "kNN join: EFind vs H-zkNNJ",
+        figures.run_fig13,
+        lambda rows: format_table(
+            "Figure 13  kNN join: EFind variants vs hand-tuned H-zkNNJ",
+            rows,
+            modes=figures.SIX_MODES + ("H-zkNNJ",),
+            x_label="workload",
+        ),
+    ),
+    "sec53": (
+        "adaptive optimization anatomy",
+        figures.run_sec53,
+        lambda rows: format_table(
+            "Section 5.3  Adaptive optimization",
+            rows,
+            modes=figures.SEC53_MODES,
+            x_label="workload",
+        ),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the EFind paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiments to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (title, _run, _fmt) in EXPERIMENTS.items():
+            print(f"  {name:8s} {title}")
+        return 0
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see the available names", file=sys.stderr)
+        return 2
+
+    for name in names:
+        title, run, fmt = EXPERIMENTS[name]
+        print(f"\n=== {name}: {title} ===")
+        started = time.time()
+        rows = run()
+        print(fmt(rows))
+        print(f"({time.time() - started:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,316 @@
+"""The paper's experiments as importable functions.
+
+Each ``run_*`` function builds its workload, runs the solution variants,
+and returns the :class:`ExperimentRow` list (plus any extras) that the
+corresponding figure reports. The pytest-benchmark wrappers under
+``benchmarks/`` call these and assert the paper's qualitative shapes;
+``python -m repro.bench`` runs them standalone.
+
+Workload scales and calibrations are documented in DESIGN.md §5 and
+EXPERIMENTS.md ("Known deviations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.harness import ExperimentRow, bench_cluster, run_all_modes
+from repro.common.sizing import sizeof
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.workloads import hzknnj, knn, osm, synthetic, tpch, weblog
+
+SIX_MODES = ("Base", "Cache", "Repart", "Idxloc", "Optimized", "Dynamic")
+
+
+# ----------------------------------------------------------------------
+# Figure 11(a) -- LOG
+# ----------------------------------------------------------------------
+FIG11A_DELAYS_MS = (0.0, 1.0, 3.0, 5.0)
+FIG11A_MODES = ("Base", "Cache", "Repart", "Optimized", "Dynamic")
+
+
+def run_fig11a() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    # ~70 splits over 24 map slots: three map waves, as the adaptive
+    # optimizer's first-round statistics collection requires.
+    dfs = DistributedFileSystem(cluster, block_size=16 * 1024)
+    # More IPs than the 1024-entry lookup cache can hold per node, so
+    # the per-node cache leaves cross-machine redundancy on the table --
+    # the regime where re-partitioning pulls ahead (paper Section 5.2).
+    cfg = weblog.LogConfig(num_events=24_000, num_ips=3_000, num_urls=1_200)
+    paths = weblog.generate(dfs, "/in/log", cfg)
+    rows = []
+    for delay_ms in FIG11A_DELAYS_MS:
+        geo = weblog.build_geo_service(cfg, extra_delay=delay_ms * 1e-3)
+
+        def job_factory(name, geo=geo):
+            return weblog.make_topk_job(name, paths, f"/out/{name}", geo, k=10)
+
+        rows.append(
+            run_all_modes(
+                cluster,
+                dfs,
+                job_factory,
+                extra_job_targets=("head0",),
+                modes=FIG11A_MODES,
+                label=f"+{delay_ms:g}ms",
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11(b) -- TPC-H Q3
+# ----------------------------------------------------------------------
+def run_fig11b() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    # ~65 splits over 24 map slots: the first map wave covers about a
+    # third of the input, leaving enough remaining work for the dynamic
+    # optimizer's plan change to pay off (paper Section 5.3).
+    dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.002))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+
+    def job_factory(name):
+        indexes.reset_accounting()
+        return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+    return [
+        run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),  # the Orders join, as in the paper
+            modes=SIX_MODES,
+            label="Q3",
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 11(c) -- TPC-H Q9
+# ----------------------------------------------------------------------
+def run_fig11c() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    # supplier_scale=100 keeps SF10's defining property after the
+    # downscale: far more suppliers than lookup-cache entries (here a
+    # 256-entry cache vs ~2000 suppliers), so Q9's unclustered supplier
+    # probes thrash the cache exactly as at full scale.
+    data = tpch.generate(tpch.TpchConfig(sf=0.002, supplier_scale=100))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=1.2e-3)
+    # The Supplier index takes a lookup for *every* LineItem row -- by
+    # far the hottest index in Q9 -- so its effective per-lookup service
+    # time is the highest (queueing on its partitions at SF10).
+    indexes.supplier.set_service_time(15e-3)
+
+    def job_factory(name):
+        return tpch.make_q9_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+    return [
+        run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),  # the Supplier join, as in the paper
+            modes=SIX_MODES,
+            label="Q9",
+            cache_capacity=256,
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figures 11(d,e) -- DUP10
+# ----------------------------------------------------------------------
+def run_fig11d() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.001))
+    tpch.write_lineitem(dfs, "/in/lineitem10", data, dup_factor=10)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+
+    def job_factory(name):
+        return tpch.make_q3_job(name, "/in/lineitem10", f"/out/{name}", indexes)
+
+    return [
+        run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),
+            modes=SIX_MODES,
+            label="DUP10 Q3",
+        )
+    ]
+
+
+def run_fig11e() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.001, supplier_scale=100))
+    tpch.write_lineitem(dfs, "/in/lineitem10", data, dup_factor=10)
+    indexes = tpch.build_indexes(cluster, data, service_time=1.2e-3)
+    indexes.supplier.set_service_time(15e-3)
+
+    def job_factory(name):
+        return tpch.make_q9_job(name, "/in/lineitem10", f"/out/{name}", indexes)
+
+    return [
+        run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),
+            modes=SIX_MODES,
+            label="DUP10 Q9",
+            cache_capacity=256,
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 11(f) -- Synthetic, result-size sweep
+# ----------------------------------------------------------------------
+FIG11F_RESULT_SIZES = (10, 1024, 8192, 30720)
+
+
+def run_fig11f() -> List[ExperimentRow]:
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    rows = []
+    for result_size in FIG11F_RESULT_SIZES:
+        cfg = synthetic.SyntheticConfig(
+            num_records=24_000,
+            num_distinct_keys=8_000,
+            record_value_size=96,
+            result_size=result_size,
+        )
+        synthetic.generate(dfs, "/in/syn", cfg)
+        index = synthetic.build_index(cluster, cfg, service_time=1e-3)
+
+        def job_factory(name, index=index):
+            return synthetic.make_join_job(name, "/in/syn", f"/out/{name}", index)
+
+        label = (
+            f"{result_size}B" if result_size < 1024 else f"{result_size // 1024}KB"
+        )
+        rows.append(
+            run_all_modes(
+                cluster,
+                dfs,
+                job_factory,
+                extra_job_targets=("head0",),
+                modes=SIX_MODES,
+                label=label,
+                forced_boundary="pre",  # never materialise the big results
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12 -- lookup latency micro-benchmark
+# ----------------------------------------------------------------------
+FIG12_SIZES = (10, 100, 1024, 10_240, 30_720)
+
+
+def run_fig12() -> List[Tuple[int, float, float]]:
+    """Rows of (result_size, local_ms, remote_ms)."""
+    cluster = bench_cluster()
+    tm = cluster.time_model
+    rows = []
+    for size in FIG12_SIZES:
+        cfg = synthetic.SyntheticConfig(
+            num_records=64, num_distinct_keys=64, result_size=size
+        )
+        index = synthetic.build_index(cluster, cfg, service_time=1e-3)
+        local = remote = 0.0
+        for key in range(cfg.num_distinct_keys):
+            values = index.lookup(key)
+            tj = index.service_time()
+            local += tm.local_lookup_time(tj)
+            remote += tm.remote_lookup_time(sizeof(key), sizeof(tuple(values)), tj)
+        n = cfg.num_distinct_keys
+        rows.append((size, local / n * 1e3, remote / n * 1e3))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13 -- kNN join vs H-zkNNJ
+# ----------------------------------------------------------------------
+def run_fig13() -> List[ExperimentRow]:
+    # The kNN-join cluster models per-request network latency: every
+    # remote R*-tree probe pays an RTT on a loaded network -- the cost
+    # that co-locating map tasks with index partitions eliminates (the
+    # reason index locality is the winning plan in the paper's Fig. 13).
+    cluster = bench_cluster(network_latency=2e-3)
+    dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
+    a_points = osm.generate_points(osm.OsmConfig(num_points=20_000, seed=71), "A")
+    b_points = osm.generate_points(osm.OsmConfig(num_points=20_000, seed=72), "B")
+    osm.write_points(dfs, "/in/osm-a", a_points)
+    osm.write_points(dfs, "/in/osm-b", b_points)
+
+    cfg = knn.KnnConfig(k=10, grid_x=4, grid_y=8, overlap=0.1)
+    index = knn.build_spatial_index(cluster, b_points, cfg, service_time=1.5e-3)
+
+    def job_factory(name):
+        return knn.make_knnj_job(name, "/in/osm-a", f"/out/{name}", index)
+
+    row = run_all_modes(
+        cluster,
+        dfs,
+        job_factory,
+        extra_job_targets=("head0",),
+        modes=SIX_MODES,
+        label="kNNJ k=10",
+    )
+
+    hz = hzknnj.run_hzknnj(
+        cluster,
+        dfs,
+        "/in/osm-a",
+        "/in/osm-b",
+        hzknnj.HzknnjConfig(k=10, alpha=2, num_partitions=16),
+    )
+    row.times["H-zkNNJ"] = hz.sim_time
+    return [row]
+
+
+# ----------------------------------------------------------------------
+# Section 5.3 -- adaptive optimization anatomy
+# ----------------------------------------------------------------------
+SEC53_MODES = ("Base", "Optimized", "Dynamic")
+
+
+def run_sec53() -> List[ExperimentRow]:
+    rows = []
+    for dup, label in ((1, "Q9 (x1)"), (5, "Q9 (x5)")):
+        cluster = bench_cluster()
+        # small blocks -> several map waves even at x1, so the
+        # statistics phase is a first *round*, not the whole map phase
+        dfs = DistributedFileSystem(cluster, block_size=8 * 1024)
+        data = tpch.generate(tpch.TpchConfig(sf=0.001, supplier_scale=100))
+        tpch.write_lineitem(dfs, "/in/li", data, dup_factor=dup)
+        indexes = tpch.build_indexes(cluster, data, service_time=1.2e-3)
+        indexes.supplier.set_service_time(15e-3)
+
+        def job_factory(name):
+            return tpch.make_q9_job(name, "/in/li", f"/out/{name}", indexes)
+
+        rows.append(
+            run_all_modes(
+                cluster,
+                dfs,
+                job_factory,
+                extra_job_targets=("head0",),
+                modes=SEC53_MODES,
+                label=label,
+                cache_capacity=256,
+            )
+        )
+    return rows

@@ -1,0 +1,184 @@
+"""Shared experiment harness for the figure benchmarks.
+
+Every figure in Section 5 compares (a subset of) six solution variants:
+
+* ``Base``      -- the baseline strategy forced everywhere;
+* ``Cache``     -- the lookup cache strategy forced everywhere;
+* ``Repart``    -- re-partitioning on the most beneficial index, cache
+  on the rest ("we choose one of the indices with the most benefits to
+  apply re-partitioning", Section 5.2);
+* ``Idxloc``    -- same, with the index-locality strategy;
+* ``Optimized`` -- static optimization with sufficient statistics (a
+  profiling run feeds the catalog, then the optimizer plans up front);
+* ``Dynamic``   -- adaptive optimization starting with no statistics.
+
+:func:`run_all_modes` executes them all on fresh runners (so catalogs
+do not leak across variants except where the paper's setup implies it)
+and verifies every variant produces the same output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.costmodel import Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.runner import EFindJobResult, EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.timemodel import TimeModel
+
+ALL_MODES = ("Base", "Cache", "Repart", "Idxloc", "Optimized", "Dynamic")
+
+
+def bench_cluster(
+    num_nodes: int = 12,
+    map_slots: int = 2,
+    reduce_slots: int = 2,
+    job_startup: float = 0.5,
+    task_startup: float = 0.03,
+    network_latency: float = 0.0,
+) -> Cluster:
+    """The benchmark cluster: the paper's 12 nodes, with fixed overheads
+    (job/task startup) scaled down in proportion to the scaled-down
+    datasets. The paper's jobs run for hundreds of seconds against a
+    3-second job submission; our simulated jobs run for a few seconds,
+    so keeping Hadoop's absolute constants would let fixed costs mask
+    every data-dependent effect the figures measure."""
+    tm = TimeModel(
+        job_startup_time=job_startup,
+        task_startup_time=task_startup,
+        network_latency=network_latency,
+    )
+    return Cluster(
+        num_nodes=num_nodes,
+        map_slots_per_node=map_slots,
+        reduce_slots_per_node=reduce_slots,
+        time_model=tm,
+    )
+
+
+@dataclass
+class ExperimentRow:
+    """One x-axis point of a figure: variant -> simulated seconds."""
+
+    label: str
+    times: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, EFindJobResult] = field(default_factory=dict)
+
+    def speedup_over_base(self, mode: str) -> float:
+        return self.times["Base"] / self.times[mode]
+
+
+def run_all_modes(
+    cluster: Cluster,
+    dfs: DistributedFileSystem,
+    job_factory: Callable[[str], IndexJobConf],
+    extra_job_targets: Sequence[str] = ("head0",),
+    modes: Sequence[str] = ALL_MODES,
+    label: str = "",
+    verify_outputs: bool = True,
+    skip: Sequence[str] = (),
+    cache_capacity: int = 1024,
+    forced_boundary: Optional[str] = None,
+) -> ExperimentRow:
+    """Run the requested variants and return their simulated times.
+
+    ``job_factory`` builds a fresh IndexJobConf per variant (operators
+    hold per-run state such as caches, so they must not be shared).
+    ``skip`` lists modes that do not apply (e.g. Idxloc when the index
+    exposes no partition scheme). ``cache_capacity`` applies to every
+    variant (the paper fixes 1024 entries; scaled-down experiments may
+    scale it with their key domains).
+    """
+    row = ExperimentRow(label=label)
+    reference: Optional[list] = None
+
+    for mode in modes:
+        if mode in skip:
+            continue
+        job = job_factory(f"{label or 'job'}-{mode.lower()}")
+        if mode == "Optimized":
+            # Profiling run with the baseline collects "sufficient
+            # statistics"; only the optimized run's time is reported.
+            profiler = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            profiler.run(
+                job_factory(f"{label or 'job'}-profile"),
+                mode="forced",
+                forced_strategy=Strategy.BASELINE,
+            )
+            runner = EFindRunner(
+                cluster, dfs, catalog=profiler.catalog, cache_capacity=cache_capacity
+            )
+            result = runner.run(job, mode="static")
+        elif mode == "Dynamic":
+            runner = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            result = runner.run(job, mode="dynamic")
+        else:
+            runner = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            strategy = {
+                "Base": Strategy.BASELINE,
+                "Cache": Strategy.CACHE,
+                "Repart": Strategy.REPART,
+                "Idxloc": Strategy.IDXLOC,
+            }[mode]
+            # Forced runs have no statistics to choose a job boundary
+            # from; ``forced_boundary`` supplies the sensible one.
+            result = runner.run(
+                job,
+                mode="forced",
+                forced_strategy=strategy,
+                extra_job_targets=list(extra_job_targets),
+                boundary_override=forced_boundary,
+            )
+        row.times[mode] = result.sim_time
+        row.details[mode] = result
+        if verify_outputs:
+            output = sorted(result.output, key=repr)
+            if reference is None:
+                reference = output
+            elif not _equivalent(output, reference):
+                raise AssertionError(
+                    f"{mode} produced different output than the first variant"
+                )
+    return row
+
+
+def _equivalent(a, b) -> bool:
+    """Structural equality with float tolerance (different plans sum
+    floating-point aggregates in different orders)."""
+    import math
+
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-6)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_equivalent(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def speedup(row: ExperimentRow, over: str, under: str) -> float:
+    """``time(over) / time(under)`` -- how much faster ``under`` is."""
+    return row.times[over] / row.times[under]
+
+
+def format_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+    x_label: str = "config",
+) -> str:
+    """Render a figure-shaped text table (seconds, one row per x point)."""
+    present = [m for m in modes if any(m in r.times for r in rows)]
+    header = f"{x_label:>18s} | " + " | ".join(f"{m:>9s}" for m in present)
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for mode in present:
+            if mode in row.times:
+                cells.append(f"{row.times[mode]:9.2f}")
+            else:
+                cells.append(f"{'n/a':>9s}")
+        lines.append(f"{row.label:>18s} | " + " | ".join(cells))
+    lines.append("-" * len(header))
+    return "\n".join(lines)

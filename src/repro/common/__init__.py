@@ -1,0 +1,23 @@
+"""Shared low-level utilities: sizing, RNG helpers, errors, units."""
+
+from repro.common.errors import (
+    EFindError,
+    IndexLookupError,
+    PlanningError,
+    SchedulingError,
+)
+from repro.common.sizing import sizeof
+from repro.common.units import GB, KB, MB, MS, US
+
+__all__ = [
+    "EFindError",
+    "IndexLookupError",
+    "PlanningError",
+    "SchedulingError",
+    "sizeof",
+    "KB",
+    "MB",
+    "GB",
+    "MS",
+    "US",
+]

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package."""
+
+
+class EFindError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IndexLookupError(EFindError):
+    """An index lookup failed (unknown key where the index requires one,
+    unreachable partition, or a malformed request)."""
+
+
+class PlanningError(EFindError):
+    """The optimizer could not produce a valid index access plan."""
+
+
+class SchedulingError(EFindError):
+    """The task scheduler was given an unsatisfiable placement constraint."""
+
+
+class DataFlowError(EFindError):
+    """A MapReduce dataflow was mis-configured (missing mapper, bad chain,
+    unknown input path, ...)."""

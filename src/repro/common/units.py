@@ -1,0 +1,13 @@
+"""Byte- and time-unit constants.
+
+All sizes in the package are plain ``int``/``float`` byte counts and all
+times are ``float`` seconds; these constants keep call sites readable
+(``3 * MB``, ``0.8 * MS``).
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+US = 1e-6
+MS = 1e-3

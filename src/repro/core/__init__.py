@@ -1,0 +1,51 @@
+"""EFind core: the paper's contribution.
+
+Public surface:
+
+* Programming interface -- :class:`IndexAccessor`,
+  :class:`IndexOperator` (with :class:`IndexInput` / :class:`IndexOutput`),
+  :class:`IndexJobConf` (Section 2).
+* Strategies & cost model -- :class:`Strategy`, the Equation 1-4 cost
+  functions in :mod:`repro.core.costmodel` (Section 3).
+* Optimization -- FullEnumerate / k-Repart in :mod:`repro.core.optimizer`
+  (Section 3.5), Algorithm 1 in :mod:`repro.core.adaptive` (Section 4).
+* Runtime -- :class:`EFindRunner` (Figure 8).
+"""
+
+from repro.core.accessor import IndexAccessor
+from repro.core.cache import LRUCache, ShadowCache
+from repro.core.costmodel import CostEnv, Placement, Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.explain import explain
+from repro.core.operator import IndexInput, IndexOperator, IndexOutput, IndexValues
+from repro.core.plan import AccessPlan, OperatorPlan
+from repro.core.runner import EFindJobResult, EFindRunner
+from repro.core.statistics import (
+    FMSketch,
+    IndexStats,
+    OperatorStats,
+    StatisticsCatalog,
+)
+
+__all__ = [
+    "IndexAccessor",
+    "LRUCache",
+    "ShadowCache",
+    "CostEnv",
+    "Placement",
+    "Strategy",
+    "IndexJobConf",
+    "IndexInput",
+    "IndexOperator",
+    "IndexOutput",
+    "IndexValues",
+    "AccessPlan",
+    "OperatorPlan",
+    "EFindJobResult",
+    "EFindRunner",
+    "explain",
+    "FMSketch",
+    "IndexStats",
+    "OperatorStats",
+    "StatisticsCatalog",
+]

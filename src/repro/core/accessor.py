@@ -1,0 +1,82 @@
+"""IndexAccessor: the per-index-type half of the EFind interface.
+
+"The IndexAccessor class is implemented for each type of index and can
+be reused for the same type of index" (Section 2). An accessor wraps the
+connection to one index service; its ``lookup`` method is the black box
+EFind optimizes around.
+
+"The partition scheme of an index can be communicated to EFind by
+implementing a partition method and setting a flag in the class of
+IndexAccessor" (Section 3.4) -- here, the ``exposes_partitions`` flag
+plus :meth:`partition_scheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.indices.base import IndexService
+from repro.indices.partitioning import PartitionScheme
+
+
+class IndexAccessor:
+    """Connects EFind to one index service.
+
+    Subclass to customise (e.g. key translation before hitting the
+    service); the default implementation forwards to the wrapped
+    :class:`IndexService` directly, which suffices for most indices.
+    """
+
+    #: Set False in subclasses to withhold the partition scheme even if
+    #: the underlying index has one (disables the index-locality
+    #: strategy for this accessor).
+    exposes_partitions: bool = True
+
+    #: EFind assumes a lookup with the same key returns the same result
+    #: during a job (Section 3.2). "Application developers can force
+    #: EFind to use the baseline strategy if this assumption is false"
+    #: (footnote 2) -- set False and the optimizer will never cache or
+    #: deduplicate this accessor's lookups.
+    idempotent: bool = True
+
+    def __init__(self, index: IndexService):
+        self.index = index
+
+    # -- the black box ---------------------------------------------------
+    def lookup(self, ik: Any) -> List[Any]:
+        """Look up one key; returns the (possibly empty) result list."""
+        return self.index.lookup(ik)
+
+    # -- optimizer-visible metadata --------------------------------------
+    @property
+    def name(self) -> str:
+        return self.index.name
+
+    def service_time(self) -> float:
+        """True ``T_j`` of the index (the runtime *samples* this; the
+        optimizer never reads it directly)."""
+        return self.index.service_time()
+
+    @property
+    def partition_scheme(self) -> Optional[PartitionScheme]:
+        if not self.exposes_partitions:
+            return None
+        return self.index.partition_scheme
+
+    @property
+    def supports_locality(self) -> bool:
+        """True when the index can be co-partitioned (Section 3.4)."""
+        return self.partition_scheme is not None
+
+    def hosts_for_key(self, ik: Any) -> List[str]:
+        scheme = self.partition_scheme
+        if scheme is None:
+            return []
+        return scheme.locations(scheme.partition_of(ik))
+
+    def signature(self) -> str:
+        """Stable identity for the statistics catalog."""
+        return f"{type(self).__name__}:{self.index.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.index!r})"

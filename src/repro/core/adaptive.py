@@ -1,0 +1,134 @@
+"""Adaptive re-optimization: Algorithm 1 of the paper.
+
+A running job is re-optimized at most once, when the first wave of map
+(or reduce) tasks has completed and their statistics pass the variance
+gate. Only the operators whose statistics are fresh are reconsidered:
+operators *before* Reduce during the map phase, operators *after*
+Reduce during the reduce phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.costmodel import CostEnv, Placement
+from repro.core.ejobconf import IndexJobConf
+from repro.core.optimizer import optimize_operator, plan_cost
+from repro.core.plan import AccessPlan, OperatorPlan
+from repro.core.statistics import OperatorStats, OperatorStatsAccumulator
+
+#: The paper suggests a variance gate of stddev/mean <= 0.05 on large
+#: clusters; at simulation scale task samples are smaller and noisier,
+#: so the default is looser (configurable on the runner).
+DEFAULT_VARIANCE_THRESHOLD = 0.25
+
+
+@dataclass
+class ReplanDecision:
+    """Outcome of one Algorithm-1 evaluation."""
+
+    new_plan: AccessPlan
+    fresh_stats: Dict[str, OperatorStats]
+    current_cost: float
+    new_cost: float
+
+    @property
+    def improvement(self) -> float:
+        return self.current_cost - self.new_cost
+
+
+def relevant_operator_ids(iconf: IndexJobConf, phase: str) -> List[str]:
+    """Operators whose statistics are fresh in ``phase`` (Algorithm 1
+    lines 5-8): before-Reduce operators during map, after-Reduce ones
+    during reduce."""
+    out: List[str] = []
+    for op_id, placement, _ in iconf.placed_operators():
+        if phase == "map" and placement is not Placement.AFTER_REDUCE:
+            out.append(op_id)
+        elif phase == "reduce" and placement is Placement.AFTER_REDUCE:
+            out.append(op_id)
+    return out
+
+
+def evaluate_replan(
+    iconf: IndexJobConf,
+    current_plan: AccessPlan,
+    registry: Dict[str, OperatorStatsAccumulator],
+    env: CostEnv,
+    phase: str,
+    variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
+    plan_change_cost: float = 0.0,
+    scale: float = 1.0,
+    cache_capacity: int = 1024,
+) -> Optional[ReplanDecision]:
+    """Algorithm 1: return a better plan, or None to keep running.
+
+    ``scale`` extrapolates the sampled input volume to the *remaining*
+    work (remaining tasks / sampled tasks): a plan change only pays off
+    on data not yet processed, so both plans are priced over the
+    remaining volume and compared against the plan-change overhead.
+    Duplicate and miss ratios are not extrapolated -- the sample values
+    are the conservative estimates (the miss ratio is additionally
+    tightened by the compulsory-miss capacity bound).
+
+    Returns None when (a) there is nothing to reconsider, (b) any
+    relevant operator's statistics fail the variance gate, or (c) the
+    re-optimized plan does not beat the current one by more than the
+    plan-change overhead.
+    """
+    op_ids = relevant_operator_ids(iconf, phase)
+    if not op_ids:
+        return None
+
+    # Variance gate (Algorithm 1 lines 1-3 / Equation 5). An operator
+    # with unstable statistics keeps its current strategies; it does not
+    # veto re-optimizing the operators whose statistics *are* stable.
+    stable_ids = []
+    for op_id in op_ids:
+        acc = registry.get(op_id)
+        if acc is None or acc.num_samples < 2:
+            continue
+        if acc.relative_deviation() <= variance_threshold:
+            stable_ids.append(op_id)
+    if not stable_ids:
+        return None
+
+    fresh: Dict[str, OperatorStats] = {}
+    for op_id in stable_ids:
+        stats = registry[op_id].aggregate()
+        stats.n1 *= max(0.0, scale)
+        for idx in stats.per_index.values():
+            # The whole-job key volume changes the compulsory-miss bound.
+            idx.miss_ratio = idx.capacity_bounded_miss_ratio(
+                stats.n1, cache_capacity
+            )
+        fresh[op_id] = stats
+
+    current_cost = 0.0
+    new_plan = AccessPlan(operators=dict(current_plan.operators))
+    new_cost = 0.0
+    for op_id in stable_ids:
+        op = iconf.operator_by_id(op_id)
+        stats = fresh[op_id]
+        locality = [a.supports_locality for a in op.accessors]
+        idempotent = [a.idempotent for a in op.accessors]
+        current_cost += plan_cost(env, stats, current_plan.operators[op_id])
+        op_plan = optimize_operator(
+            env, stats, current_plan.operators[op_id].placement, locality, op_id,
+            idempotent=idempotent,
+        )
+        new_plan.operators[op_id] = op_plan
+        new_cost += op_plan.estimated_cost
+
+    decision = ReplanDecision(
+        new_plan=new_plan,
+        fresh_stats=fresh,
+        current_cost=current_cost,
+        new_cost=new_cost,
+    )
+    if decision.improvement <= plan_change_cost:
+        return None
+    if new_plan.same_strategies(current_plan):
+        return None
+    return decision

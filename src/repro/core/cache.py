@@ -1,0 +1,117 @@
+"""The node-local lookup cache (Section 3.2).
+
+"EFind inserts the input ik and the result {iv} of a lookup operation
+into an LRU-organized cache. Before invoking the lookup for another ik,
+it checks if ik already exists in the cache." The cache holds up to 1024
+key-value entries in the paper's implementation; the size is a
+constructor parameter here (and swept by the cache-size ablation bench).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class LRUCache:
+    """A fixed-capacity LRU map with probe accounting."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.probes = 0
+        self.hits = 0
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Probe for ``key``; returns ``(hit, value)``."""
+        self.probes += 1
+        try:
+            value = self._data[key]
+        except KeyError:
+            return False, None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    @property
+    def misses(self) -> int:
+        return self.probes - self.hits
+
+    @property
+    def miss_ratio(self) -> float:
+        """Observed ``R`` (1.0 before any probe, the pessimistic prior)."""
+        if self.probes == 0:
+            return 1.0
+        return self.misses / self.probes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.probes = 0
+        self.hits = 0
+
+
+class ShadowCache:
+    """A keys-only LRU used to *estimate* the miss ratio ``R`` while the
+    baseline strategy runs (Section 4.2: "we use a simple version of the
+    lookup cache that does not cache lookup results").
+
+    The paper samples "significantly long (e.g., 100x of the cache size)
+    sequences of lookups" so cold-start misses do not dominate; here the
+    first ``warmup`` probes are excluded from the estimate
+    (:attr:`warmed` tells callers whether the estimate is live yet).
+    The default warm-up is a fraction of the capacity: long enough to
+    damp cold-start bias on recurrence patterns, short enough that
+    adjacency hits (which need no warm-up at all) are still observed in
+    the short per-task streams of a scaled-down run.
+    """
+
+    def __init__(self, capacity: int = 1024, warmup: Optional[int] = None):
+        self._cache = LRUCache(capacity)
+        # Capped so operators that see only a few dozen keys per node
+        # (e.g. behind a selective filter) still produce an estimate.
+        self._warmup = min(capacity // 8, 64) if warmup is None else warmup
+        self._seen = 0
+        self.counted_probes = 0
+        self.counted_hits = 0
+
+    def probe(self, key: Hashable) -> bool:
+        """Record an access; returns True on a (simulated) hit."""
+        self._seen += 1
+        hit, _ = self._cache.get(key)
+        if not hit:
+            self._cache.put(key, True)
+        if self.warmed:
+            self.counted_probes += 1
+            if hit:
+                self.counted_hits += 1
+        return hit
+
+    @property
+    def warmed(self) -> bool:
+        return self._seen > self._warmup
+
+    @property
+    def probes(self) -> int:
+        return self._cache.probes
+
+    @property
+    def miss_ratio(self) -> float:
+        """Post-warm-up miss ratio (1.0 until warmed)."""
+        if self.counted_probes == 0:
+            return 1.0
+        return 1.0 - self.counted_hits / self.counted_probes

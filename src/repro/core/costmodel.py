@@ -1,0 +1,188 @@
+"""The paper's cost model: Table 1 terms and Equations 1-4.
+
+All costs are per-machine times in seconds (the paper's ``N1`` is the
+average number of inputs *on a single machine*). Only relative costs
+matter for plan selection; constant local-computation terms common to
+all strategies (preProcess / postProcess CPU) are omitted exactly as in
+the paper's analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.statistics import IndexStats, OperatorStats
+from repro.simcluster.timemodel import TimeModel
+
+
+class Placement(enum.Enum):
+    """Where an IndexOperator sits in the MapReduce dataflow."""
+
+    BEFORE_MAP = "head"
+    BETWEEN_MAP_REDUCE = "body"
+    AFTER_REDUCE = "tail"
+
+
+class Strategy(enum.Enum):
+    """The four index access strategies of Section 3."""
+
+    BASELINE = "base"
+    CACHE = "cache"
+    REPART = "repart"
+    IDXLOC = "idxloc"
+
+
+@dataclass(frozen=True)
+class CostEnv:
+    """The environment constants the formulas need.
+
+    ``extra_job_overhead`` extends the paper's formulas with the fixed
+    cost of submitting the additional shuffling job (job startup,
+    scheduling). At the paper's multi-gigabyte scale this constant is
+    negligible against the data-proportional terms, so Equations 3-4
+    omit it; at simulation scale it matters and ignoring it would make
+    the optimizer pick extra-job strategies for trivially small inputs.
+    """
+
+    bw: float  # bulk network bandwidth (bytes/s): shuffle, DFS
+    f: float  # DFS store+retrieve cost per byte (s/byte)
+    t_cache: float  # lookup-cache probe time (s)
+    extra_job_overhead: float = 0.0  # fixed cost per added MR job (s)
+    latency: float = 0.0  # per-message RTT paid by remote lookups (s)
+    lookup_bw: float = 20 * 1024 * 1024  # per-request lookup throughput
+
+    @staticmethod
+    def from_time_model(tm: TimeModel) -> "CostEnv":
+        # Job submission plus a few waves of task launches: the fixed
+        # price of the added shuffling job and its follow-on map phase.
+        return CostEnv(
+            bw=tm.network_bandwidth,
+            f=tm.dfs_cost_per_byte,
+            t_cache=tm.cache_probe_time,
+            extra_job_overhead=tm.job_startup_time + 8 * tm.task_startup_time,
+            latency=tm.network_latency,
+            lookup_bw=tm.lookup_bandwidth,
+        )
+
+
+def cost_baseline(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
+    """Equation 1: every key pays a remote lookup.
+
+    ``Cost_base = N1 * Nik_j * ((Sik_j + Siv_j)/BW + T_j)``
+    (plus the per-message latency of a remote request).
+    """
+    return op.n1 * idx.nik * (
+        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+    )
+
+
+def cost_cache(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
+    """Equation 2: every key pays a probe; misses pay the full lookup.
+
+    ``Cost_cache = N1 * Nik_j * (T_cache + R * ((Sik_j + Siv_j)/BW + T_j))``
+    """
+    per_key = env.t_cache + idx.miss_ratio * (
+        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+    )
+    return op.n1 * idx.nik * per_key
+
+
+def cost_shuffle(env: CostEnv, op: OperatorStats, carried_bytes: float = 0.0) -> float:
+    """``Cost_shuffle = N1 * Spre / BW`` -- the extra shuffle moves the
+    whole preProcess output (plus any earlier indices' lookup results
+    when several indices are accessed, Property 2)."""
+    return op.n1 * (op.spre + carried_bytes) / env.bw
+
+
+def s_min(op: OperatorStats, placement: Placement, carried_bytes: float = 0.0) -> float:
+    """The materialised-record size at the cheapest job boundary.
+
+    Section 3.3: "we place the job boundary to minimize the result size
+    of the first job":
+
+    * before Map:            min{Spre, Sidx, Spost, Smap}
+    * between Map & Reduce:  min{Spre, Sidx, Spost}
+    * after Reduce:          min{S1, Spre}
+    """
+    spre = op.spre + carried_bytes
+    sidx = op.sidx + carried_bytes
+    if placement is Placement.BEFORE_MAP:
+        return min(spre, sidx, op.spost, op.smap)
+    if placement is Placement.BETWEEN_MAP_REDUCE:
+        return min(spre, sidx, op.spost)
+    return min(op.s1, spre)
+
+
+def cost_result(
+    env: CostEnv,
+    op: OperatorStats,
+    placement: Placement,
+    carried_bytes: float = 0.0,
+) -> float:
+    """``Cost_result = f * N1 * S_min``."""
+    return env.f * op.n1 * s_min(op, placement, carried_bytes)
+
+
+def cost_repart(
+    env: CostEnv,
+    op: OperatorStats,
+    idx: IndexStats,
+    placement: Placement,
+    carried_bytes: float = 0.0,
+) -> float:
+    """Equation 3: shuffle + materialisation + deduplicated lookups.
+
+    ``Cost_lookup = (N1 * Nik_j / Theta) * ((Sik_j + Siv_j)/BW + T_j)``
+    """
+    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * (
+        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+    )
+    return (
+        env.extra_job_overhead
+        + cost_shuffle(env, op, carried_bytes)
+        + cost_result(env, op, placement, carried_bytes)
+        + lookup
+    )
+
+
+def cost_idxloc(
+    env: CostEnv,
+    op: OperatorStats,
+    idx: IndexStats,
+    placement: Placement,
+    carried_bytes: float = 0.0,
+) -> float:
+    """Equation 4: lookups become local; the input is shipped instead.
+
+    ``Cost_lookup = (N1 * Nik_j / Theta) * T_j + N1 * Spre / BW``
+    """
+    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * idx.tj + op.n1 * (
+        op.spre + carried_bytes
+    ) / env.bw
+    return (
+        env.extra_job_overhead
+        + cost_shuffle(env, op, carried_bytes)
+        + cost_result(env, op, placement, carried_bytes)
+        + lookup
+    )
+
+
+def strategy_cost(
+    strategy: Strategy,
+    env: CostEnv,
+    op: OperatorStats,
+    idx: IndexStats,
+    placement: Placement,
+    carried_bytes: float = 0.0,
+) -> float:
+    """Dispatch to the right equation."""
+    if strategy is Strategy.BASELINE:
+        return cost_baseline(env, op, idx)
+    if strategy is Strategy.CACHE:
+        return cost_cache(env, op, idx)
+    if strategy is Strategy.REPART:
+        return cost_repart(env, op, idx, placement, carried_bytes)
+    if strategy is Strategy.IDXLOC:
+        return cost_idxloc(env, op, idx, placement, carried_bytes)
+    raise ValueError(f"unknown strategy: {strategy!r}")

@@ -1,0 +1,130 @@
+"""IndexJobConf: the EFind-enhanced job configuration (Figure 5).
+
+Extends the vanilla job configuration with three operator-placement
+methods -- ``add_head_index_operator`` (before Map),
+``add_body_index_operator`` (between Map and Reduce), and
+``add_tail_index_operator`` (after Reduce). Several operators may be
+linked at each location; they execute in insertion order (EFind never
+reorders operators, Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import DataFlowError
+from repro.core.costmodel import Placement
+from repro.core.operator import IndexOperator
+from repro.mapreduce.api import (
+    ChainedFunction,
+    HashPartitioner,
+    Partitioner,
+    Reducer,
+)
+
+
+@dataclass
+class IndexJobConf:
+    """Configuration of one EFind-enhanced MapReduce job."""
+
+    name: str
+    input_paths: List[str] = field(default_factory=list)
+    output_path: str = ""
+    mapper: Optional[ChainedFunction] = None
+    reducer: Optional[Reducer] = None
+    num_reduce_tasks: int = 0
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    head_operators: List[IndexOperator] = field(default_factory=list)
+    body_operators: List[IndexOperator] = field(default_factory=list)
+    tail_operators: List[IndexOperator] = field(default_factory=list)
+    max_map_tasks: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Builder-style methods mirroring the paper's JobDriver (Figure 5)
+    # ------------------------------------------------------------------
+    def set_input_paths(self, *paths: str) -> "IndexJobConf":
+        self.input_paths = list(paths)
+        return self
+
+    def set_output_path(self, path: str) -> "IndexJobConf":
+        self.output_path = path
+        return self
+
+    def set_mapper(self, mapper: ChainedFunction) -> "IndexJobConf":
+        self.mapper = mapper
+        return self
+
+    def set_reducer(
+        self,
+        reducer: Reducer,
+        num_reduce_tasks: int = 12,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "IndexJobConf":
+        self.reducer = reducer
+        self.num_reduce_tasks = num_reduce_tasks
+        if partitioner is not None:
+            self.partitioner = partitioner
+        return self
+
+    def add_head_index_operator(self, op: IndexOperator) -> "IndexJobConf":
+        """Place ``op`` before Map."""
+        self.head_operators.append(op)
+        return self
+
+    def add_body_index_operator(self, op: IndexOperator) -> "IndexJobConf":
+        """Place ``op`` between Map and Reduce."""
+        self.body_operators.append(op)
+        return self
+
+    def add_tail_index_operator(self, op: IndexOperator) -> "IndexJobConf":
+        """Place ``op`` after Reduce."""
+        self.tail_operators.append(op)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection used by the optimizer / compiler
+    # ------------------------------------------------------------------
+    def placed_operators(self) -> List[Tuple[str, Placement, IndexOperator]]:
+        """All operators in dataflow order with their ids and placements."""
+        out: List[Tuple[str, Placement, IndexOperator]] = []
+        for i, op in enumerate(self.head_operators):
+            out.append((f"head{i}", Placement.BEFORE_MAP, op))
+        for i, op in enumerate(self.body_operators):
+            out.append((f"body{i}", Placement.BETWEEN_MAP_REDUCE, op))
+        for i, op in enumerate(self.tail_operators):
+            out.append((f"tail{i}", Placement.AFTER_REDUCE, op))
+        return out
+
+    def operator_specs(self) -> Dict[str, Tuple[Placement, int]]:
+        return {
+            op_id: (placement, op.num_indices)
+            for op_id, placement, op in self.placed_operators()
+        }
+
+    def operator_by_id(self, operator_id: str) -> IndexOperator:
+        for op_id, _, op in self.placed_operators():
+            if op_id == operator_id:
+                return op
+        raise KeyError(operator_id)
+
+    def validate(self) -> None:
+        if not self.input_paths:
+            raise DataFlowError(f"EFind job {self.name!r} has no input paths")
+        if not self.output_path:
+            raise DataFlowError(f"EFind job {self.name!r} has no output path")
+        if (self.body_operators or self.tail_operators) and self.reducer is None:
+            raise DataFlowError(
+                "body/tail index operators require a Reduce step to attach to"
+            )
+        if self.reducer is not None and self.num_reduce_tasks <= 0:
+            raise DataFlowError("num_reduce_tasks must be positive with a reducer")
+        for op_id, _, op in self.placed_operators():
+            if op.num_indices == 0:
+                raise DataFlowError(
+                    f"operator {op_id} ({op.name}) has no indices attached"
+                )
+
+    def submit(self, runner, **kwargs):
+        """Run this job on an :class:`~repro.core.runner.EFindRunner`."""
+        return runner.run(self, **kwargs)

@@ -1,0 +1,118 @@
+"""EXPLAIN for EFind plans: render the physical stages a plan compiles
+to, with per-operator strategies and (when statistics are available)
+estimated costs.
+
+Usage::
+
+    from repro.core.explain import explain
+    print(explain(iconf, runner=runner))            # plan the runner would pick
+    print(explain(iconf, plan=some_plan, cluster=cluster))
+
+The output is meant for humans debugging why the optimizer picked what
+it picked -- the textual analogue of a database EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.compiler import compile_plan
+from repro.core.costmodel import CostEnv, Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.optimizer import plan_cost
+from repro.core.plan import AccessPlan
+from repro.core.statistics import OperatorStats
+from repro.simcluster.cluster import Cluster
+
+_STRATEGY_LABEL = {
+    Strategy.BASELINE: "baseline (chained lookup per record)",
+    Strategy.CACHE: "lookup cache (node-local LRU)",
+    Strategy.REPART: "re-partitioning (shuffle groups duplicate keys)",
+    Strategy.IDXLOC: "index locality (lookups co-located with partitions)",
+}
+
+
+def explain(
+    iconf: IndexJobConf,
+    plan: Optional[AccessPlan] = None,
+    runner=None,
+    cluster: Optional[Cluster] = None,
+    op_stats: Optional[Dict[str, OperatorStats]] = None,
+) -> str:
+    """Render ``plan`` (or the plan ``runner`` would choose statically)
+    as a human-readable physical plan."""
+    if plan is None:
+        if runner is None:
+            raise ValueError("explain() needs either a plan or a runner")
+        plan, stats_hint = runner._static_plan(iconf)
+        op_stats = op_stats or stats_hint
+    if cluster is None:
+        if runner is None:
+            raise ValueError("explain() needs a cluster (or a runner)")
+        cluster = runner.cluster
+    op_stats = op_stats or {}
+
+    env = CostEnv.from_time_model(cluster.time_model)
+    lines = [f"EXPLAIN  job {iconf.name!r}"]
+
+    # --- logical view -------------------------------------------------
+    lines.append("logical dataflow:")
+    for op_id, placement, op in iconf.placed_operators():
+        op_plan = plan.operators.get(op_id)
+        indices = ", ".join(a.name for a in op.accessors)
+        lines.append(
+            f"  [{placement.value}] {op_id} ({op.name}) over indices: {indices}"
+        )
+        if op_plan is None:
+            continue
+        for position, j in enumerate(op_plan.order):
+            strategy = op_plan.strategy_of(j)
+            detail = _STRATEGY_LABEL[strategy]
+            accessor = op.accessors[j]
+            flags = []
+            if not accessor.idempotent:
+                flags.append("non-idempotent: pinned to baseline")
+            if strategy is Strategy.IDXLOC:
+                scheme = accessor.partition_scheme
+                if scheme is not None:
+                    flags.append(f"{scheme.num_partitions} index partitions")
+            suffix = f"  [{'; '.join(flags)}]" if flags else ""
+            lines.append(
+                f"      {position + 1}. index {j} ({accessor.name}): {detail}{suffix}"
+            )
+        stats = op_stats.get(op_id)
+        if stats is not None:
+            cost = plan_cost(env, stats, op_plan)
+            lines.append(
+                f"      estimated cost: {cost:.3f}s/machine "
+                f"(N1={stats.n1:.0f}, Spre={stats.spre:.0f}B)"
+            )
+
+    # --- physical view ------------------------------------------------
+    stages = compile_plan(iconf, plan, cluster, op_stats=op_stats)
+    lines.append(f"physical plan: {len(stages)} MapReduce job(s)")
+    for i, stage in enumerate(stages):
+        conf = stage.conf
+        kind = "shuffle job" if stage.is_shuffle else "job"
+        lines.append(f"  stage {i} ({kind} {stage.label!r}):")
+        chain = " -> ".join(fn.name for fn in conf.map_chain) or "<identity>"
+        lines.append(f"    map   : {chain}")
+        if conf.reducer is not None:
+            post = (
+                " -> " + " -> ".join(fn.name for fn in conf.reduce_post_chain)
+                if conf.reduce_post_chain
+                else ""
+            )
+            lines.append(
+                f"    reduce: {conf.reducer.name}{post} "
+                f"(x{conf.num_reduce_tasks} tasks, "
+                f"{type(conf.partitioner).__name__})"
+            )
+        if stage.read_constraint is not None:
+            lines.append(
+                "    map tasks pinned to index-partition replica hosts "
+                f"({stage.read_constraint.num_partitions} partitions)"
+            )
+        if conf.output_per_partition:
+            lines.append("    output: one file per index partition")
+    return "\n".join(lines)

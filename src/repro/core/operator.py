@@ -1,0 +1,152 @@
+"""IndexOperator: the per-job half of the EFind interface (Figure 2).
+
+An operator customises how one point in the dataflow uses one or more
+indices:
+
+* ``pre_process(k1, v1, index_input)`` extracts the lookup-key list for
+  every attached index and may rewrite ``(k1, v1)`` (e.g. project away
+  fields that are not needed downstream);
+* ``post_process(k1, v1, index_output, collector)`` combines the lookup
+  results into output pairs ``(k2, v2)``, applying any filtering.
+
+Multiple *independent* indices may be attached to one operator via
+:meth:`add_index` -- that is the degree of freedom the multi-index
+optimizer exploits (Section 3.5). Dependent accesses should instead be
+expressed as a chain of operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.accessor import IndexAccessor
+from repro.mapreduce.api import OutputCollector
+
+
+class IndexInput:
+    """Collects per-record lookup keys: one key list per attached index.
+
+    ``put(j, ik)`` matches the paper's ``iklist.put(1, user)`` -- except
+    indices are numbered from 0 here, in attachment order.
+    """
+
+    def __init__(self, num_indices: int):
+        self._keys: List[List[Any]] = [[] for _ in range(num_indices)]
+
+    def put(self, index_id: int, ik: Any) -> None:
+        self._keys[index_id].append(ik)
+
+    def keys(self, index_id: int) -> List[Any]:
+        return list(self._keys[index_id])
+
+    def as_tuple(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Immutable wire form carried through the dataflow."""
+        return tuple(tuple(ks) for ks in self._keys)
+
+    @property
+    def num_indices(self) -> int:
+        return len(self._keys)
+
+
+class IndexValues:
+    """Results of one index for one record, aligned with its key list."""
+
+    def __init__(self, keys: Sequence[Any], value_lists: Sequence[Sequence[Any]]):
+        self._keys = list(keys)
+        self._value_lists = [list(vs) for vs in value_lists]
+
+    def get_all(self) -> List[Any]:
+        """Flattened values across all keys (the paper's ``getAll()``)."""
+        return [v for vs in self._value_lists for v in vs]
+
+    def for_key(self, position: int) -> List[Any]:
+        """Values for the ``position``-th key put in pre_process."""
+        return list(self._value_lists[position])
+
+    @property
+    def keys(self) -> List[Any]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._value_lists)
+
+
+class IndexOutput:
+    """All attached indices' results for one record."""
+
+    def __init__(
+        self,
+        iklists: Sequence[Sequence[Any]],
+        ivlists: Sequence[Optional[Sequence[Sequence[Any]]]],
+    ):
+        self._values = [
+            IndexValues(keys, value_lists if value_lists is not None else [])
+            for keys, value_lists in zip(iklists, ivlists)
+        ]
+
+    def get(self, index_id: int) -> IndexValues:
+        return self._values[index_id]
+
+    @property
+    def num_indices(self) -> int:
+        return len(self._values)
+
+
+class IndexOperator:
+    """Base class for user IndexOperators.
+
+    The default ``pre_process`` uses the record's key as the single
+    lookup key for every attached index; the default ``post_process``
+    emits ``(k1, (v1, flattened results))`` -- enough for simple
+    index-join shapes, so trivial operators need no subclassing.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self.accessors: List[IndexAccessor] = []
+        self._name = name or type(self).__name__
+
+    # ------------------------------------------------------------------
+    def add_index(self, accessor: IndexAccessor) -> "IndexOperator":
+        """Attach one more (independent) index; returns self for chaining."""
+        self.accessors.append(accessor)
+        return self
+
+    @property
+    def num_indices(self) -> int:
+        return len(self.accessors)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def signature(self) -> str:
+        """Stable identity for the statistics catalog."""
+        parts = [type(self).__name__] + [a.signature() for a in self.accessors]
+        return "|".join(parts)
+
+    # ------------------------------------------------------------------
+    # User-overridable methods
+    # ------------------------------------------------------------------
+    def pre_process(
+        self, key: Any, value: Any, index_input: IndexInput
+    ) -> Tuple[Any, Any]:
+        """Extract lookup keys; return the (possibly modified) pair."""
+        for j in range(index_input.num_indices):
+            index_input.put(j, key)
+        return key, value
+
+    def post_process(
+        self,
+        key: Any,
+        value: Any,
+        index_output: IndexOutput,
+        collector: OutputCollector,
+    ) -> None:
+        """Combine lookup results into output pairs."""
+        results = []
+        for j in range(index_output.num_indices):
+            results.extend(index_output.get(j).get_all())
+        collector.collect(key, (value, tuple(results)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(indices={[a.name for a in self.accessors]})"

@@ -1,0 +1,125 @@
+"""Index access plans: the optimizer's output, the compiler's input.
+
+Plans are JSON-serialisable (:meth:`AccessPlan.to_dict` /
+:meth:`AccessPlan.from_dict`): a chosen plan can be saved next to the
+statistics catalog and replayed later with
+``EFindRunner.run(job, mode="plan", plan=AccessPlan.load(path))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.costmodel import Placement, Strategy
+
+
+@dataclass
+class OperatorPlan:
+    """Chosen access order and per-index strategies for one operator."""
+
+    operator_id: str
+    placement: Placement
+    order: List[int] = field(default_factory=list)
+    strategies: Dict[int, Strategy] = field(default_factory=dict)
+    estimated_cost: float = 0.0
+
+    def strategy_of(self, index_id: int) -> Strategy:
+        return self.strategies.get(index_id, Strategy.BASELINE)
+
+    @property
+    def needs_extra_job(self) -> bool:
+        return any(
+            s in (Strategy.REPART, Strategy.IDXLOC) for s in self.strategies.values()
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{j}:{self.strategy_of(j).value}" for j in self.order
+        ] or ["<no indices>"]
+        return f"{self.operator_id}[{', '.join(parts)}]"
+
+
+@dataclass
+class AccessPlan:
+    """A complete plan for an EFind-enhanced job."""
+
+    operators: Dict[str, OperatorPlan] = field(default_factory=dict)
+    estimated_cost: float = 0.0
+
+    def operator(self, operator_id: str) -> OperatorPlan:
+        return self.operators[operator_id]
+
+    def describe(self) -> str:
+        return "; ".join(
+            self.operators[op_id].describe() for op_id in sorted(self.operators)
+        )
+
+    @property
+    def num_extra_jobs(self) -> int:
+        return sum(
+            1
+            for op in self.operators.values()
+            for s in op.strategies.values()
+            if s in (Strategy.REPART, Strategy.IDXLOC)
+        )
+
+    def same_strategies(self, other: "AccessPlan") -> bool:
+        """True when both plans pick identical strategies and orders."""
+        if set(self.operators) != set(other.operators):
+            return False
+        for op_id, mine in self.operators.items():
+            theirs = other.operators[op_id]
+            if mine.order != theirs.order or mine.strategies != theirs.strategies:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the plan."""
+        return {
+            "estimated_cost": self.estimated_cost,
+            "operators": {
+                op_id: {
+                    "placement": op.placement.value,
+                    "order": list(op.order),
+                    "strategies": {
+                        str(j): s.value for j, s in op.strategies.items()
+                    },
+                    "estimated_cost": op.estimated_cost,
+                }
+                for op_id, op in self.operators.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AccessPlan":
+        plan = cls(estimated_cost=payload.get("estimated_cost", 0.0))
+        for op_id, raw in payload.get("operators", {}).items():
+            plan.operators[op_id] = OperatorPlan(
+                operator_id=op_id,
+                placement=Placement(raw["placement"]),
+                order=list(raw["order"]),
+                strategies={
+                    int(j): Strategy(s) for j, s in raw["strategies"].items()
+                },
+                estimated_cost=raw.get("estimated_cost", 0.0),
+            )
+        return plan
+
+    def save(self, path: str) -> None:
+        """Write the plan to a JSON file."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "AccessPlan":
+        """Read a plan previously written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

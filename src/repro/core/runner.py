@@ -1,0 +1,497 @@
+"""EFindRunner: the runtime system of Figure 8.
+
+Ties everything together: plans (forced / statically optimized /
+adaptive), compiles them to physical stages, executes the stages on the
+MapReduce engine, collects statistics into the catalog, and -- in
+dynamic mode -- re-optimizes a running job once per Algorithm 1,
+reusing completed tasks' results per Figures 9-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import PlanningError
+from repro.common.sizing import sizeof_pair
+from repro.core.adaptive import (
+    DEFAULT_VARIANCE_THRESHOLD,
+    ReplanDecision,
+    evaluate_replan,
+)
+from repro.core.compiler import StageSpec, compile_plan
+from repro.core.costmodel import CostEnv, Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.optimizer import baseline_plan, forced_plan, optimize_operator
+from repro.core.plan import AccessPlan, OperatorPlan
+from repro.core.statistics import (
+    OperatorStats,
+    OperatorStatsAccumulator,
+    StatisticsCatalog,
+)
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.splits import InputSplit
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.simcluster.cluster import Cluster
+
+Record = Tuple[Any, Any]
+
+
+@dataclass
+class EFindJobResult:
+    """Outcome of one EFind-enhanced job."""
+
+    name: str
+    output: List[Record]
+    start_time: float
+    end_time: float
+    stage_results: List[JobResult] = field(default_factory=list)
+    plan: Optional[AccessPlan] = None
+    initial_plan: Optional[AccessPlan] = None
+    replanned: bool = False
+    replan_phase: Optional[str] = None
+    stats: Dict[str, OperatorStats] = field(default_factory=dict)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def sim_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_results)
+
+    def summary(self) -> str:
+        """A one-glance report of how the job ran (for logs and REPLs)."""
+        lines = [
+            f"EFind job {self.name!r}: {self.sim_time:.2f}s simulated "
+            f"across {self.num_stages} MapReduce job(s)"
+        ]
+        if self.plan is not None:
+            lines.append(f"  plan: {self.plan.describe()}")
+        if self.replanned:
+            lines.append(
+                f"  re-optimized mid-{self.replan_phase}: "
+                f"{self.initial_plan.describe()} -> {self.plan.describe()}"
+            )
+        for i, stage in enumerate(self.stage_results):
+            flags = f" (aborted mid-{stage.aborted_phase})" if stage.aborted else ""
+            lines.append(
+                f"  stage {i}: {stage.sim_time:6.2f}s, "
+                f"{len(stage.map_runs)} map / {len(stage.reduce_runs)} reduce "
+                f"tasks{flags}"
+            )
+        lines.append(f"  output: {len(self.output)} records")
+        return "\n".join(lines)
+
+
+class EFindRunner:
+    """Adaptive job optimizer + plan implementer + runtime environment."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        catalog: Optional[StatisticsCatalog] = None,
+        cache_capacity: int = 1024,
+        variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
+        plan_change_overhead: Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.dfs = dfs
+        self.job_runner = JobRunner(cluster, dfs)
+        self.catalog = catalog if catalog is not None else StatisticsCatalog()
+        self.cache_capacity = cache_capacity
+        self.variance_threshold = variance_threshold
+        tm = cluster.time_model
+        self.plan_change_overhead = (
+            plan_change_overhead
+            if plan_change_overhead is not None
+            else tm.job_startup_time
+        )
+        self._run_seq = 0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        iconf: IndexJobConf,
+        mode: str = "dynamic",
+        forced_strategy: Optional[Union[Strategy, str]] = None,
+        extra_job_targets: Optional[Sequence[str]] = None,
+        boundary_override: Optional[str] = None,
+        plan: Optional[AccessPlan] = None,
+        update_catalog: bool = True,
+        start_time: float = 0.0,
+    ) -> EFindJobResult:
+        """Run an EFind-enhanced job.
+
+        Modes:
+
+        * ``"dynamic"`` -- start with the baseline plan, collect
+          statistics on the fly, re-optimize once if worthwhile
+          (Section 4).
+        * ``"static"`` -- plan up front from catalog statistics
+          (operators without statistics fall back to baseline).
+        * ``"forced"`` -- pin ``forced_strategy`` everywhere; for
+          REPART/IDXLOC, ``extra_job_targets`` names the operator ids
+          that get the extra-job strategy while the rest use the cache
+          (the paper's Repart/Idxloc experiment configuration).
+        * ``"plan"`` -- execute the explicitly supplied ``plan``.
+        """
+        iconf.validate()
+        specs = iconf.operator_specs()
+        registry = {
+            op_id: OperatorStatsAccumulator(
+                op_id, m, self.cluster.num_nodes, self.cache_capacity
+            )
+            for op_id, (_, m) in specs.items()
+        }
+
+        adaptive = False
+        op_stats_hint: Dict[str, OperatorStats] = {}
+        if mode == "forced":
+            strategy = _coerce_strategy(forced_strategy)
+            the_plan = forced_plan(specs, strategy, extra_job_targets)
+            op_stats_hint = self._catalog_stats(iconf)
+        elif mode == "static":
+            the_plan, op_stats_hint = self._static_plan(iconf)
+        elif mode == "dynamic":
+            the_plan = baseline_plan(specs)
+            adaptive = True
+        elif mode == "plan":
+            if plan is None:
+                raise PlanningError("mode='plan' requires an explicit plan")
+            the_plan = plan
+            op_stats_hint = self._catalog_stats(iconf)
+        else:
+            raise PlanningError(f"unknown run mode: {mode!r}")
+
+        result = self._execute(
+            iconf,
+            the_plan,
+            registry,
+            adaptive=adaptive,
+            op_stats=op_stats_hint,
+            boundary_override=boundary_override,
+            start_time=start_time,
+        )
+        if update_catalog:
+            self._update_catalog(iconf, registry, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Planning helpers
+    # ------------------------------------------------------------------
+    def _catalog_stats(self, iconf: IndexJobConf) -> Dict[str, OperatorStats]:
+        out: Dict[str, OperatorStats] = {}
+        for op_id, _, op in iconf.placed_operators():
+            stats = self.catalog.get(op.signature())
+            if stats is not None:
+                out[op_id] = stats
+        return out
+
+    def _static_plan(
+        self, iconf: IndexJobConf
+    ) -> Tuple[AccessPlan, Dict[str, OperatorStats]]:
+        env = CostEnv.from_time_model(self.cluster.time_model)
+        stats_by_op = self._catalog_stats(iconf)
+        plan = AccessPlan()
+        total = 0.0
+        for op_id, placement, op in iconf.placed_operators():
+            stats = stats_by_op.get(op_id)
+            if stats is None:
+                plan.operators[op_id] = OperatorPlan(
+                    operator_id=op_id,
+                    placement=placement,
+                    order=list(range(op.num_indices)),
+                    strategies={
+                        j: Strategy.BASELINE for j in range(op.num_indices)
+                    },
+                )
+                continue
+            locality = [a.supports_locality for a in op.accessors]
+            idempotent = [a.idempotent for a in op.accessors]
+            op_plan = optimize_operator(
+                env, stats, placement, locality, op_id, idempotent=idempotent
+            )
+            plan.operators[op_id] = op_plan
+            total += op_plan.estimated_cost
+        plan.estimated_cost = total
+        return plan, stats_by_op
+
+    def _update_catalog(self, iconf, registry, result: EFindJobResult) -> None:
+        for op_id, _, op in iconf.placed_operators():
+            acc = registry[op_id]
+            if acc.num_samples:
+                stats = acc.aggregate()
+                self.catalog.put(op.signature(), stats)
+                result.stats[op_id] = stats
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        iconf: IndexJobConf,
+        plan: AccessPlan,
+        registry: Dict[str, OperatorStatsAccumulator],
+        adaptive: bool,
+        op_stats: Dict[str, OperatorStats],
+        boundary_override: Optional[str],
+        start_time: float,
+    ) -> EFindJobResult:
+        stages = compile_plan(
+            iconf,
+            plan,
+            self.cluster,
+            registry,
+            op_stats,
+            self.cache_capacity,
+            boundary_override,
+        )
+        self._assign_paths(iconf, stages, tag="a")
+        stages[0].conf.input_paths = list(iconf.input_paths)
+
+        # Adaptive re-optimization hooks only make sense on a
+        # single-stage (baseline) run; multi-stage initial plans came
+        # from statistics and are not second-guessed mid-flight.
+        if not adaptive or len(stages) > 1 or not iconf.placed_operators():
+            results = self._run_stages(stages, start_time=start_time)
+            return self._package(iconf, plan, plan, results, start_time)
+
+        env = CostEnv.from_time_model(self.cluster.time_model)
+        cell: Dict[str, Any] = {}
+
+        def check_map(runs, total_tasks) -> bool:
+            decision = evaluate_replan(
+                iconf, plan, registry, env, "map",
+                self.variance_threshold, self.plan_change_overhead,
+                scale=(total_tasks - len(runs)) / max(1, len(runs)),
+                cache_capacity=self.cache_capacity,
+            )
+            if decision is not None:
+                cell["decision"], cell["phase"] = decision, "map"
+                return True
+            return False
+
+        def check_reduce(runs, total_tasks) -> bool:
+            decision = evaluate_replan(
+                iconf, plan, registry, env, "reduce",
+                self.variance_threshold, self.plan_change_overhead,
+                scale=(total_tasks - len(runs)) / max(1, len(runs)),
+                cache_capacity=self.cache_capacity,
+            )
+            if decision is not None:
+                cell["decision"], cell["phase"] = decision, "reduce"
+                return True
+            return False
+
+        first = self.job_runner.run(
+            stages[0].conf,
+            start_time=start_time,
+            abort_check_map=check_map,
+            abort_check_reduce=check_reduce,
+        )
+        if not first.aborted:
+            return self._package(iconf, plan, plan, [first], start_time)
+
+        decision: ReplanDecision = cell["decision"]
+        if cell["phase"] == "map":
+            return self._resume_after_map_abort(
+                iconf, plan, decision, registry, first, start_time
+            )
+        return self._resume_after_reduce_abort(
+            iconf, plan, decision, registry, first, start_time
+        )
+
+    # ------------------------------------------------------------------
+    def _resume_after_map_abort(
+        self, iconf, old_plan, decision, registry, first: JobResult, start_time
+    ) -> EFindJobResult:
+        """Figure 10(a): keep completed map tasks' outputs, process the
+        remaining splits under the new plan, and have the new plan's
+        reduce fetch both."""
+        new_plan = decision.new_plan
+        stages = compile_plan(
+            iconf, new_plan, self.cluster, registry, decision.fresh_stats,
+            self.cache_capacity,
+        )
+        self._assign_paths(iconf, stages, tag="b")
+
+        old_outputs: List[Record] = []
+        for run in first.map_runs:
+            old_outputs.extend(run.output)
+
+        final_conf = stages[-1].conf
+        if final_conf.reducer is not None:
+            final_conf.side_reduce_inputs = old_outputs
+
+        results = self._run_stages(
+            stages,
+            start_time=first.end_time,
+            first_splits=list(first.remaining_splits),
+        )
+        output = list(results[-1].output)
+        if final_conf.reducer is None:
+            output = old_outputs + output
+            self.dfs.write(iconf.output_path, output)
+
+        packaged = self._package(
+            iconf, old_plan, new_plan, [first] + results, start_time
+        )
+        packaged.output = output
+        packaged.replanned = True
+        packaged.replan_phase = "map"
+        return packaged
+
+    def _resume_after_reduce_abort(
+        self, iconf, old_plan, decision, registry, first: JobResult, start_time
+    ) -> EFindJobResult:
+        """Figure 10(b): completed reduce tasks' outputs join the final
+        output directly; the remaining partitions' reduce inputs are
+        re-reduced under the new (tail-operator) plan and merged."""
+        new_plan = decision.new_plan
+        stages = compile_plan(
+            iconf, new_plan, self.cluster, registry, decision.fresh_stats,
+            self.cache_capacity, start_at="reduce",
+        )
+        self._assign_paths(iconf, stages, tag="c")
+
+        pending: List[Record] = []
+        for p in first.remaining_partitions:
+            pending.extend(self.job_runner.reduce_input_for(first.map_runs, p))
+
+        results = self._run_stages(
+            stages, start_time=first.end_time, first_records=pending
+        )
+        output = list(first.output) + list(results[-1].output)
+        self.dfs.write(iconf.output_path, output)
+
+        packaged = self._package(
+            iconf, old_plan, new_plan, [first] + results, start_time
+        )
+        packaged.output = output
+        packaged.replanned = True
+        packaged.replan_phase = "reduce"
+        return packaged
+
+    # ------------------------------------------------------------------
+    def _run_stages(
+        self,
+        stages: List[StageSpec],
+        start_time: float,
+        first_splits: Optional[List[InputSplit]] = None,
+        first_records: Optional[List[Record]] = None,
+    ) -> List[JobResult]:
+        t = start_time
+        results: List[JobResult] = []
+        for i, stage in enumerate(stages):
+            conf = stage.conf
+            splits: Optional[List[InputSplit]] = None
+            if i == 0:
+                if first_splits is not None:
+                    splits = first_splits
+                    conf.input_paths = ["<resume:splits>"]
+                elif first_records is not None:
+                    splits = self._records_to_splits(first_records)
+                    conf.input_paths = ["<resume:records>"]
+            else:
+                prev = stages[i - 1]
+                if prev.conf.output_per_partition:
+                    paths = [
+                        JobRunner.partition_path(prev.conf.output_path, p)
+                        for p in range(prev.conf.num_reduce_tasks)
+                        if self.dfs.exists(
+                            JobRunner.partition_path(prev.conf.output_path, p)
+                        )
+                    ]
+                    conf.input_paths = paths
+                    if stage.read_constraint is not None:
+                        splits = self._constrained_splits(prev, stage)
+                else:
+                    conf.input_paths = [prev.conf.output_path]
+            result = self.job_runner.run(conf, start_time=t, splits=splits)
+            t = result.end_time
+            results.append(result)
+        return results
+
+    def _constrained_splits(
+        self, prev: StageSpec, stage: StageSpec
+    ) -> List[InputSplit]:
+        """Index locality: one group of splits per index partition, each
+        pinned to that partition's replica hosts."""
+        scheme = stage.read_constraint
+        splits: List[InputSplit] = []
+        constraint: Dict[int, List[str]] = {}
+        for p in range(prev.conf.num_reduce_tasks):
+            path = JobRunner.partition_path(prev.conf.output_path, p)
+            if not self.dfs.exists(path):
+                continue
+            hosts = scheme.locations(p % scheme.num_partitions)
+            for split in self.dfs.splits(path):
+                split.index = len(splits)
+                constraint[split.index] = hosts
+                splits.append(split)
+        stage.conf.map_host_constraint = lambda i: constraint.get(i)
+        return splits
+
+    def _records_to_splits(self, records: List[Record]) -> List[InputSplit]:
+        """Chunk in-memory records into synthetic splits (used when
+        resuming an aborted reduce phase)."""
+        target = self.dfs.block_size
+        splits: List[InputSplit] = []
+        current: List[Record] = []
+        size = 0
+        for record in records:
+            current.append(record)
+            size += sizeof_pair(*record)
+            if size >= target:
+                splits.append(
+                    InputSplit("<memory>", len(splits), current, size, hosts=[])
+                )
+                current, size = [], 0
+        if current or not splits:
+            splits.append(
+                InputSplit("<memory>", len(splits), current, size, hosts=[])
+            )
+        return splits
+
+    # ------------------------------------------------------------------
+    def _assign_paths(self, iconf, stages: List[StageSpec], tag: str) -> None:
+        self._run_seq += 1
+        base = f"/_efind/{iconf.name}/{self._run_seq}{tag}"
+        for i, stage in enumerate(stages):
+            if i == len(stages) - 1:
+                stage.conf.output_path = iconf.output_path
+            else:
+                stage.conf.output_path = f"{base}/stage{i:02d}"
+
+    def _package(
+        self, iconf, initial_plan, final_plan, results: List[JobResult], start_time
+    ) -> EFindJobResult:
+        counters = Counters()
+        for r in results:
+            counters.merge(r.counters)
+        return EFindJobResult(
+            name=iconf.name,
+            output=list(results[-1].output),
+            start_time=start_time,
+            end_time=results[-1].end_time,
+            stage_results=results,
+            plan=final_plan,
+            initial_plan=initial_plan,
+            counters=counters,
+        )
+
+
+def _coerce_strategy(value: Optional[Union[Strategy, str]]) -> Strategy:
+    if isinstance(value, Strategy):
+        return value
+    if isinstance(value, str):
+        for s in Strategy:
+            if s.value == value or s.name.lower() == value.lower():
+                return s
+    raise PlanningError(f"mode='forced' requires a valid strategy, got {value!r}")

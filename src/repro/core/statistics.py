@@ -1,0 +1,408 @@
+"""Runtime statistics: Flajolet-Martin sketches, per-task samples,
+variance gating, and the statistics catalog (Section 4.2).
+
+EFind collects the Table-1 quantities with counters as tasks complete:
+
+* ``preProcess``: input count/size, keys per index, output size;
+* ``lookup``: key and result sizes, sampled ``T_j``, shadow-cache miss
+  ratio ``R``;
+* ``postProcess`` / ``Map``: output sizes;
+* ``Theta`` (duplicates per distinct lookup key) via FM sketches whose
+  local bit vectors are OR-ed across tasks.
+
+Re-optimization is gated on the sample variance of per-task statistics:
+"we make sure that the standard deviation over mean is below a threshold
+(e.g., 0.05) before performing re-optimization."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.mapreduce.api import stable_hash
+
+#: Flajolet-Martin magic constant (phi) used to unbias the estimate.
+_FM_PHI = 0.77351
+
+
+class FMSketch:
+    """Flajolet-Martin distinct counting with stochastic averaging.
+
+    ``num_buckets`` independent bitmaps; each key goes to one bucket and
+    sets the bit at the position of the lowest set bit of its hash. The
+    estimate is ``(m / phi) * 2**(mean lowest-unset-bit)``.
+    """
+
+    def __init__(self, num_buckets: int = 64, bitmap_bits: int = 32):
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.num_buckets = num_buckets
+        self.bitmap_bits = bitmap_bits
+        self.bitmaps: List[int] = [0] * num_buckets
+
+    def add(self, key: Any) -> None:
+        h = stable_hash(key) * 2654435761 & 0xFFFFFFFFFFFF
+        bucket = h % self.num_buckets
+        h //= self.num_buckets
+        if h == 0:
+            position = self.bitmap_bits - 1
+        else:
+            position = (h & -h).bit_length() - 1  # lowest set bit of h
+            position = min(position, self.bitmap_bits - 1)
+        self.bitmaps[bucket] |= 1 << position
+
+    def merge(self, other: "FMSketch") -> None:
+        """OR another sketch in (local task sketches -> global sketch)."""
+        if other.num_buckets != self.num_buckets:
+            raise ValueError("cannot merge sketches of different widths")
+        for i in range(self.num_buckets):
+            self.bitmaps[i] |= other.bitmaps[i]
+
+    def estimate(self) -> float:
+        """Estimated number of distinct keys added."""
+        total_r = sum(
+            _lowest_zero_bit_position(bm) for bm in self.bitmaps
+        )
+        mean_r = total_r / self.num_buckets
+        return (self.num_buckets / _FM_PHI) * (2.0**mean_r)
+
+    def copy(self) -> "FMSketch":
+        clone = FMSketch(self.num_buckets, self.bitmap_bits)
+        clone.bitmaps = list(self.bitmaps)
+        return clone
+
+
+def _lowest_zero_bit_position(bitmap: int) -> int:
+    position = 0
+    while bitmap & 1:
+        bitmap >>= 1
+        position += 1
+    return position
+
+
+@dataclass
+class TaskSample:
+    """Per-task operator statistics; one per (task, operator)."""
+
+    task_id: str
+    n1: int = 0
+    s1_bytes: float = 0.0
+    spre_bytes: float = 0.0
+    sidx_bytes: float = 0.0
+    spost_bytes: float = 0.0
+    nik: Dict[int, int] = field(default_factory=dict)
+    sik_bytes: Dict[int, float] = field(default_factory=dict)
+    siv_bytes: Dict[int, float] = field(default_factory=dict)
+    lookups: Dict[int, int] = field(default_factory=dict)
+    tj_total: Dict[int, float] = field(default_factory=dict)
+    tj_samples: Dict[int, int] = field(default_factory=dict)
+    cache_probes: Dict[int, int] = field(default_factory=dict)
+    cache_misses: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class IndexStats:
+    """Aggregated Table-1 statistics for one index of one operator."""
+
+    nik: float = 1.0  # avg lookup keys per input record
+    sik: float = 8.0  # avg key size (bytes)
+    siv: float = 64.0  # avg result size per key (bytes)
+    tj: float = 0.5e-3  # avg index service time (seconds)
+    miss_ratio: float = 1.0  # R
+    theta: float = 1.0  # duplicates per distinct key
+    distinct: float = 0.0  # FM-estimated distinct lookup keys
+    lookups_observed: int = 0
+    probes_observed: int = 0
+
+    def capacity_bounded_miss_ratio(
+        self, n1: float, cache_capacity: int
+    ) -> float:
+        """Refine R with the compulsory-miss bound: when the distinct
+        key set fits in the cache, a node's steady-state misses are at
+        most one per distinct key, so ``R <= distinct / (N1 * Nik)``.
+        Short statistics samples (a cold first wave) overestimate R;
+        this bound restores the steady-state value."""
+        if self.distinct <= 0 or self.distinct > cache_capacity:
+            return self.miss_ratio
+        keys_per_machine = n1 * self.nik
+        if keys_per_machine <= 0:
+            return self.miss_ratio
+        return min(self.miss_ratio, self.distinct / keys_per_machine)
+
+
+@dataclass
+class OperatorStats:
+    """Aggregated statistics for one IndexOperator."""
+
+    n1: float = 0.0  # avg inputs per machine
+    s1: float = 64.0  # avg input pair size
+    spre: float = 64.0  # avg preProcess output size per input
+    sidx: float = 64.0  # avg lookup output size per input
+    spost: float = 64.0  # avg postProcess output size per input
+    smap: float = 64.0  # avg Map output size per Map input (head ops)
+    per_index: Dict[int, IndexStats] = field(default_factory=dict)
+    num_tasks_sampled: int = 0
+
+    def index(self, index_id: int) -> IndexStats:
+        return self.per_index.setdefault(index_id, IndexStats())
+
+
+class OperatorStatsAccumulator:
+    """Collects task samples + FM sketches for one operator and derives
+    :class:`OperatorStats` and the variance gate."""
+
+    def __init__(
+        self,
+        operator_id: str,
+        num_indices: int,
+        num_machines: int,
+        cache_capacity: int = 1024,
+    ):
+        self.operator_id = operator_id
+        self.num_indices = num_indices
+        self.num_machines = max(1, num_machines)
+        self.cache_capacity = cache_capacity
+        self._samples: Dict[str, TaskSample] = {}
+        self.fm: Dict[int, FMSketch] = {j: FMSketch() for j in range(num_indices)}
+        self.smap_bytes_total: float = 0.0
+        self.smap_inputs_total: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[TaskSample]:
+        return [
+            s for s in self._samples.values() if s.n1 > 0 or s.lookups
+        ]
+
+    def sample_for(self, task_id: str) -> TaskSample:
+        """Get-or-create the sample for one task; the EFind chained
+        functions of one operator all write into the same sample."""
+        sample = self._samples.get(task_id)
+        if sample is None:
+            sample = TaskSample(task_id=task_id)
+            self._samples[task_id] = sample
+        return sample
+
+    def add_sample(self, sample: TaskSample) -> None:
+        if sample.n1 > 0 or sample.lookups:
+            self._samples[sample.task_id] = sample
+
+    def add_key_to_sketch(self, index_id: int, key: Any) -> None:
+        self.fm[index_id].add(key)
+
+    def record_map_output(self, inputs: int, output_bytes: float) -> None:
+        self.smap_inputs_total += inputs
+        self.smap_bytes_total += output_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    def total_inputs(self) -> int:
+        return sum(s.n1 for s in self.samples)
+
+    def aggregate(self) -> OperatorStats:
+        """Fold all samples into one :class:`OperatorStats`."""
+        stats = OperatorStats(num_tasks_sampled=len(self.samples))
+        total_n1 = self.total_inputs()
+        if total_n1 == 0:
+            return stats
+        stats.n1 = total_n1 / self.num_machines
+        stats.s1 = _safe_div(sum(s.s1_bytes for s in self.samples), total_n1)
+        stats.spre = _safe_div(sum(s.spre_bytes for s in self.samples), total_n1)
+        stats.sidx = _safe_div(sum(s.sidx_bytes for s in self.samples), total_n1)
+        stats.spost = _safe_div(sum(s.spost_bytes for s in self.samples), total_n1)
+        if self.smap_inputs_total:
+            stats.smap = self.smap_bytes_total / self.smap_inputs_total
+        else:
+            stats.smap = stats.spost
+
+        for j in range(self.num_indices):
+            idx = stats.index(j)
+            total_keys = sum(s.nik.get(j, 0) for s in self.samples)
+            idx.nik = _safe_div(total_keys, total_n1)
+            idx.sik = _safe_div(
+                sum(s.sik_bytes.get(j, 0.0) for s in self.samples), total_keys, 8.0
+            )
+            lookups = sum(s.lookups.get(j, 0) for s in self.samples)
+            idx.lookups_observed = lookups
+            # Siv is the result size per *looked-up* key; deduplicated
+            # runs look up fewer keys than they request.
+            idx.siv = _safe_div(
+                sum(s.siv_bytes.get(j, 0.0) for s in self.samples), lookups, 64.0
+            )
+            tj_samples = sum(s.tj_samples.get(j, 0) for s in self.samples)
+            if tj_samples:
+                idx.tj = sum(s.tj_total.get(j, 0.0) for s in self.samples) / tj_samples
+            probes = sum(s.cache_probes.get(j, 0) for s in self.samples)
+            idx.probes_observed = probes
+            if probes:
+                misses = sum(s.cache_misses.get(j, 0) for s in self.samples)
+                idx.miss_ratio = misses / probes
+            if total_keys:
+                distinct = max(1.0, self.fm[j].estimate())
+                idx.distinct = distinct
+                idx.theta = max(1.0, total_keys / distinct)
+                idx.miss_ratio = idx.capacity_bounded_miss_ratio(
+                    stats.n1, self.cache_capacity
+                )
+        return stats
+
+    def relative_deviation(self) -> float:
+        """Max over stat types of the *relative standard error of the
+        mean*: ``stddev / (mean * sqrt(n))`` across task samples.
+
+        Equation 5 computes the sample variance; the paper's gate then
+        argues via the central limit theorem that "the sample mean is
+        within 3 times the standard deviation from the true mean" --
+        i.e. what must be small is the uncertainty of the *mean*, which
+        shrinks with ``sqrt(n)``. (At the paper's scale each task holds
+        ~10^5 records, so plain stddev/mean is already tiny; at
+        simulation scale per-task filter ratios are noisy and the
+        sqrt(n) factor is what the CLT actually grants.)
+
+        Infinite when fewer than 2 samples.
+        """
+        if len(self.samples) < 2:
+            return math.inf
+        worst = 0.0
+        for extractor in (
+            lambda s: float(s.n1),
+            lambda s: _safe_div(s.spre_bytes, s.n1),
+            lambda s: _safe_div(s.sidx_bytes, s.n1),
+            lambda s: _safe_div(s.spost_bytes, s.n1),
+        ):
+            values = [extractor(s) for s in self.samples if s.n1 > 0]
+            if len(values) < 2:
+                continue
+            mean = sum(values) / len(values)
+            if mean == 0:
+                continue
+            var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            relative_se = math.sqrt(var) / (abs(mean) * math.sqrt(len(values)))
+            worst = max(worst, relative_se)
+        return worst
+
+
+def _safe_div(num: float, den: float, default: float = 0.0) -> float:
+    if den == 0:
+        return default
+    return num / den
+
+
+class StatisticsCatalog:
+    """The catalog of Section 4.1: operator statistics persisted across
+    jobs, keyed by a stable operator signature.
+
+    Supports JSON round-tripping (:meth:`to_dict` / :meth:`from_dict`,
+    :meth:`save` / :meth:`load`) so statistics survive process restarts
+    -- the paper's "record statistics at the end of a job, and then use
+    the statistics collected from previous jobs" workflow.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, OperatorStats] = {}
+
+    def get(self, signature: str) -> Optional[OperatorStats]:
+        return self._stats.get(signature)
+
+    def put(self, signature: str, stats: OperatorStats) -> None:
+        """Store ``stats``, retaining prior estimates for quantities the
+        new run did not observe (a re-partitioned run performs no cache
+        probes, so it must not clobber a measured miss ratio, and a run
+        with deduplicated lookups must not clobber Theta)."""
+        old = self._stats.get(signature)
+        if old is not None:
+            # Runs whose lookups happened in a shuffle job's reduce do
+            # not observe the post-lookup record size.
+            if stats.sidx == 0 and old.sidx > 0:
+                stats.sidx = old.sidx
+            for j, idx in stats.per_index.items():
+                prior = old.per_index.get(j)
+                if prior is None:
+                    continue
+                if idx.probes_observed == 0 and prior.probes_observed > 0:
+                    idx.miss_ratio = prior.miss_ratio
+                    idx.probes_observed = prior.probes_observed
+                if idx.lookups_observed == 0 and prior.lookups_observed > 0:
+                    idx.tj = prior.tj
+                    idx.siv = prior.siv
+                    idx.lookups_observed = prior.lookups_observed
+        self._stats[signature] = stats
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of every stored statistic."""
+        out: dict = {}
+        for signature, stats in self._stats.items():
+            out[signature] = {
+                "n1": stats.n1,
+                "s1": stats.s1,
+                "spre": stats.spre,
+                "sidx": stats.sidx,
+                "spost": stats.spost,
+                "smap": stats.smap,
+                "num_tasks_sampled": stats.num_tasks_sampled,
+                "per_index": {
+                    str(j): {
+                        "nik": idx.nik,
+                        "sik": idx.sik,
+                        "siv": idx.siv,
+                        "tj": idx.tj,
+                        "miss_ratio": idx.miss_ratio,
+                        "theta": idx.theta,
+                        "distinct": idx.distinct,
+                        "lookups_observed": idx.lookups_observed,
+                        "probes_observed": idx.probes_observed,
+                    }
+                    for j, idx in stats.per_index.items()
+                },
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StatisticsCatalog":
+        catalog = cls()
+        for signature, raw in payload.items():
+            stats = OperatorStats(
+                n1=raw["n1"],
+                s1=raw["s1"],
+                spre=raw["spre"],
+                sidx=raw["sidx"],
+                spost=raw["spost"],
+                smap=raw["smap"],
+                num_tasks_sampled=raw.get("num_tasks_sampled", 0),
+            )
+            for j, idx_raw in raw.get("per_index", {}).items():
+                stats.per_index[int(j)] = IndexStats(**idx_raw)
+            catalog._stats[signature] = stats
+        return catalog
+
+    def save(self, path: str) -> None:
+        """Write the catalog to a JSON file."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "StatisticsCatalog":
+        """Read a catalog previously written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

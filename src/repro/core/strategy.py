@@ -1,0 +1,411 @@
+"""Strategy execution: the chained functions and reducers that a plan
+compiles into.
+
+Wire format. Between an operator's ``preProcess`` and ``postProcess``
+the record value is a *carrier* tuple::
+
+    (k1, ("EFc", v1, ikl, ivl))
+
+where ``ikl`` is a tuple of per-index key tuples and ``ivl`` a tuple of
+per-index result tuples (``None`` until the index has been looked up).
+This mirrors the paper's intermediate form
+``(k1, v1, {{ik_1}, {iv_1}, ..., {ik_m}, {iv_m})``.
+
+Lookup charging. A lookup from a node hosting the key's index partition
+costs ``T_j``; from anywhere else it additionally pays the network
+transfer ``(Sik + Siv)/BW``. Cache-strategy lookups pay a ``T_cache``
+probe first and the full cost only on a miss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.common.sizing import sizeof, sizeof_pair
+from repro.core.accessor import IndexAccessor
+from repro.core.cache import LRUCache, ShadowCache
+from repro.core.operator import IndexInput, IndexOperator, IndexOutput
+from repro.core.statistics import OperatorStatsAccumulator
+from repro.mapreduce.api import (
+    ChainedFunction,
+    OutputCollector,
+    Partitioner,
+    Reducer,
+    TaskContext,
+)
+
+_CARRIER_TAG = "EFc"
+
+
+def make_carrier(v1: Any, ikl: tuple, ivl: tuple) -> tuple:
+    return (_CARRIER_TAG, v1, ikl, ivl)
+
+
+def is_carrier(value: Any) -> bool:
+    return isinstance(value, tuple) and len(value) == 4 and value[0] == _CARRIER_TAG
+
+
+def open_carrier(value: Any) -> Tuple[Any, tuple, tuple]:
+    if not is_carrier(value):
+        raise TypeError(f"expected an EFind carrier record, got {value!r}")
+    return value[1], value[2], value[3]
+
+
+class PreProcessFn(ChainedFunction):
+    """Runs ``IndexOperator.pre_process`` and wraps records in carriers.
+
+    Also the collection point for the preProcess counters of Section 4.2
+    (N1, S1, Nik_j, Sik_j, Spre) and the FM sketches over lookup keys.
+    """
+
+    def __init__(
+        self,
+        operator: IndexOperator,
+        operator_id: str,
+        stats: Optional[OperatorStatsAccumulator] = None,
+    ):
+        self.operator = operator
+        self.operator_id = operator_id
+        self.stats = stats
+
+    def process(self, key, value, collector, ctx):
+        m = self.operator.num_indices
+        index_input = IndexInput(m)
+        out_key, out_value = self.operator.pre_process(key, value, index_input)
+        ikl = index_input.as_tuple()
+        carrier = make_carrier(out_value, ikl, (None,) * m)
+        collector.collect(out_key, carrier)
+
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            sample.n1 += 1
+            sample.s1_bytes += sizeof_pair(key, value)
+            sample.spre_bytes += sizeof_pair(out_key, carrier)
+            for j in range(m):
+                keys = ikl[j]
+                if not keys:
+                    continue
+                sample.nik[j] = sample.nik.get(j, 0) + len(keys)
+                sample.sik_bytes[j] = sample.sik_bytes.get(j, 0.0) + sum(
+                    sizeof(ik) for ik in keys
+                )
+                for ik in keys:
+                    self.stats.add_key_to_sketch(j, ik)
+
+    @property
+    def name(self) -> str:
+        return f"pre[{self.operator_id}]"
+
+
+class LookupFn(ChainedFunction):
+    """Performs one index's lookups inline (baseline / cache / the
+    post-shuffle leg of re-partitioning and index locality).
+
+    Modes:
+
+    * ``use_cache=False``: the baseline strategy -- every key pays a
+      lookup; a *shadow* cache estimates the miss ratio R for the
+      optimizer without saving any work.
+    * ``use_cache=True``: the lookup cache strategy -- one node-local
+      LRU (shared by the node's tasks, as in the paper's per-machine
+      cache).
+    * ``dedup_adjacent=True``: after a re-partitioning shuffle, records
+      with equal keys arrive adjacently; a one-entry memo removes the
+      duplicates the shuffle created.
+    * ``assume_local=True``: index-locality -- the task runs on a node
+      hosting the key's partition, so lookups cost ``T_j`` only.
+    """
+
+    def __init__(
+        self,
+        operator: IndexOperator,
+        operator_id: str,
+        index_id: int,
+        stats: Optional[OperatorStatsAccumulator] = None,
+        use_cache: bool = False,
+        cache_capacity: int = 1024,
+        dedup_adjacent: bool = False,
+        assume_local: bool = False,
+        record_sidx: bool = False,
+    ):
+        self.operator = operator
+        self.operator_id = operator_id
+        self.index_id = index_id
+        self.accessor: IndexAccessor = operator.accessors[index_id]
+        self.stats = stats
+        self.use_cache = use_cache
+        self.cache_capacity = cache_capacity
+        self.dedup_adjacent = dedup_adjacent
+        self.assume_local = assume_local
+        self.record_sidx = record_sidx
+        self._node_caches: dict = {}
+        self._node_shadows: dict = {}
+        self._memo_key: Any = _NO_MEMO
+        self._memo_values: Tuple[Any, ...] = ()
+
+    def start(self, ctx):
+        self._memo_key = _NO_MEMO
+        self._memo_values = ()
+
+    def process(self, key, value, collector, ctx):
+        v1, ikl, ivl = open_carrier(value)
+        keys = ikl[self.index_id]
+        results = tuple(tuple(self._lookup(ik, ctx)) for ik in keys)
+        new_ivl = tuple(
+            results if j == self.index_id else ivl[j] for j in range(len(ivl))
+        )
+        carrier = make_carrier(v1, ikl, new_ivl)
+        collector.collect(key, carrier)
+        if self.stats is not None and self.record_sidx:
+            self.stats.sample_for(ctx.task_id).sidx_bytes += sizeof_pair(key, carrier)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, ik: Any, ctx: TaskContext) -> List[Any]:
+        tm = ctx.time_model
+        if self.dedup_adjacent:
+            if ik == self._memo_key:
+                return list(self._memo_values)
+
+        if self.use_cache:
+            cache = self._node_caches.setdefault(
+                ctx.node.hostname, LRUCache(self.cache_capacity)
+            )
+            ctx.charge(tm.cache_probe_time)
+            hit, cached = cache.get(ik)
+            self._record_cache_stats(ctx, hit)
+            if hit:
+                return list(cached)
+            values = self._fetch(ik, ctx)
+            cache.put(ik, tuple(values))
+        else:
+            if not self.dedup_adjacent:
+                # Baseline: a keys-only shadow cache estimates R
+                # (Section 4.2) without saving any lookups. The
+                # post-shuffle dedup leg skips this: its grouped key
+                # stream is not representative of the original one.
+                shadow = self._node_shadows.setdefault(
+                    ctx.node.hostname, ShadowCache(self.cache_capacity)
+                )
+                would_hit = shadow.probe(ik)
+                if shadow.warmed:
+                    self._record_cache_stats(ctx, would_hit)
+            values = self._fetch(ik, ctx)
+
+        if self.dedup_adjacent:
+            self._memo_key = ik
+            self._memo_values = tuple(values)
+        return values
+
+    def _fetch(self, ik: Any, ctx: TaskContext) -> List[Any]:
+        tm = ctx.time_model
+        values = self.accessor.lookup(ik)
+        tj = self.accessor.service_time()
+        local = self.assume_local or (
+            ctx.node.hostname in self.accessor.hosts_for_key(ik)
+        )
+        if local:
+            ctx.charge(tm.local_lookup_time(tj))
+        else:
+            ctx.charge(
+                tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj)
+            )
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            j = self.index_id
+            sample.lookups[j] = sample.lookups.get(j, 0) + 1
+            sample.tj_total[j] = sample.tj_total.get(j, 0.0) + tj
+            sample.tj_samples[j] = sample.tj_samples.get(j, 0) + 1
+            sample.siv_bytes[j] = sample.siv_bytes.get(j, 0.0) + sizeof(
+                tuple(values)
+            )
+        return values
+
+    def _record_cache_stats(self, ctx, hit: bool) -> None:
+        if self.stats is None:
+            return
+        sample = self.stats.sample_for(ctx.task_id)
+        j = self.index_id
+        sample.cache_probes[j] = sample.cache_probes.get(j, 0) + 1
+        if not hit:
+            sample.cache_misses[j] = sample.cache_misses.get(j, 0) + 1
+
+    @property
+    def name(self) -> str:
+        mode = "cache" if self.use_cache else "base"
+        if self.assume_local:
+            mode = "idxloc"
+        elif self.dedup_adjacent:
+            mode = "repart"
+        return f"idx[{self.operator_id}.{self.index_id}:{mode}]"
+
+
+_NO_MEMO = object()
+
+
+class PostProcessFn(ChainedFunction):
+    """Runs ``IndexOperator.post_process`` and unwraps carriers."""
+
+    def __init__(
+        self,
+        operator: IndexOperator,
+        operator_id: str,
+        stats: Optional[OperatorStatsAccumulator] = None,
+    ):
+        self.operator = operator
+        self.operator_id = operator_id
+        self.stats = stats
+
+    def process(self, key, value, collector, ctx):
+        v1, ikl, ivl = open_carrier(value)
+        index_output = IndexOutput(ikl, ivl)
+        before_bytes = collector.bytes
+        self.operator.post_process(key, v1, index_output, collector)
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            sample.spost_bytes += collector.bytes - before_bytes
+
+    @property
+    def name(self) -> str:
+        return f"post[{self.operator_id}]"
+
+
+class KeyByIkFn(ChainedFunction):
+    """Re-keys carriers by one index's lookup key: the map side of a
+    re-partitioning shuffle job (Section 3.3).
+
+    Requires at most one key per record for the shuffled index (the
+    optimizer only selects re-partitioning when Nik <= 1). Records with
+    no key for the index shuffle under ``None`` and skip the lookup.
+    """
+
+    def __init__(self, operator: IndexOperator, operator_id: str, index_id: int):
+        self.operator = operator
+        self.operator_id = operator_id
+        self.index_id = index_id
+
+    def process(self, key, value, collector, ctx):
+        _, ikl, _ = open_carrier(value)
+        keys = ikl[self.index_id]
+        if len(keys) > 1:
+            raise ValueError(
+                f"re-partitioning requires <= 1 key per record for index "
+                f"{self.index_id} of {self.operator_id}; got {len(keys)}"
+            )
+        ik = keys[0] if keys else None
+        collector.collect(ik, (key, value))
+
+    @property
+    def name(self) -> str:
+        return f"keyby[{self.operator_id}.{self.index_id}]"
+
+
+class GroupLookupReducer(Reducer):
+    """Reduce side of a shuffle job with the boundary *after* the
+    lookup: one lookup per distinct key, results fanned back out to
+    every carrier of the group."""
+
+    def __init__(
+        self,
+        operator: IndexOperator,
+        operator_id: str,
+        index_id: int,
+        stats: Optional[OperatorStatsAccumulator] = None,
+    ):
+        self.operator = operator
+        self.operator_id = operator_id
+        self.index_id = index_id
+        self.accessor = operator.accessors[index_id]
+        self.stats = stats
+
+    def reduce(self, ik, carriers, collector, ctx):
+        if ik is None:
+            results: Tuple[Any, ...] = ()
+        else:
+            values = self._fetch(ik, ctx)
+            results = (tuple(values),)
+        for original_key, value in carriers:
+            v1, ikl, ivl = open_carrier(value)
+            per_record = results if ikl[self.index_id] else ()
+            new_ivl = tuple(
+                per_record if j == self.index_id else ivl[j]
+                for j in range(len(ivl))
+            )
+            collector.collect(original_key, make_carrier(v1, ikl, new_ivl))
+
+    def _fetch(self, ik, ctx) -> List[Any]:
+        tm = ctx.time_model
+        values = self.accessor.lookup(ik)
+        tj = self.accessor.service_time()
+        local = ctx.node.hostname in self.accessor.hosts_for_key(ik)
+        if local:
+            ctx.charge(tm.local_lookup_time(tj))
+        else:
+            ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj))
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            j = self.index_id
+            sample.lookups[j] = sample.lookups.get(j, 0) + 1
+            sample.tj_total[j] = sample.tj_total.get(j, 0.0) + tj
+            sample.tj_samples[j] = sample.tj_samples.get(j, 0) + 1
+            sample.siv_bytes[j] = sample.siv_bytes.get(j, 0.0) + sizeof(tuple(values))
+        return values
+
+    @property
+    def name(self) -> str:
+        return f"grouplookup[{self.operator_id}.{self.index_id}]"
+
+
+class CarrierMaterializeReducer(Reducer):
+    """Reduce side of a shuffle job with the boundary *before* the
+    lookup: just materialise the grouped carriers (duplicate keys end up
+    adjacent, so the next stage's ``LookupFn(dedup_adjacent=True)``
+    removes the redundancy)."""
+
+    def reduce(self, ik, carriers, collector, ctx):
+        for original_key, value in carriers:
+            collector.collect(original_key, value)
+
+    @property
+    def name(self) -> str:
+        return "materialize"
+
+
+class SchemePartitioner(Partitioner):
+    """Partitions shuffle keys with the *index's own* partition scheme,
+    co-partitioning lookup keys with index partitions (Section 3.4)."""
+
+    def __init__(self, scheme):
+        self.scheme = scheme
+
+    def partition(self, key, num_partitions):
+        if key is None:
+            return 0
+        p = self.scheme.partition_of(key)
+        return p % num_partitions
+
+
+class RecordMeter(ChainedFunction):
+    """Pass-through stage that reports record/byte flow to a callback;
+    used to measure the original Map's output size (``Smap``)."""
+
+    def __init__(self, on_batch, label: str = "meter"):
+        self._on_batch = on_batch
+        self._label = label
+        self._count = 0
+        self._bytes = 0.0
+
+    def start(self, ctx):
+        self._count = 0
+        self._bytes = 0.0
+
+    def process(self, key, value, collector, ctx):
+        self._count += 1
+        self._bytes += sizeof_pair(key, value)
+        collector.collect(key, value)
+
+    def finish(self, collector, ctx):
+        self._on_batch(self._count, self._bytes)
+
+    @property
+    def name(self) -> str:
+        return self._label

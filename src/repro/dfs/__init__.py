@@ -1,0 +1,12 @@
+"""A miniature distributed file system (HDFS stand-in).
+
+Files are sequences of ``(key, value)`` records, chunked into fixed-size
+blocks. Each block is placed on ``replication`` nodes; MapReduce input
+splits are derived from blocks so that the scheduler can exploit data
+locality exactly as Hadoop does.
+"""
+
+from repro.dfs.filesystem import DistributedFileSystem, FileMeta
+from repro.dfs.splits import InputSplit
+
+__all__ = ["DistributedFileSystem", "FileMeta", "InputSplit"]

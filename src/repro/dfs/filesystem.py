@@ -1,0 +1,204 @@
+"""The distributed file system.
+
+Stores record files, chunks them into blocks, and places replicas on
+cluster nodes. The block size defaults to 64 MB with replication 3,
+matching Section 5.1 of the paper. Since the benchmark datasets are
+scaled down from the paper's (gigabytes -> megabytes), callers usually
+pass a proportionally smaller block size so jobs still run a realistic
+number of map tasks in several waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import DataFlowError
+from repro.common.sizing import sizeof_pair
+from repro.common.units import MB
+from repro.simcluster.cluster import Cluster
+
+Record = Tuple[Any, Any]
+
+from repro.dfs.splits import InputSplit
+
+
+@dataclass
+class Block:
+    """One replicated chunk of a file."""
+
+    index: int
+    records: List[Record]
+    size_bytes: int
+    hosts: List[str]
+
+
+@dataclass
+class FileMeta:
+    """Catalog entry for one DFS file."""
+
+    path: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(b.records) for b in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+
+class DistributedFileSystem:
+    """An in-memory HDFS stand-in bound to a :class:`Cluster`."""
+
+    DEFAULT_BLOCK_SIZE = 64 * MB
+
+    def __init__(self, cluster: Cluster, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.cluster = cluster
+        self.block_size = block_size
+        self._files: Dict[str, FileMeta] = {}
+
+    # ------------------------------------------------------------------
+    # Write / read
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        path: str,
+        records: Iterable[Record],
+        block_size: Optional[int] = None,
+        replication: Optional[int] = None,
+    ) -> FileMeta:
+        """Create (or overwrite) ``path`` with the given records.
+
+        Records are chunked greedily: a block closes once it holds at
+        least ``block_size`` estimated bytes.
+        """
+        block_size = block_size or self.block_size
+        replication = replication or self.cluster.time_model.dfs_replication
+        meta = FileMeta(path=path)
+        current: List[Record] = []
+        current_bytes = 0
+        for record in records:
+            current.append(record)
+            current_bytes += sizeof_pair(*record)
+            if current_bytes >= block_size:
+                self._seal_block(meta, current, current_bytes, replication)
+                current, current_bytes = [], 0
+        if current or not meta.blocks:
+            self._seal_block(meta, current, current_bytes, replication)
+        self._files[path] = meta
+        return meta
+
+    def _seal_block(
+        self,
+        meta: FileMeta,
+        records: List[Record],
+        size_bytes: int,
+        replication: int,
+    ) -> None:
+        index = len(meta.blocks)
+        hosts = [
+            n.hostname
+            for n in self.cluster.replica_nodes(
+                hash((meta.path, index)) % self.cluster.num_nodes + index, replication
+            )
+        ]
+        meta.blocks.append(
+            Block(index=index, records=records, size_bytes=size_bytes, hosts=hosts)
+        )
+
+    def read(self, path: str) -> List[Record]:
+        """Return all records of ``path`` in block order."""
+        meta = self._require(path)
+        out: List[Record] = []
+        for block in meta.blocks:
+            out.extend(block.records)
+        return out
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def meta(self, path: str) -> FileMeta:
+        return self._require(path)
+
+    def size(self, path: str) -> int:
+        return self._require(path).size_bytes
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def splits(self, path: str, max_splits: Optional[int] = None) -> List[InputSplit]:
+        """Derive one input split per block (optionally coalescing to at
+        most ``max_splits``)."""
+        meta = self._require(path)
+        splits = [
+            InputSplit(
+                path=path,
+                index=b.index,
+                records=b.records,
+                size_bytes=b.size_bytes,
+                hosts=list(b.hosts),
+            )
+            for b in meta.blocks
+        ]
+        if max_splits is not None and len(splits) > max_splits:
+            splits = _coalesce(splits, max_splits)
+        return splits
+
+    def splits_for(
+        self, paths: Sequence[str], max_splits: Optional[int] = None
+    ) -> List[InputSplit]:
+        """Splits across several input files, re-indexed globally."""
+        out: List[InputSplit] = []
+        for path in paths:
+            out.extend(self.splits(path))
+        for i, split in enumerate(out):
+            split.index = i
+        if max_splits is not None and len(out) > max_splits:
+            out = _coalesce(out, max_splits)
+        return out
+
+    # ------------------------------------------------------------------
+    def _require(self, path: str) -> FileMeta:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise DataFlowError(f"no such DFS file: {path!r}") from None
+
+
+def _coalesce(splits: List[InputSplit], max_splits: int) -> List[InputSplit]:
+    """Merge adjacent splits until at most ``max_splits`` remain."""
+    if max_splits < 1:
+        raise ValueError("max_splits must be >= 1")
+    per_group = -(-len(splits) // max_splits)  # ceil division
+    merged: List[InputSplit] = []
+    for start in range(0, len(splits), per_group):
+        group = splits[start : start + per_group]
+        records: List[Record] = []
+        hosts: List[str] = []
+        size = 0
+        for s in group:
+            records.extend(s.records)
+            size += s.size_bytes
+            for h in s.hosts:
+                if h not in hosts:
+                    hosts.append(h)
+        merged.append(
+            InputSplit(
+                path=group[0].path,
+                index=len(merged),
+                records=records,
+                size_bytes=size,
+                hosts=hosts,
+            )
+        )
+    return merged

@@ -1,0 +1,32 @@
+"""Input splits: the unit of work for a map task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+Record = Tuple[Any, Any]
+
+
+@dataclass
+class InputSplit:
+    """One map task's slice of an input file.
+
+    ``hosts`` are the hostnames holding a replica of the underlying
+    block; the scheduler prefers to run the map task on one of them.
+    """
+
+    path: str
+    index: int
+    records: List[Record]
+    size_bytes: int
+    hosts: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InputSplit({self.path!r}#{self.index}, records={len(self.records)}, "
+            f"bytes={self.size_bytes}, hosts={self.hosts})"
+        )

@@ -1,0 +1,127 @@
+"""The contract every index substrate implements.
+
+EFind treats indices as black boxes reachable through a ``lookup``
+method (Section 1: "EFind does NOT implement any indices by itself").
+The pieces of the contract the optimizer *may* use, when available:
+
+* ``service_time`` -- the true per-lookup compute time ``T_j`` (the
+  adaptive runtime never reads it directly; it *samples* it, Section 4.2);
+* ``partition_scheme`` -- exposed by distributed indices that can be
+  co-partitioned (the flag + partition method of Section 3.4);
+* lookup accounting, used by tests and the pay-per-use cloud service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.common.errors import IndexLookupError
+from repro.indices.partitioning import PartitionScheme
+
+
+class IndexService:
+    """Base class for all index substrates."""
+
+    #: default per-lookup service time (seconds); subclasses override or
+    #: set per instance. Roughly a Cassandra read on the paper's cluster.
+    DEFAULT_SERVICE_TIME = 0.5e-3
+
+    def __init__(self, name: str, service_time: Optional[float] = None):
+        self.name = name
+        self._service_time = (
+            self.DEFAULT_SERVICE_TIME if service_time is None else service_time
+        )
+        self.lookups_served = 0
+
+    # ------------------------------------------------------------------
+    # The black-box lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: Any) -> List[Any]:
+        """Return the (possibly empty) list of values for ``key``.
+
+        Idempotent during a job -- the assumption behind the lookup
+        cache strategy (Section 3.2).
+        """
+        self.lookups_served += 1
+        return self._lookup(key)
+
+    def _lookup(self, key: Any) -> List[Any]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Optional capabilities
+    # ------------------------------------------------------------------
+    def service_time(self, key: Any = None) -> float:
+        """``T_j``: time the index itself spends serving one lookup."""
+        return self._service_time
+
+    def set_service_time(self, service_time: float) -> None:
+        """Adjust ``T_j`` (benchmarks model hotter/busier indices by
+        raising the service time of the most-probed index)."""
+        if service_time < 0:
+            raise ValueError("service time cannot be negative")
+        self._service_time = service_time
+
+    @property
+    def partition_scheme(self) -> Optional[PartitionScheme]:
+        """The index's partition scheme, or None if it cannot (or will
+        not) expose one. Non-None enables the index-locality strategy."""
+        return None
+
+    @property
+    def entry_host(self) -> Optional[str]:
+        """The host a client first contacts (root node / metadata server
+        / any peer). None for purely computational indices."""
+        return None
+
+    def hosts_for_key(self, key: Any) -> List[str]:
+        """Hosts that can serve ``key`` locally (empty if unknown)."""
+        scheme = self.partition_scheme
+        if scheme is None:
+            return []
+        return scheme.locations(scheme.partition_of(key))
+
+    def fingerprint(self) -> int:
+        """A stable digest of the index contents; tests use it to verify
+        the idempotence assumption holds across a job."""
+        return 0
+
+    def reset_accounting(self) -> None:
+        self.lookups_served = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MappingIndex(IndexService):
+    """Convenience base for indices backed by a key -> [values] mapping."""
+
+    def __init__(
+        self,
+        name: str,
+        mapping: dict,
+        service_time: Optional[float] = None,
+        strict: bool = False,
+    ):
+        super().__init__(name, service_time)
+        self._mapping = mapping
+        self._strict = strict
+
+    def _lookup(self, key: Any) -> List[Any]:
+        try:
+            values = self._mapping[key]
+        except KeyError:
+            if self._strict:
+                raise IndexLookupError(
+                    f"index {self.name!r} has no entry for key {key!r}"
+                ) from None
+            return []
+        if isinstance(values, list):
+            return list(values)
+        return [values]
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def fingerprint(self) -> int:
+        return len(self._mapping)

@@ -1,0 +1,95 @@
+"""Dynamic computed indices.
+
+The paper stresses that indices can be *dynamic*: "given a search key
+the return value is dynamically computed ... this index can compute
+results for any input text, thus the number of valid keys is infinite"
+(Section 1). Example 2.1's knowledge-base service runs machine-learning
+classifiers to turn tweet keywords into a topic.
+
+:class:`DynamicComputedIndex` wraps any pure function of the key;
+:class:`KeywordTopicClassifier` is the deterministic stand-in for the
+paper's ML classifier (a linear scoring model over keyword features).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.indices.base import IndexService
+from repro.indices.inverted import tokenize
+from repro.mapreduce.api import stable_hash
+
+
+class DynamicComputedIndex(IndexService):
+    """An index whose lookup runs a computation instead of a retrieval.
+
+    ``compute`` must be pure (same key -> same result), preserving the
+    idempotence assumption EFind's cache and re-partitioning strategies
+    rely on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        compute: Callable[[Any], List[Any]],
+        service_time: Optional[float] = None,
+    ):
+        # Computation is usually costlier than a hash-table read.
+        super().__init__(name, service_time if service_time is not None else 2e-3)
+        self._compute = compute
+
+    def _lookup(self, key: Any) -> List[Any]:
+        result = self._compute(key)
+        if not isinstance(result, list):
+            result = [result]
+        return result
+
+    def fingerprint(self) -> int:
+        # A pure function never changes during a job.
+        return stable_hash(self.name)
+
+
+class KeywordTopicClassifier:
+    """Deterministic keyword -> topic classifier.
+
+    Substitutes the paper's knowledge-base ML classifiers: each topic
+    has a seed vocabulary; an input text is scored by (weighted) seed
+    hits and the best-scoring topic wins. Unknown vocabulary falls back
+    to a stable hash bucket, so *every* input gets a topic -- the
+    "infinite key space" property of a dynamic index.
+    """
+
+    DEFAULT_TOPICS: Dict[str, Sequence[str]] = {
+        "sports": ("game", "match", "team", "score", "league", "win", "player"),
+        "politics": ("election", "vote", "senate", "policy", "president", "law"),
+        "technology": ("phone", "app", "software", "launch", "cloud", "data", "ai"),
+        "weather": ("storm", "rain", "snow", "heat", "forecast", "flood", "wind"),
+        "music": ("album", "concert", "song", "band", "tour", "festival"),
+        "finance": ("stock", "market", "earnings", "bank", "price", "trade"),
+    }
+
+    def __init__(self, topics: Optional[Dict[str, Sequence[str]]] = None):
+        self.topics = {
+            name: frozenset(words)
+            for name, words in (topics or self.DEFAULT_TOPICS).items()
+        }
+        self._topic_names = sorted(self.topics)
+
+    def classify(self, text: Any) -> str:
+        tokens = tokenize(str(text))
+        best_topic, best_score = None, 0
+        for name in self._topic_names:
+            score = sum(1 for t in tokens if t in self.topics[name])
+            if score > best_score:
+                best_topic, best_score = name, score
+        if best_topic is not None:
+            return best_topic
+        # No seed hit: stable fallback bucket, so the mapping is total.
+        return self._topic_names[stable_hash(str(text)) % len(self._topic_names)]
+
+    def as_index(
+        self, name: str = "knowledge-base", service_time: Optional[float] = None
+    ) -> DynamicComputedIndex:
+        return DynamicComputedIndex(
+            name, lambda key: [self.classify(key)], service_time=service_time
+        )

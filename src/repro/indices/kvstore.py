@@ -1,0 +1,115 @@
+"""A Cassandra-like distributed key-value store.
+
+This is the paper's main index service (Section 5.1): the index is
+divided into 32 hash partitions, each replicated to three data nodes,
+with partition-location metadata available on every node (their
+PropertyFileSnitch / NetworkTopologyStrategy setup). We reproduce the
+parts EFind interacts with: per-partition storage, replica placement,
+and an inspectable partition scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import IndexLookupError
+from repro.indices.base import IndexService
+from repro.indices.partitioning import (
+    HashPartitionScheme,
+    PartitionScheme,
+    round_robin_placements,
+)
+from repro.simcluster.cluster import Cluster
+
+
+class DistributedKVStore(IndexService):
+    """Hash-partitioned, replicated key -> [values] store."""
+
+    def __init__(
+        self,
+        name: str,
+        cluster: Cluster,
+        num_partitions: int = 32,
+        replication: int = 3,
+        service_time: Optional[float] = None,
+        strict: bool = False,
+    ):
+        super().__init__(name, service_time)
+        hosts = [n.hostname for n in cluster.nodes]
+        self._scheme = HashPartitionScheme(
+            num_partitions,
+            round_robin_placements(hosts, num_partitions, replication),
+        )
+        self._partitions: List[Dict[Any, List[Any]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        self._strict = strict
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> None:
+        """Append ``value`` under ``key`` (multi-valued, like a wide row)."""
+        bucket = self._partitions[self._scheme.partition_of(key)]
+        bucket.setdefault(key, []).append(value)
+        self._size += 1
+
+    def put_unique(self, key: Any, value: Any) -> None:
+        """Set ``key`` to exactly ``[value]`` (last write wins)."""
+        bucket = self._partitions[self._scheme.partition_of(key)]
+        if key not in bucket:
+            self._size += 1
+        bucket[key] = [value]
+
+    def load(self, items: Iterable[Tuple[Any, Any]]) -> "DistributedKVStore":
+        for key, value in items:
+            self.put(key, value)
+        return self
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key`` and all its values; returns True if present."""
+        bucket = self._partitions[self._scheme.partition_of(key)]
+        values = bucket.pop(key, None)
+        if values is None:
+            return False
+        self._size -= len(values)
+        return True
+
+    # ------------------------------------------------------------------
+    # IndexService contract
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> List[Any]:
+        partition = self._scheme.partition_of(key)
+        values = self._partitions[partition].get(key)
+        if values is None:
+            if self._strict:
+                raise IndexLookupError(
+                    f"kvstore {self.name!r} has no entry for key {key!r}"
+                )
+            return []
+        return list(values)
+
+    @property
+    def partition_scheme(self) -> PartitionScheme:
+        return self._scheme
+
+    @property
+    def entry_host(self) -> Optional[str]:
+        return self._scheme.locations(0)[0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_keys(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def partition_sizes(self) -> List[int]:
+        return [len(p) for p in self._partitions]
+
+    def fingerprint(self) -> int:
+        return self._size * 1000003 + self.num_keys

@@ -1,0 +1,42 @@
+"""A functional MapReduce engine with simulated time accounting.
+
+This is the Hadoop stand-in the EFind layer plugs into. It really
+executes user Map/Reduce functions and chained functions over records
+(so caches hit, shuffles group, and statistics counters measure real
+data), while every task is charged simulated seconds by the cluster's
+:class:`~repro.simcluster.timemodel.TimeModel`. Job runtime is the
+makespan of a slot-based wave schedule, mirroring how Hadoop runs map
+tasks in rounds over a fixed number of slots.
+"""
+
+from repro.mapreduce.api import (
+    ChainedFunction,
+    HashPartitioner,
+    IdentityMapper,
+    IdentityReducer,
+    Mapper,
+    OutputCollector,
+    Partitioner,
+    Reducer,
+    TaskContext,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.jobconf import JobConf
+from repro.mapreduce.runtime import JobResult, JobRunner, TaskRun
+
+__all__ = [
+    "ChainedFunction",
+    "Counters",
+    "HashPartitioner",
+    "IdentityMapper",
+    "IdentityReducer",
+    "JobConf",
+    "JobResult",
+    "JobRunner",
+    "Mapper",
+    "OutputCollector",
+    "Partitioner",
+    "Reducer",
+    "TaskContext",
+    "TaskRun",
+]

@@ -1,0 +1,55 @@
+"""Hadoop-style counters.
+
+Counters are the statistics channel EFind relies on (Section 4.2): each
+task increments local counters, the runtime aggregates them globally,
+and the adaptive optimizer reads per-task values to compute sample
+variance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A two-level ``group -> name -> value`` counter map."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[str, float]] = defaultdict(dict)
+
+    def increment(self, group: str, name: str, amount: float = 1.0) -> None:
+        bucket = self._data[group]
+        bucket[name] = bucket.get(name, 0.0) + amount
+
+    def set(self, group: str, name: str, value: float) -> None:
+        self._data[group][name] = value
+
+    def get(self, group: str, name: str, default: float = 0.0) -> float:
+        return self._data.get(group, {}).get(name, default)
+
+    def group(self, group: str) -> Dict[str, float]:
+        return dict(self._data.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        """Fold ``other`` into this instance (used for global totals)."""
+        for group, names in other._data.items():
+            for name, value in names.items():
+                self.increment(group, name, value)
+
+    def items(self) -> Iterator[Tuple[str, str, float]]:
+        for group, names in self._data.items():
+            for name, value in names.items():
+                yield group, name, value
+
+    def __len__(self) -> int:
+        return sum(len(names) for names in self._data.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{g}.{n}={v:g}" for g, n, v in sorted(self.items())]
+        return "Counters(" + ", ".join(parts) + ")"
+
+    def copy(self) -> "Counters":
+        clone = Counters()
+        clone.merge(self)
+        return clone

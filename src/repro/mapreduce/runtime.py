@@ -1,0 +1,411 @@
+"""The job runner: executes a :class:`JobConf` over the simulated
+cluster, charging every task its simulated time.
+
+Execution model
+---------------
+* Map phase: one task per input split, scheduled in waves over the map
+  slots (data-local reads are cheaper). Each task runs the job's map
+  chain over its records.
+* Shuffle: map outputs are partitioned by the job's partitioner; each
+  reduce task pays the network transfer for its buckets.
+* Reduce phase: tasks group their input by key, run the reducer and the
+  reduce-side chain, and write output to the DFS.
+
+The runner supports cooperative *aborts* between waves: EFind's adaptive
+optimizer (Section 4.3) uses them to stop an ongoing job after the first
+wave of map (or reduce) tasks, reuse the completed tasks' results, and
+continue under a better plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import DataFlowError
+from repro.common.sizing import sizeof_records
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.splits import InputSplit
+from repro.mapreduce.api import OutputCollector, TaskContext
+from repro.mapreduce.chain import run_chain
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.jobconf import JobConf
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.mapreduce.shuffle import bucket_bytes, group_by_key, partition_records
+from repro.simcluster.cluster import Cluster
+
+Record = Tuple[Any, Any]
+
+AbortCheck = Callable[[List["TaskRun"], int], bool]
+
+
+@dataclass
+class TaskRun:
+    """Record of one executed task (the adaptive optimizer reads these
+    per-task counters to compute sample variance)."""
+
+    task_id: str
+    kind: str
+    node_host: str
+    wave: int
+    start: float
+    duration: float
+    end: float
+    counters: Counters
+    input_records: int
+    input_bytes: int
+    output_records: int
+    output_bytes: int
+    split_index: int = -1
+    partition: int = -1
+    output: List[Record] = field(default_factory=list)
+    buckets: List[List[Record]] = field(default_factory=list)
+
+
+@dataclass
+class JobResult:
+    """Outcome of (a possibly aborted run of) one MapReduce job."""
+
+    job_name: str
+    output: List[Record]
+    counters: Counters
+    start_time: float
+    end_time: float
+    map_runs: List[TaskRun] = field(default_factory=list)
+    reduce_runs: List[TaskRun] = field(default_factory=list)
+    aborted_phase: Optional[str] = None
+    remaining_splits: List[InputSplit] = field(default_factory=list)
+    remaining_partitions: List[int] = field(default_factory=list)
+    map_phase_end: float = 0.0
+    output_path: str = ""
+
+    @property
+    def sim_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def aborted(self) -> bool:
+        return self.aborted_phase is not None
+
+
+class JobRunner:
+    """Executes jobs against one cluster + DFS pair."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem):
+        self.cluster = cluster
+        self.dfs = dfs
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        conf: JobConf,
+        start_time: float = 0.0,
+        splits: Optional[List[InputSplit]] = None,
+        abort_check_map: Optional[AbortCheck] = None,
+        abort_check_reduce: Optional[AbortCheck] = None,
+    ) -> JobResult:
+        """Run ``conf``; returns the job result.
+
+        ``splits`` overrides split computation (used when resuming an
+        aborted job on its remaining splits). The abort checks are
+        invoked once, right after the first wave of the corresponding
+        phase completes; returning True stops the phase and surfaces the
+        un-started work in the result.
+        """
+        conf.validate()
+        tm = self.cluster.time_model
+        if splits is None:
+            splits = self.dfs.splits_for(conf.input_paths, conf.max_map_tasks)
+        job_start = start_time + tm.job_startup_time
+        counters = Counters()
+
+        map_runs, remaining, map_end = self._run_map_phase(
+            conf, splits, job_start, abort_check_map
+        )
+        for run in map_runs:
+            counters.merge(run.counters)
+
+        if remaining:
+            return JobResult(
+                job_name=conf.name,
+                output=[],
+                counters=counters,
+                start_time=start_time,
+                end_time=map_end,
+                map_runs=map_runs,
+                aborted_phase="map",
+                remaining_splits=remaining,
+                map_phase_end=map_end,
+                output_path=conf.output_path,
+            )
+
+        if conf.num_reduce_tasks == 0:
+            output = []
+            for run in map_runs:
+                output.extend(run.output)
+            end = map_end
+            if conf.materialize_output:
+                self.dfs.write(conf.output_path, output)
+            return JobResult(
+                job_name=conf.name,
+                output=output,
+                counters=counters,
+                start_time=start_time,
+                end_time=end,
+                map_runs=map_runs,
+                map_phase_end=map_end,
+                output_path=conf.output_path,
+            )
+
+        reduce_runs, remaining_parts, job_end = self._run_reduce_phase(
+            conf, map_runs, map_end, abort_check_reduce
+        )
+        for run in reduce_runs:
+            counters.merge(run.counters)
+
+        output: List[Record] = []
+        for run in sorted(reduce_runs, key=lambda r: r.partition):
+            output.extend(run.output)
+
+        if remaining_parts:
+            return JobResult(
+                job_name=conf.name,
+                output=output,
+                counters=counters,
+                start_time=start_time,
+                end_time=job_end,
+                map_runs=map_runs,
+                reduce_runs=reduce_runs,
+                aborted_phase="reduce",
+                remaining_partitions=remaining_parts,
+                map_phase_end=map_end,
+                output_path=conf.output_path,
+            )
+
+        if conf.materialize_output:
+            if conf.output_per_partition:
+                for run in reduce_runs:
+                    self.dfs.write(
+                        self.partition_path(conf.output_path, run.partition),
+                        run.output,
+                    )
+            else:
+                self.dfs.write(conf.output_path, output)
+        return JobResult(
+            job_name=conf.name,
+            output=output,
+            counters=counters,
+            start_time=start_time,
+            end_time=job_end,
+            map_runs=map_runs,
+            reduce_runs=reduce_runs,
+            map_phase_end=map_end,
+            output_path=conf.output_path,
+        )
+
+    @staticmethod
+    def partition_path(output_path: str, partition: int) -> str:
+        """DFS path of one reduce partition's output file."""
+        return f"{output_path}/part-{partition:05d}"
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def _run_map_phase(
+        self,
+        conf: JobConf,
+        splits: List[InputSplit],
+        job_start: float,
+        abort_check: Optional[AbortCheck],
+    ) -> Tuple[List[TaskRun], List[InputSplit], float]:
+        tm = self.cluster.time_model
+        scheduler = SlotScheduler(self.cluster, "map", start_time=job_start)
+        runs: List[TaskRun] = []
+        first_wave = min(scheduler.num_slots, len(splits))
+        checked = abort_check is None
+
+        for i, split in enumerate(splits):
+            allowed = None
+            if conf.map_host_constraint is not None:
+                allowed = conf.map_host_constraint(split.index)
+            slot = scheduler.acquire(preferred_hosts=split.hosts, allowed_hosts=allowed)
+            run = self._execute_map_task(conf, split, slot.node, tm)
+            start, end, wave = scheduler.commit(slot, run.duration)
+            run.start, run.end = start, start + run.duration
+            run.wave = wave
+            runs.append(run)
+
+            if not checked and len(runs) == first_wave:
+                checked = True
+                if abort_check(runs, len(splits)):
+                    remaining = splits[i + 1 :]
+                    return runs, list(remaining), max(r.end for r in runs)
+
+        map_end = scheduler.makespan(floor=job_start)
+        return runs, [], map_end
+
+    def _execute_map_task(self, conf, split, node, tm) -> TaskRun:
+        ctx = TaskContext(node, tm, task_id=f"{conf.name}-m{split.index:04d}")
+        local = node.hostname in split.hosts
+        read_time = tm.dfs_retrieve_time(split.size_bytes, local=local)
+        output = run_chain(conf.map_chain, split.records, ctx)
+        out_bytes = sizeof_records(output)
+        cpu = tm.cpu_time(len(split.records), split.size_bytes)
+
+        if conf.num_reduce_tasks > 0:
+            buckets = partition_records(output, conf.partitioner, conf.num_reduce_tasks)
+            spill = tm.disk_write_time(out_bytes) + len(output) * tm.sort_cpu_per_record
+            if conf.combiner is not None:
+                buckets, combine_time = self._combine_buckets(
+                    conf, buckets, ctx, tm
+                )
+                spill += combine_time
+        else:
+            buckets = []
+            spill = 0.0
+
+        duration = tm.task_startup_time + read_time + cpu + ctx.charged_time + spill
+        ctx.counters.increment("task", "map_input_records", len(split.records))
+        ctx.counters.increment("task", "map_input_bytes", split.size_bytes)
+        ctx.counters.increment("task", "map_output_records", len(output))
+        ctx.counters.increment("task", "map_output_bytes", out_bytes)
+        return TaskRun(
+            task_id=ctx.task_id,
+            kind="map",
+            node_host=node.hostname,
+            wave=0,
+            start=0.0,
+            duration=duration,
+            end=duration,
+            counters=ctx.counters,
+            input_records=len(split.records),
+            input_bytes=split.size_bytes,
+            output_records=len(output),
+            output_bytes=out_bytes,
+            split_index=split.index,
+            output=output,
+            buckets=buckets,
+        )
+
+    def _combine_buckets(self, conf, buckets, ctx, tm):
+        """Run the map-side combiner on each partition bucket (Hadoop's
+        combiner: a reducer applied before the shuffle to shrink it).
+
+        Returns the combined buckets plus their simulated cost.
+        """
+        combined: List[List[Record]] = []
+        total_in = 0
+        for bucket in buckets:
+            groups = group_by_key(bucket)
+            collector = OutputCollector()
+            conf.combiner.start(ctx)
+            for key, values in groups:
+                conf.combiner.reduce(key, values, collector, ctx)
+            conf.combiner.finish(collector, ctx)
+            combined.append(collector.records)
+            total_in += len(bucket)
+        combine_time = total_in * tm.sort_cpu_per_record + tm.cpu_time(total_in)
+        ctx.counters.increment("task", "combine_input_records", total_in)
+        ctx.counters.increment(
+            "task", "combine_output_records", sum(len(b) for b in combined)
+        )
+        return combined, combine_time
+
+    # ------------------------------------------------------------------
+    # Reduce phase
+    # ------------------------------------------------------------------
+    def _run_reduce_phase(
+        self,
+        conf: JobConf,
+        map_runs: List[TaskRun],
+        map_end: float,
+        abort_check: Optional[AbortCheck],
+    ) -> Tuple[List[TaskRun], List[int], float]:
+        tm = self.cluster.time_model
+        scheduler = SlotScheduler(self.cluster, "reduce", start_time=map_end)
+        runs: List[TaskRun] = []
+        partitions = list(range(conf.num_reduce_tasks))
+        first_wave = min(scheduler.num_slots, len(partitions))
+        checked = abort_check is None
+        side_buckets = partition_records(
+            conf.side_reduce_inputs, conf.partitioner, conf.num_reduce_tasks
+        )
+
+        for i, partition in enumerate(partitions):
+            slot = scheduler.acquire()
+            run = self._execute_reduce_task(
+                conf, partition, map_runs, slot.node, tm, side_buckets[partition]
+            )
+            start, end, wave = scheduler.commit(slot, run.duration)
+            run.start, run.end = start, start + run.duration
+            run.wave = wave
+            runs.append(run)
+
+            if not checked and len(runs) == first_wave:
+                checked = True
+                if abort_check(runs, len(partitions)):
+                    remaining = partitions[i + 1 :]
+                    return runs, list(remaining), max(r.end for r in runs)
+
+        return runs, [], scheduler.makespan(floor=map_end)
+
+    def reduce_input_for(
+        self, map_runs: Sequence[TaskRun], partition: int
+    ) -> List[Record]:
+        """All records destined to one reduce partition."""
+        records: List[Record] = []
+        for run in map_runs:
+            if run.buckets:
+                records.extend(run.buckets[partition])
+        return records
+
+    def _execute_reduce_task(
+        self, conf, partition, map_runs, node, tm, side_records=()
+    ) -> TaskRun:
+        ctx = TaskContext(node, tm, task_id=f"{conf.name}-r{partition:04d}")
+        records = self.reduce_input_for(map_runs, partition)
+        records.extend(side_records)
+        in_bytes = bucket_bytes(records)
+        # Shuffle transfer: on average (N-1)/N of the input crosses the
+        # network; the remainder is node-local map output.
+        remote_fraction = max(0.0, 1.0 - 1.0 / self.cluster.num_nodes)
+        transfer = tm.transfer_time(in_bytes * remote_fraction)
+        merge = len(records) * tm.sort_cpu_per_record
+
+        groups = group_by_key(records)
+        collector = OutputCollector()
+        reducer = conf.reducer
+        reducer.start(ctx)
+        for key, values in groups:
+            reducer.reduce(key, values, collector, ctx)
+        reducer.finish(collector, ctx)
+        output = collector.records
+        if conf.reduce_post_chain:
+            output = run_chain(conf.reduce_post_chain, output, ctx)
+        out_bytes = sizeof_records(output)
+
+        cpu = tm.cpu_time(len(records), in_bytes)
+        store = tm.dfs_store_time(out_bytes) if conf.materialize_output else 0.0
+        duration = (
+            tm.task_startup_time + transfer + merge + cpu + ctx.charged_time + store
+        )
+        ctx.counters.increment("task", "reduce_input_records", len(records))
+        ctx.counters.increment("task", "reduce_input_bytes", in_bytes)
+        ctx.counters.increment("task", "reduce_output_records", len(output))
+        ctx.counters.increment("task", "reduce_output_bytes", out_bytes)
+        return TaskRun(
+            task_id=ctx.task_id,
+            kind="reduce",
+            node_host=node.hostname,
+            wave=0,
+            start=0.0,
+            duration=duration,
+            end=duration,
+            counters=ctx.counters,
+            input_records=len(records),
+            input_bytes=in_bytes,
+            output_records=len(output),
+            output_bytes=out_bytes,
+            partition=partition,
+            output=output,
+        )

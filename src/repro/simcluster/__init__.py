@@ -1,0 +1,16 @@
+"""Simulated cluster substrate: nodes, cluster topology, and the time
+model that converts data volumes into simulated seconds.
+
+The paper's experiments run on a 12-node blade cluster connected by
+1 Gbps Ethernet. We reproduce that environment as a *functional*
+simulation: real records flow through real code, while
+:class:`~repro.simcluster.timemodel.TimeModel` charges each task the
+network / disk / CPU / index-service time that the same data volume
+would have cost on the paper's hardware.
+"""
+
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.node import Node
+from repro.simcluster.timemodel import TimeModel
+
+__all__ = ["Cluster", "Node", "TimeModel"]

@@ -1,0 +1,65 @@
+"""The simulated cluster: a set of nodes plus the shared time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simcluster.node import Node
+from repro.simcluster.timemodel import TimeModel
+
+
+@dataclass
+class Cluster:
+    """A fixed set of worker nodes sharing one :class:`TimeModel`.
+
+    The default mirrors Section 5.1 of the paper: 12 nodes, 8 map slots
+    and 4 reduce slots per node, 1 Gbps interconnect.
+    """
+
+    num_nodes: int = 12
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 4
+    time_model: TimeModel = field(default_factory=TimeModel)
+    nodes: List[Node] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = [
+            Node(
+                node_id=i,
+                map_slots=self.map_slots_per_node,
+                reduce_slots=self.reduce_slots_per_node,
+            )
+            for i in range(self.num_nodes)
+        ]
+        self._by_host: Dict[str, Node] = {n.hostname: n for n in self.nodes}
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id % self.num_nodes]
+
+    def node_by_host(self, hostname: str) -> Optional[Node]:
+        return self._by_host.get(hostname)
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(n.map_slots for n in self.nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(n.reduce_slots for n in self.nodes)
+
+    def replica_nodes(self, block_index: int, replication: int) -> List[Node]:
+        """Deterministic round-robin block placement, one replica per
+        distinct node (like HDFS without rack awareness)."""
+        replication = min(replication, self.num_nodes)
+        start = block_index % self.num_nodes
+        return [self.nodes[(start + r) % self.num_nodes] for r in range(replication)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(nodes={self.num_nodes}, map_slots={self.total_map_slots}, "
+            f"reduce_slots={self.total_reduce_slots})"
+        )

@@ -1,0 +1,38 @@
+"""The paper's workloads (Section 5.1).
+
+* :mod:`weblog` -- LOG: real-world-shaped web log traces + a cloud geo
+  service; the application computes top-k visited URLs per region.
+* :mod:`tpch` -- TPC-H-shaped data and index nested-loop joins for Q3
+  and Q9 (plus the DUP10 variants).
+* :mod:`synthetic` -- uniform integer keys with a configurable lookup
+  result size.
+* :mod:`osm` -- OpenStreetMap-shaped 2-D location records.
+* :mod:`knn` -- the EFind-based k-nearest-neighbour join.
+* :mod:`hzknnj` -- the hand-tuned H-zkNNJ baseline (Zhang et al. [22]).
+* :mod:`twitter` -- Example 2.1: spatio-temporal Twitter topic analysis
+  with three indices (head, body, and tail operators).
+* :mod:`textanalysis` -- the Section 1 text-analysis motivation: an
+  acronym dictionary plus an inverted background-corpus index.
+"""
+
+from repro.workloads import (
+    hzknnj,
+    knn,
+    osm,
+    synthetic,
+    textanalysis,
+    tpch,
+    twitter,
+    weblog,
+)
+
+__all__ = [
+    "hzknnj",
+    "knn",
+    "osm",
+    "synthetic",
+    "textanalysis",
+    "tpch",
+    "twitter",
+    "weblog",
+]

@@ -1,0 +1,118 @@
+"""Synthetic workload (Section 5.1).
+
+The paper: 10 million records, each an integer key drawn uniformly from
+[0, 5,000,000) plus a 1 KB value (so on average every key occurs twice,
+Theta ~ 2); the index maps each distinct key to a value of size ``l``,
+swept from 10 B to 30 KB (the Figure 11(f) x-axis). The lookup cache is
+useless here -- far more distinct keys than cache entries.
+
+Scaled down by default: 20,000 records over 10,000 distinct keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.rng import make_rng
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import Mapper, Reducer
+from repro.simcluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    num_records: int = 20_000
+    num_distinct_keys: int = 10_000
+    record_value_size: int = 256
+    result_size: int = 1024  # the swept parameter `l`
+    seed: int = 99
+
+
+def generate(
+    dfs: DistributedFileSystem, path: str, cfg: SyntheticConfig
+) -> str:
+    """Write the main input: (record_id, (key, value_payload))."""
+    rng = make_rng(cfg.seed, "synthetic-main")
+    records = [
+        (i, (rng.randrange(cfg.num_distinct_keys), "v" * cfg.record_value_size))
+        for i in range(cfg.num_records)
+    ]
+    dfs.write(path, records)
+    return path
+
+
+def index_value_for(key: int, size: int) -> str:
+    """Deterministic index payload of ``size`` bytes for ``key``."""
+    seed = f"{key:010d}"
+    reps = -(-size // len(seed))
+    return (seed * reps)[:size]
+
+
+def build_index(
+    cluster: Cluster, cfg: SyntheticConfig, service_time: float = 0.5e-3
+) -> DistributedKVStore:
+    """Index every distinct key to an ``l``-byte value."""
+    kv = DistributedKVStore("synthetic-index", cluster, service_time=service_time)
+    for key in range(cfg.num_distinct_keys):
+        kv.put_unique(key, index_value_for(key, cfg.result_size))
+    return kv
+
+
+class SyntheticJoinOperator(IndexOperator):
+    """Join each record with its index value (checksummed down so the
+    downstream data stays small -- the experiment measures the *lookup*
+    path, not the reduce)."""
+
+    def pre_process(self, key, value, index_input):
+        join_key, _payload = value
+        index_input.put(0, join_key)
+        return key, join_key
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        collector.collect(value, len(results[0]))
+
+
+class KeyCountMapper(Mapper):
+    def map(self, key, value, collector, ctx):
+        collector.collect(key % 64, value)
+
+
+class CountSumReducer(Reducer):
+    def reduce(self, key, values, collector, ctx):
+        collector.collect(key, (len(values), sum(values)))
+
+
+def make_join_job(
+    name: str,
+    input_path: str,
+    output_path: str,
+    index: DistributedKVStore,
+    num_reduce_tasks: int = 12,
+) -> IndexJobConf:
+    job = IndexJobConf(name)
+    job.set_input_paths(input_path)
+    job.set_output_path(output_path)
+    job.add_head_index_operator(
+        SyntheticJoinOperator("synthetic-join").add_index(IndexAccessor(index))
+    )
+    job.set_mapper(KeyCountMapper())
+    job.set_reducer(CountSumReducer(), num_reduce_tasks=num_reduce_tasks)
+    return job
+
+
+def reference_join(
+    dfs: DistributedFileSystem, path: str, cfg: SyntheticConfig
+) -> Dict[int, Tuple[int, int]]:
+    """Expected reduce output for verification."""
+    buckets: Dict[int, List[int]] = {}
+    for _rid, (key, _payload) in dfs.read(path):
+        buckets.setdefault(key % 64, []).append(cfg.result_size)
+    return {b: (len(vs), sum(vs)) for b, vs in buckets.items()}

@@ -1,0 +1,210 @@
+"""Text-analysis workload: the paper's first motivating application.
+
+"Unstructured text analysis ... often requires accessing indices, e.g.,
+inverted indices, precomputed acronym dictionaries, and knowledge bases"
+(Section 1). This workload analyses a document stream with two indices:
+
+1. an **acronym dictionary** (KV store) expanding tokens like "ML" to
+   their phrases before term statistics are computed, and
+2. an **inverted index** over a background corpus, used to weight each
+   document's terms by their corpus document frequency (a TF-IDF-style
+   score).
+
+The job emits, per document, its highest-scoring term -- a tiny but
+complete "selective access to two side data sources" text pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.rng import ZipfSampler, make_rng
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.inverted import InvertedIndex, tokenize
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import Mapper, Reducer
+from repro.simcluster.cluster import Cluster
+
+ACRONYMS: Dict[str, str] = {
+    "ml": "machine learning",
+    "db": "database",
+    "os": "operating system",
+    "ir": "information retrieval",
+    "kv": "key value",
+    "mr": "map reduce",
+}
+
+_VOCABULARY = (
+    "index access cloud data join query shuffle partition node cluster "
+    "storage memory disk network key value record lookup cache plan cost "
+    "optimizer statistics stream batch table scan filter group sort merge"
+).split()
+
+
+@dataclass(frozen=True)
+class TextConfig:
+    num_documents: int = 2_000
+    corpus_documents: int = 800
+    words_per_document: int = 20
+    acronym_probability: float = 0.15
+    zipf_skew: float = 0.9
+    seed: int = 31
+
+
+def generate_documents(
+    dfs: DistributedFileSystem, path: str, cfg: TextConfig
+) -> str:
+    """The main input: ``(doc_id, text)`` records with embedded acronyms."""
+    rng = make_rng(cfg.seed, "documents")
+    sampler = ZipfSampler(len(_VOCABULARY), cfg.zipf_skew, rng)
+    acronyms = sorted(ACRONYMS)
+    records = []
+    for doc_id in range(cfg.num_documents):
+        words = []
+        for _ in range(cfg.words_per_document):
+            if rng.random() < cfg.acronym_probability:
+                words.append(acronyms[rng.randrange(len(acronyms))].upper())
+            else:
+                words.append(_VOCABULARY[sampler.sample()])
+        records.append((doc_id, " ".join(words)))
+    dfs.write(path, records)
+    return path
+
+
+def build_acronym_dictionary(
+    cluster: Cluster, service_time: float = 0.5e-3
+) -> DistributedKVStore:
+    kv = DistributedKVStore("acronyms", cluster, service_time=service_time)
+    for short, phrase in ACRONYMS.items():
+        kv.put_unique(short, phrase)
+    return kv
+
+
+def build_background_index(
+    cfg: TextConfig, service_time: float = 1e-3
+) -> InvertedIndex:
+    """Inverted index over a deterministic background corpus."""
+    rng = make_rng(cfg.seed, "corpus")
+    sampler = ZipfSampler(len(_VOCABULARY), cfg.zipf_skew, rng)
+    index = InvertedIndex("background-corpus", service_time=service_time)
+    for doc_id in range(cfg.corpus_documents):
+        words = [
+            _VOCABULARY[sampler.sample()] for _ in range(cfg.words_per_document)
+        ]
+        index.add_document(doc_id, " ".join(words))
+    return index
+
+
+class AcronymExpandOperator(IndexOperator):
+    """Head operator: replace known acronyms with their phrases."""
+
+    def pre_process(self, key, value, index_input):
+        for token in tokenize(value):
+            if token in ACRONYMS:
+                index_input.put(0, token)
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        expansions = dict(
+            zip(index_output.get(0).keys, index_output.get(0).get_all())
+        )
+        words = [
+            expansions.get(token, token) for token in tokenize(value)
+        ]
+        collector.collect(key, " ".join(words))
+
+
+class TermEmitMapper(Mapper):
+    """Emit (term, doc_id) with per-document term frequency folded in."""
+
+    def map(self, key, value, collector, ctx):
+        counts: Dict[str, int] = {}
+        for token in tokenize(value):
+            counts[token] = counts.get(token, 0) + 1
+        for term, tf in counts.items():
+            collector.collect(key, (term, tf))
+
+
+class DocFrequencyOperator(IndexOperator):
+    """Body operator: weight each (term, tf) by the background corpus'
+    document frequency (rarer terms score higher)."""
+
+    def __init__(self, name, corpus_documents: int):
+        super().__init__(name)
+        self.corpus_documents = corpus_documents
+
+    def pre_process(self, key, value, index_input):
+        term, _tf = value
+        index_input.put(0, term)
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        term, tf = value
+        postings = index_output.get(0).get_all()
+        df = len(postings)
+        idf = math.log((1 + self.corpus_documents) / (1 + df))
+        collector.collect(key, (term, tf * idf))
+
+
+class TopTermReducer(Reducer):
+    """Per document: the highest-scoring term."""
+
+    def reduce(self, key, values, collector, ctx):
+        best = max(values, key=lambda tv: (tv[1], tv[0]))
+        collector.collect(key, (best[0], round(best[1], 6)))
+
+
+def make_top_term_job(
+    name: str,
+    docs_path: str,
+    output_path: str,
+    acronyms: DistributedKVStore,
+    background: InvertedIndex,
+    cfg: TextConfig,
+    num_reduce_tasks: int = 8,
+) -> IndexJobConf:
+    job = IndexJobConf(name)
+    job.set_input_paths(docs_path)
+    job.set_output_path(output_path)
+    job.add_head_index_operator(
+        AcronymExpandOperator("acronym-expand").add_index(IndexAccessor(acronyms))
+    )
+    job.set_mapper(TermEmitMapper())
+    job.add_body_index_operator(
+        DocFrequencyOperator("df-weight", cfg.corpus_documents).add_index(
+            IndexAccessor(background)
+        )
+    )
+    job.set_reducer(TopTermReducer(), num_reduce_tasks=num_reduce_tasks)
+    return job
+
+
+def reference_top_terms(
+    dfs: DistributedFileSystem,
+    docs_path: str,
+    background: InvertedIndex,
+    cfg: TextConfig,
+) -> Dict[int, Tuple[str, float]]:
+    """Direct evaluation for verification."""
+    out: Dict[int, Tuple[str, float]] = {}
+    for doc_id, text in dfs.read(docs_path):
+        words = [
+            ACRONYMS.get(token, token) for token in tokenize(text)
+        ]
+        expanded = " ".join(words)
+        counts: Dict[str, int] = {}
+        for token in tokenize(expanded):
+            counts[token] = counts.get(token, 0) + 1
+        scored = []
+        for term, tf in counts.items():
+            df = len(background.lookup(term))
+            idf = math.log((1 + cfg.corpus_documents) / (1 + df))
+            scored.append((term, tf * idf))
+        best = max(scored, key=lambda tv: (tv[1], tv[0]))
+        out[doc_id] = (best[0], round(best[1], 6))
+    return out

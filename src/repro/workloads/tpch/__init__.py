@@ -1,0 +1,32 @@
+"""TPC-H workload: scaled-down dbgen-shaped data, indices on the
+dimension tables, and index nested-loop join jobs for Q3 and Q9.
+
+The paper generates TPC-H at scale factor 10, composes MapReduce jobs
+following MySQL's join orders (Q3: LineItem |> Orders |> Customer;
+Q9: LineItem |> Supplier |> Part |> PartSupp |> Orders |> Nation), keeps
+LineItem as the main input, and builds indices on the remaining tables.
+The DUP10 variants duplicate the LineItem table 10 times.
+"""
+
+from repro.workloads.tpch.generator import TpchConfig, TpchData, generate, write_lineitem
+from repro.workloads.tpch.queries import (
+    TpchIndexes,
+    build_indexes,
+    make_q3_job,
+    make_q9_job,
+    reference_q3,
+    reference_q9,
+)
+
+__all__ = [
+    "TpchConfig",
+    "TpchData",
+    "generate",
+    "write_lineitem",
+    "TpchIndexes",
+    "build_indexes",
+    "make_q3_job",
+    "make_q9_job",
+    "reference_q3",
+    "reference_q9",
+]

@@ -1,0 +1,360 @@
+"""TPC-H Q3 and Q9 as EFind-enhanced index nested-loop joins.
+
+Join orders follow the paper ("We compose MapReduce jobs to follow the
+same join order as MySQL"): Q3 joins LineItem with Orders, then
+Customer; Q9 joins LineItem with Supplier, Part, PartSupp, Orders, and
+finally Nation. LineItem is the main input; every other table is served
+from a distributed key-value index.
+
+Each join step is one :class:`IndexOperator` placed before Map. The
+steps are *dependent* (Nation's key comes from the Supplier lookup), so
+they are expressed as a chain of operators -- the configuration the
+paper optimizes operator-by-operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import Mapper, Reducer
+from repro.simcluster.cluster import Cluster
+from repro.workloads.tpch import schema as sc
+from repro.workloads.tpch.generator import TpchData
+
+Q3_DATE = sc.make_date(1995, 3, 15)
+Q9_COLOR = "green"
+
+
+@dataclass
+class TpchIndexes:
+    """KV-store indices over the non-LineItem tables."""
+
+    orders: DistributedKVStore
+    customer: DistributedKVStore
+    supplier: DistributedKVStore
+    part: DistributedKVStore
+    partsupp: DistributedKVStore
+    nation: DistributedKVStore
+
+    def reset_accounting(self) -> None:
+        for store in (
+            self.orders,
+            self.customer,
+            self.supplier,
+            self.part,
+            self.partsupp,
+            self.nation,
+        ):
+            store.reset_accounting()
+
+
+def build_indexes(
+    cluster: Cluster,
+    data: TpchData,
+    service_time: float = 0.5e-3,
+    num_partitions: int = 32,
+) -> TpchIndexes:
+    """Index every dimension table (projected to the queried columns)."""
+
+    def store(name, items):
+        kv = DistributedKVStore(
+            name, cluster, num_partitions=num_partitions, service_time=service_time
+        )
+        for key, value in items:
+            kv.put_unique(key, value)
+        return kv
+
+    return TpchIndexes(
+        orders=store(
+            "tpch-orders",
+            (
+                (o[sc.O_KEY], (o[sc.O_CUST], o[sc.O_DATE], o[sc.O_SHIPPRIORITY]))
+                for o in data.orders
+            ),
+        ),
+        customer=store(
+            "tpch-customer",
+            ((c[sc.C_KEY], (c[sc.C_NATION], c[sc.C_MKTSEGMENT])) for c in data.customer),
+        ),
+        supplier=store(
+            "tpch-supplier",
+            ((s[sc.S_KEY], s[sc.S_NATION]) for s in data.supplier),
+        ),
+        part=store(
+            "tpch-part", ((p[sc.P_KEY], p[sc.P_NAME]) for p in data.part)
+        ),
+        partsupp=store(
+            "tpch-partsupp",
+            ((ps[sc.PS_KEY], ps[sc.PS_SUPPLYCOST]) for ps in data.partsupp),
+        ),
+        nation=store(
+            "tpch-nation", ((n[sc.N_KEY], n[sc.N_NAME]) for n in data.nation)
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Q3
+# ----------------------------------------------------------------------
+class Q3OrdersOperator(IndexOperator):
+    """LineItem |> Orders with the shipdate/orderdate predicates."""
+
+    def __init__(self, date: int = Q3_DATE):
+        super().__init__("q3-orders")
+        self.date = date
+
+    def pre_process(self, key, value, index_input):
+        if value[sc.L_SHIPDATE] > self.date:  # l_shipdate > date
+            index_input.put(0, value[sc.L_ORDERKEY])
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        custkey, orderdate, shippriority = results[0]
+        if orderdate >= self.date:  # o_orderdate < date
+            return
+        revenue = value[sc.L_EXTPRICE] * (1.0 - value[sc.L_DISCOUNT])
+        collector.collect(
+            key,
+            (value[sc.L_ORDERKEY], revenue, orderdate, shippriority, custkey),
+        )
+
+
+class Q3CustomerOperator(IndexOperator):
+    """|> Customer with the market-segment predicate."""
+
+    def __init__(self, segment: str = "BUILDING"):
+        super().__init__("q3-customer")
+        self.segment = segment
+
+    def pre_process(self, key, value, index_input):
+        orderkey, revenue, orderdate, shippriority, custkey = value
+        index_input.put(0, custkey)
+        return key, (orderkey, revenue, orderdate, shippriority)
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        _nationkey, mktsegment = results[0]
+        if mktsegment != self.segment:
+            return
+        collector.collect(key, value)
+
+
+class Q3Mapper(Mapper):
+    """Project to the group-by key (orderkey, orderdate, shippriority)."""
+
+    def map(self, key, value, collector, ctx):
+        orderkey, revenue, orderdate, shippriority = value
+        collector.collect((orderkey, orderdate, shippriority), revenue)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, collector, ctx):
+        collector.collect(key, round(sum(values), 2))
+
+
+def make_q3_job(
+    name: str,
+    lineitem_path: str,
+    output_path: str,
+    indexes: TpchIndexes,
+    date: int = Q3_DATE,
+    num_reduce_tasks: int = 12,
+) -> IndexJobConf:
+    job = IndexJobConf(name)
+    job.set_input_paths(lineitem_path)
+    job.set_output_path(output_path)
+    job.add_head_index_operator(
+        Q3OrdersOperator(date).add_index(IndexAccessor(indexes.orders))
+    )
+    job.add_head_index_operator(
+        Q3CustomerOperator().add_index(IndexAccessor(indexes.customer))
+    )
+    job.set_mapper(Q3Mapper())
+    job.set_reducer(SumReducer(), num_reduce_tasks=num_reduce_tasks)
+    return job
+
+
+def reference_q3(data: TpchData, date: int = Q3_DATE) -> Dict[tuple, float]:
+    """Direct evaluation of Q3 for verification."""
+    orders = {o[sc.O_KEY]: o for o in data.orders}
+    customers = {c[sc.C_KEY]: c for c in data.customer}
+    out: Dict[tuple, float] = {}
+    for _line_id, item in data.lineitem:
+        if item[sc.L_SHIPDATE] <= date:
+            continue
+        order = orders.get(item[sc.L_ORDERKEY])
+        if order is None or order[sc.O_DATE] >= date:
+            continue
+        customer = customers[order[sc.O_CUST]]
+        if customer[sc.C_MKTSEGMENT] != "BUILDING":
+            continue
+        group = (order[sc.O_KEY], order[sc.O_DATE], order[sc.O_SHIPPRIORITY])
+        out[group] = out.get(group, 0.0) + item[sc.L_EXTPRICE] * (
+            1.0 - item[sc.L_DISCOUNT]
+        )
+    return {k: round(v, 2) for k, v in out.items()}
+
+
+# ----------------------------------------------------------------------
+# Q9
+# ----------------------------------------------------------------------
+class Q9SupplierOperator(IndexOperator):
+    """LineItem |> Supplier (uniform suppkeys: no lookup locality)."""
+
+    def pre_process(self, key, value, index_input):
+        index_input.put(0, value[sc.L_SUPPKEY])
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        nationkey = results[0]
+        collector.collect(key, (value, nationkey))
+
+
+class Q9PartOperator(IndexOperator):
+    """|> Part, filtering on the color token in the part name."""
+
+    def __init__(self, color: str = Q9_COLOR):
+        super().__init__("q9-part")
+        self.color = color
+
+    def pre_process(self, key, value, index_input):
+        item, nationkey = value
+        index_input.put(0, item[sc.L_PARTKEY])
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results or self.color not in results[0]:
+            return
+        collector.collect(key, value)
+
+
+class Q9PartSuppOperator(IndexOperator):
+    """|> PartSupp on the composite (partkey, suppkey) key."""
+
+    def pre_process(self, key, value, index_input):
+        item, nationkey = value
+        index_input.put(0, (item[sc.L_PARTKEY], item[sc.L_SUPPKEY]))
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        item, nationkey = value
+        supplycost = results[0]
+        amount = (
+            item[sc.L_EXTPRICE] * (1.0 - item[sc.L_DISCOUNT])
+            - supplycost * item[sc.L_QUANTITY]
+        )
+        collector.collect(key, (item[sc.L_ORDERKEY], nationkey, amount))
+
+
+class Q9OrdersOperator(IndexOperator):
+    """|> Orders, reducing the order date to its year."""
+
+    def pre_process(self, key, value, index_input):
+        orderkey, nationkey, amount = value
+        index_input.put(0, orderkey)
+        return key, (nationkey, amount)
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        _custkey, orderdate, _prio = results[0]
+        nationkey, amount = value
+        collector.collect(key, (nationkey, sc.date_year(orderdate), amount))
+
+
+class Q9NationOperator(IndexOperator):
+    """|> Nation (key produced by the Supplier step: dependent access)."""
+
+    def pre_process(self, key, value, index_input):
+        nationkey, year, amount = value
+        index_input.put(0, nationkey)
+        return key, (year, amount)
+
+    def post_process(self, key, value, index_output, collector):
+        results = index_output.get(0).get_all()
+        if not results:
+            return
+        year, amount = value
+        collector.collect(key, (results[0], year, amount))
+
+
+class Q9Mapper(Mapper):
+    def map(self, key, value, collector, ctx):
+        nation, year, amount = value
+        collector.collect((nation, year), amount)
+
+
+def make_q9_job(
+    name: str,
+    lineitem_path: str,
+    output_path: str,
+    indexes: TpchIndexes,
+    color: str = Q9_COLOR,
+    num_reduce_tasks: int = 12,
+) -> IndexJobConf:
+    job = IndexJobConf(name)
+    job.set_input_paths(lineitem_path)
+    job.set_output_path(output_path)
+    job.add_head_index_operator(
+        Q9SupplierOperator("q9-supplier").add_index(IndexAccessor(indexes.supplier))
+    )
+    job.add_head_index_operator(
+        Q9PartOperator(color).add_index(IndexAccessor(indexes.part))
+    )
+    job.add_head_index_operator(
+        Q9PartSuppOperator("q9-partsupp").add_index(IndexAccessor(indexes.partsupp))
+    )
+    job.add_head_index_operator(
+        Q9OrdersOperator("q9-orders").add_index(IndexAccessor(indexes.orders))
+    )
+    job.add_head_index_operator(
+        Q9NationOperator("q9-nation").add_index(IndexAccessor(indexes.nation))
+    )
+    job.set_mapper(Q9Mapper())
+    job.set_reducer(SumReducer(), num_reduce_tasks=num_reduce_tasks)
+    return job
+
+
+def reference_q9(
+    data: TpchData, color: str = Q9_COLOR, dup_factor: int = 1
+) -> Dict[tuple, float]:
+    """Direct evaluation of Q9 for verification."""
+    suppliers = {s[sc.S_KEY]: s for s in data.supplier}
+    parts = {p[sc.P_KEY]: p for p in data.part}
+    partsupp = {ps[sc.PS_KEY]: ps for ps in data.partsupp}
+    orders = {o[sc.O_KEY]: o for o in data.orders}
+    nations = {n[sc.N_KEY]: n for n in data.nation}
+    out: Dict[tuple, float] = {}
+    for _line_id, item in data.lineitem:
+        part = parts[item[sc.L_PARTKEY]]
+        if color not in part[sc.P_NAME]:
+            continue
+        supplier = suppliers[item[sc.L_SUPPKEY]]
+        ps = partsupp[(item[sc.L_PARTKEY], item[sc.L_SUPPKEY])]
+        order = orders[item[sc.L_ORDERKEY]]
+        nation = nations[supplier[sc.S_NATION]]
+        amount = (
+            item[sc.L_EXTPRICE] * (1.0 - item[sc.L_DISCOUNT])
+            - ps[sc.PS_SUPPLYCOST] * item[sc.L_QUANTITY]
+        )
+        group = (nation[sc.N_NAME], sc.date_year(order[sc.O_DATE]))
+        out[group] = out.get(group, 0.0) + amount * dup_factor
+    return {k: round(v, 2) for k, v in out.items()}

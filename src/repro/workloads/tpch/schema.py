@@ -1,0 +1,81 @@
+"""TPC-H record layouts.
+
+Records are plain tuples (cheap to size and shuffle); this module names
+the field positions and provides date helpers so the query code stays
+readable.
+
+Layouts::
+
+    nation    = (nationkey, name, regionkey)
+    supplier  = (suppkey, name, nationkey, acctbal)
+    customer  = (custkey, name, nationkey, mktsegment)
+    part      = (partkey, name, brand, type, retailprice)
+    partsupp  = ((partkey, suppkey), availqty, supplycost)
+    orders    = (orderkey, custkey, orderstatus, totalprice, orderdate,
+                 shippriority)
+    lineitem  = (orderkey, partkey, suppkey, quantity, extendedprice,
+                 discount, shipdate)
+
+LineItem records travel through MapReduce as ``(line_id, lineitem)``.
+Dates are ``yyyymmdd`` integers.
+"""
+
+from __future__ import annotations
+
+# nation
+N_KEY, N_NAME, N_REGION = 0, 1, 2
+# supplier
+S_KEY, S_NAME, S_NATION, S_ACCTBAL = 0, 1, 2, 3
+# customer
+C_KEY, C_NAME, C_NATION, C_MKTSEGMENT = 0, 1, 2, 3
+# part
+P_KEY, P_NAME, P_BRAND, P_TYPE, P_RETAILPRICE = 0, 1, 2, 3, 4
+# partsupp
+PS_KEY, PS_AVAILQTY, PS_SUPPLYCOST = 0, 1, 2
+# orders
+O_KEY, O_CUST, O_STATUS, O_TOTALPRICE, O_DATE, O_SHIPPRIORITY = 0, 1, 2, 3, 4, 5
+# lineitem
+L_ORDERKEY, L_PARTKEY, L_SUPPKEY, L_QUANTITY, L_EXTPRICE, L_DISCOUNT, L_SHIPDATE = (
+    0,
+    1,
+    2,
+    3,
+    4,
+    5,
+    6,
+)
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+PART_COLORS = ("green", "red", "blue", "ivory", "khaki", "plum")
+NATION_NAMES = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+)
+
+DATE_MIN = 19920101
+DATE_MAX = 19981201
+
+
+def make_date(year: int, month: int, day: int) -> int:
+    return year * 10000 + month * 100 + day
+
+
+def date_year(date: int) -> int:
+    return date // 10000
+
+
+def add_days(date: int, days: int) -> int:
+    """Approximate date arithmetic on yyyymmdd ints (30-day months --
+    the experiments only compare dates, never difference them)."""
+    year, month, day = date // 10000, (date // 100) % 100, date % 100
+    day += days
+    while day > 30:
+        day -= 30
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return make_date(year, month, day)

@@ -1,0 +1,227 @@
+"""Example 2.1: spatio-temporal Twitter topic analysis.
+
+The running example of the paper, end to end: compute the top-k most
+popular topics per (city, day) from a tweet stream, then enrich each
+group with important news events. Three indices at three placements:
+
+1. *head* -- user profile index (Cassandra-like KV store): tweet's user
+   account -> city;
+2. *body* -- knowledge-base service (dynamic computed index): extracted
+   keywords -> topic, via ML-classifier stand-in;
+3. *tail* -- event database (KV store): (city, day) -> news events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.rng import make_rng
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.dynamic import DynamicComputedIndex, KeywordTopicClassifier
+from repro.indices.inverted import tokenize
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import Mapper, Reducer
+from repro.simcluster.cluster import Cluster
+from repro.workloads.weblog import top_k_deterministic
+
+_STOPWORDS = frozenset(
+    "the a an and or of to in on at is was for with this that i my you".split()
+)
+
+_TOPIC_PHRASES = {
+    "sports": "the team won the game in the league",
+    "politics": "the senate vote on the new policy law",
+    "technology": "new phone app launch with cloud data",
+    "weather": "storm and rain forecast heat flood wind",
+    "music": "album concert song band tour festival",
+    "finance": "stock market earnings bank price trade",
+}
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    num_tweets: int = 12_000
+    num_users: int = 1_500
+    num_cities: int = 25
+    num_days: int = 14
+    seed: int = 42
+    topk: int = 3
+
+
+def generate_tweets(
+    dfs: DistributedFileSystem, path: str, cfg: TwitterConfig
+) -> str:
+    """Tweets as ``(tweet_id, (user, timestamp, message))``."""
+    rng = make_rng(cfg.seed, "tweets")
+    topics = sorted(_TOPIC_PHRASES)
+    records = []
+    for i in range(cfg.num_tweets):
+        user = f"@user{rng.randrange(cfg.num_users):05d}"
+        day = rng.randrange(cfg.num_days)
+        timestamp = day * 86_400 + rng.randrange(86_400)
+        topic = topics[rng.randrange(len(topics))]
+        message = f"{_TOPIC_PHRASES[topic]} #{i % 97}"
+        records.append((i, (user, timestamp, message)))
+    dfs.write(path, records)
+    return path
+
+
+def build_user_profile_index(
+    cluster: Cluster, cfg: TwitterConfig, service_time: float = 1e-3
+) -> DistributedKVStore:
+    """user account -> profile (city plus filler fields)."""
+    kv = DistributedKVStore("user-profiles", cluster, service_time=service_time)
+    for u in range(cfg.num_users):
+        city = f"city{(u * 31) % cfg.num_cities:02d}"
+        kv.put_unique(f"@user{u:05d}", (city, f"bio of user {u}", u % 100))
+    return kv
+
+
+def build_knowledge_base(service_time: float = 2e-3) -> DynamicComputedIndex:
+    """The dynamic topic classifier service."""
+    return KeywordTopicClassifier().as_index(
+        "knowledge-base", service_time=service_time
+    )
+
+
+def build_event_database(
+    cluster: Cluster, cfg: TwitterConfig, service_time: float = 1e-3
+) -> DistributedKVStore:
+    """(city, day) -> important events."""
+    kv = DistributedKVStore("event-db", cluster, service_time=service_time)
+    for c in range(cfg.num_cities):
+        for d in range(cfg.num_days):
+            kv.put_unique(
+                (f"city{c:02d}", d), (f"event-{c:02d}-{d}", f"national-event-{d}")
+            )
+    return kv
+
+
+# ----------------------------------------------------------------------
+# Operators (the paper's I1, I2, I3)
+# ----------------------------------------------------------------------
+class UserProfileIndexOperator(IndexOperator):
+    """I1 (head): look up the tweet's user, keep only the city."""
+
+    def pre_process(self, key, value, index_input):
+        user, timestamp, message = value
+        index_input.put(0, user)
+        return key, (timestamp, message)  # removeOtherFields(v1)
+
+    def post_process(self, key, value, index_output, collector):
+        profiles = index_output.get(0).get_all()
+        if not profiles:
+            return
+        city = profiles[0][0]  # extractCity(profile)
+        timestamp, message = value
+        collector.collect(key, (city, timestamp // 86_400, message))
+
+
+class KeywordExtractMapper(Mapper):
+    """Step 2: extract keywords from the tweet message."""
+
+    def map(self, key, value, collector, ctx):
+        city, day, message = value
+        keywords = tuple(
+            t for t in tokenize(message) if t not in _STOPWORDS and not t.isdigit()
+        )
+        collector.collect(key, (city, day, " ".join(keywords)))
+
+
+class TopicCategoryIndexOperator(IndexOperator):
+    """I2 (body): convert the keywords into a topic via the knowledge
+    base; the output key becomes (city, day) for the group-by."""
+
+    def pre_process(self, key, value, index_input):
+        city, day, keywords = value
+        index_input.put(0, keywords)
+        return key, (city, day)
+
+    def post_process(self, key, value, index_output, collector):
+        topics = index_output.get(0).get_all()
+        if not topics:
+            return
+        city, day = value
+        collector.collect((city, day), topics[0])
+
+
+class TimeRangeCityGroupReducer(Reducer):
+    """Step 4: top-k popular topics per (city, day)."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def reduce(self, key, values, collector, ctx):
+        top = top_k_deterministic(Counter(values), self.k)
+        collector.collect(key, tuple(top))
+
+
+class ImportantEventIndexOperator(IndexOperator):
+    """I3 (tail): enrich each (city, day) group with its news events."""
+
+    def pre_process(self, key, value, index_input):
+        index_input.put(0, key)  # key is already (city, day)
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        events = index_output.get(0).get_all()
+        collector.collect(key, (value, events[0] if events else ()))
+
+
+def make_topic_job(
+    name: str,
+    tweets_path: str,
+    output_path: str,
+    profiles: DistributedKVStore,
+    knowledge_base: DynamicComputedIndex,
+    events: DistributedKVStore,
+    cfg: TwitterConfig,
+    num_reduce_tasks: int = 12,
+) -> IndexJobConf:
+    """The full Figure 4/5 job: I1 -> Map -> I2 -> Reduce -> I3."""
+    job = IndexJobConf(name)
+    job.set_input_paths(tweets_path)
+    job.set_output_path(output_path)
+    job.add_head_index_operator(
+        UserProfileIndexOperator("I1").add_index(IndexAccessor(profiles))
+    )
+    job.set_mapper(KeywordExtractMapper())
+    job.add_body_index_operator(
+        TopicCategoryIndexOperator("I2").add_index(IndexAccessor(knowledge_base))
+    )
+    job.set_reducer(
+        TimeRangeCityGroupReducer(cfg.topk), num_reduce_tasks=num_reduce_tasks
+    )
+    job.add_tail_index_operator(
+        ImportantEventIndexOperator("I3").add_index(IndexAccessor(events))
+    )
+    return job
+
+
+def reference_topics(
+    dfs: DistributedFileSystem,
+    tweets_path: str,
+    cfg: TwitterConfig,
+) -> Dict[Tuple[str, int], tuple]:
+    """Compute the expected final output directly."""
+    classifier = KeywordTopicClassifier()
+    groups: Dict[Tuple[str, int], Counter] = {}
+    for _tid, (user, timestamp, message) in dfs.read(tweets_path):
+        u = int(user[5:])
+        city = f"city{(u * 31) % cfg.num_cities:02d}"
+        day = timestamp // 86_400
+        keywords = " ".join(
+            t for t in tokenize(message) if t not in _STOPWORDS and not t.isdigit()
+        )
+        topic = classifier.classify(keywords)
+        groups.setdefault((city, day), Counter())[topic] += 1
+    out = {}
+    for (city, day), counts in groups.items():
+        top = tuple(top_k_deterministic(counts, cfg.topk))
+        out[(city, day)] = (top, (f"event-{city[4:]}-{day}", f"national-event-{day}"))
+    return out

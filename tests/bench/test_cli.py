@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro.bench`` CLI (argument handling only;
+the experiments themselves are exercised by the benchmarks)."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig11a", "fig12", "fig13", "sec53"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
+            "fig11f", "fig12", "fig13", "sec53",
+        }
+        for title, run, fmt in EXPERIMENTS.values():
+            assert callable(run) and callable(fmt) and title
+
+    def test_run_single_fast_experiment(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "remote" in out

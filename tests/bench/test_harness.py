@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness itself."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRow,
+    _equivalent,
+    bench_cluster,
+    format_table,
+    run_all_modes,
+    speedup,
+)
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
+from tests.conftest import UserCityOperator
+
+
+class TestBenchCluster:
+    def test_paper_dimensions(self):
+        cluster = bench_cluster()
+        assert cluster.num_nodes == 12
+
+    def test_scaled_overheads(self):
+        tm = bench_cluster().time_model
+        assert tm.job_startup_time < 3.0
+        assert tm.task_startup_time < 0.15
+
+    def test_latency_knob(self):
+        assert bench_cluster(network_latency=2e-3).time_model.network_latency == 2e-3
+
+
+class TestEquivalence:
+    def test_exact_match(self):
+        assert _equivalent([("a", 1)], [("a", 1)])
+
+    def test_float_tolerance(self):
+        assert _equivalent(1.0000000001, 1.0)
+        assert not _equivalent(1.1, 1.0)
+
+    def test_nested(self):
+        assert _equivalent(("k", (1.0, "x")), ("k", (1.0000000001, "x")))
+
+    def test_length_mismatch(self):
+        assert not _equivalent([1], [1, 2])
+
+
+class TestFormatTable:
+    def test_renders_all_modes_present(self):
+        rows = [ExperimentRow("x", {"Base": 2.0, "Cache": 1.0})]
+        table = format_table("T", rows, modes=("Base", "Cache", "Idxloc"))
+        assert "Base" in table and "Cache" in table
+        assert "Idxloc" not in table  # absent everywhere -> dropped
+
+    def test_missing_cell_shows_na(self):
+        rows = [
+            ExperimentRow("a", {"Base": 2.0, "Cache": 1.0}),
+            ExperimentRow("b", {"Base": 3.0}),
+        ]
+        table = format_table("T", rows, modes=("Base", "Cache"))
+        assert "n/a" in table
+
+    def test_speedup_helper(self):
+        row = ExperimentRow("x", {"Base": 4.0, "Cache": 2.0})
+        assert speedup(row, "Base", "Cache") == 2.0
+        assert row.speedup_over_base("Cache") == 2.0
+
+
+class TestRunAllModes:
+    @pytest.fixture
+    def env(self):
+        cluster = bench_cluster(num_nodes=4)
+        dfs = DistributedFileSystem(cluster, block_size=8 * 1024)
+        dfs.write(
+            "/in", [(i, (f"user{i % 40:04d}", "x" * 30)) for i in range(2000)]
+        )
+        kv = DistributedKVStore("kv", cluster, service_time=2e-3)
+        for u in range(40):
+            kv.put_unique(f"user{u:04d}", f"city{u % 5}")
+
+        def factory(name):
+            job = IndexJobConf(name)
+            job.set_input_paths("/in").set_output_path(f"/out/{name}")
+            job.add_head_index_operator(
+                UserCityOperator("op").add_index(IndexAccessor(kv))
+            )
+            job.set_mapper(FnMapper(lambda k, v: [(k, v)], "i"))
+            job.set_reducer(
+                FnReducer(lambda k, vs: [(k, len(vs))], "c"), num_reduce_tasks=4
+            )
+            return job
+
+        return cluster, dfs, factory
+
+    def test_runs_requested_modes(self, env):
+        cluster, dfs, factory = env
+        row = run_all_modes(
+            cluster, dfs, factory, modes=("Base", "Cache"), label="t"
+        )
+        assert set(row.times) == {"Base", "Cache"}
+        assert all(t > 0 for t in row.times.values())
+
+    def test_skip_modes(self, env):
+        cluster, dfs, factory = env
+        row = run_all_modes(
+            cluster, dfs, factory, modes=("Base", "Idxloc"), skip=("Idxloc",)
+        )
+        assert set(row.times) == {"Base"}
+
+    def test_detects_divergent_outputs(self, env):
+        cluster, dfs, factory = env
+        calls = []
+
+        def bad_factory(name):
+            job = factory(name)
+            if calls:  # second variant gets a different reducer
+                job.set_reducer(
+                    FnReducer(lambda k, vs: [(k, 0)], "zero"), num_reduce_tasks=4
+                )
+            calls.append(name)
+            return job
+
+        with pytest.raises(AssertionError):
+            run_all_modes(cluster, dfs, bad_factory, modes=("Base", "Cache"))
+
+    def test_optimized_profiles_then_plans(self, env):
+        cluster, dfs, factory = env
+        row = run_all_modes(
+            cluster, dfs, factory, modes=("Base", "Optimized"), label="t2"
+        )
+        assert row.details["Optimized"].plan is not None

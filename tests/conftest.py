@@ -1,0 +1,147 @@
+"""Shared fixtures: a small cluster + DFS pair sized so jobs run in a
+handful of task waves (fast, yet exercising the scheduler), plus a
+ready-made EFind job environment used across the core tests."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
+from repro.simcluster.cluster import Cluster
+
+
+class UserCityOperator(IndexOperator):
+    """Test operator: (user, payload) record -> (city, payload)."""
+
+    def pre_process(self, key, value, index_input):
+        user, payload = value
+        index_input.put(0, user)
+        return key, payload
+
+    def post_process(self, key, value, index_output, collector):
+        cities = index_output.get(0).get_all()
+        collector.collect(cities[0] if cities else "unknown", value)
+
+
+@dataclass
+class EFindEnv:
+    """A loaded environment for EFind integration tests."""
+
+    cluster: Cluster
+    dfs: DistributedFileSystem
+    kv: DistributedKVStore
+    num_records: int
+    num_users: int
+    make_job: Callable[..., IndexJobConf]
+
+    def runner(self, **kwargs) -> EFindRunner:
+        return EFindRunner(self.cluster, self.dfs, **kwargs)
+
+    def expected_total(self) -> int:
+        return self.num_records
+
+
+def _count_reduce(key, values):
+    yield (key, len(values))
+
+
+def _sum_reduce(key, values):
+    yield (key, sum(values))
+
+
+class TailCityOperator(IndexOperator):
+    """Tail-placement variant: looks up the reduce-output key (a user)
+    and re-keys the count by city."""
+
+    def pre_process(self, key, value, index_input):
+        index_input.put(0, key)
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        cities = index_output.get(0).get_all()
+        collector.collect(cities[0] if cities else "unknown", value)
+
+
+@pytest.fixture
+def efind_env(paper_cluster, paper_dfs):
+    """8k records with 400 duplicate-heavy user keys over a KV index --
+    enough redundancy that every strategy is distinguishable."""
+    import random
+
+    rng = random.Random(13)
+    num_records, num_users = 8000, 400
+    # ~170-byte records -> ~40 splits over 24 map slots: two waves, so
+    # the adaptive optimizer has remaining work after its first check.
+    records = [
+        (i, (f"user{rng.randrange(num_users):04d}", "x" * 150))
+        for i in range(num_records)
+    ]
+    paper_dfs.write("/in/events", records)
+    # 20 ms per lookup: expensive enough that a mid-job plan change pays
+    # for itself (the adaptive tests rely on this).
+    kv = DistributedKVStore("profiles", paper_cluster, service_time=20e-3)
+    for u in range(num_users):
+        kv.put_unique(f"user{u:04d}", f"city{u % 25:02d}")
+
+    def make_job(name, placement="head", reduce_tasks=8):
+        job = IndexJobConf(name)
+        job.set_input_paths("/in/events")
+        job.set_output_path(f"/out/{name}")
+        if placement in ("head", "body"):
+            op = UserCityOperator("city-op").add_index(IndexAccessor(kv))
+            job.set_mapper(FnMapper(lambda k, v: [(k, v)], "ident"))
+            job.set_reducer(
+                FnReducer(_count_reduce, "count"), num_reduce_tasks=reduce_tasks
+            )
+            if placement == "head":
+                job.add_head_index_operator(op)
+            else:
+                job.add_body_index_operator(op)
+        elif placement == "tail":
+            op = TailCityOperator("city-tail-op").add_index(IndexAccessor(kv))
+            job.set_mapper(FnMapper(lambda k, v: [(v[0], 1)], "by-user"))
+            job.set_reducer(
+                FnReducer(_sum_reduce, "sum"), num_reduce_tasks=reduce_tasks
+            )
+            job.add_tail_index_operator(op)
+        else:
+            raise ValueError(placement)
+        return job
+
+    return EFindEnv(
+        cluster=paper_cluster,
+        dfs=paper_dfs,
+        kv=kv,
+        num_records=num_records,
+        num_users=num_users,
+        make_job=make_job,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=4, map_slots_per_node=2, reduce_slots_per_node=2)
+
+
+@pytest.fixture
+def dfs(cluster):
+    return DistributedFileSystem(cluster, block_size=8 * 1024)
+
+
+@pytest.fixture
+def paper_cluster():
+    """The paper's 12-node setup (fewer slots to get multiple waves at
+    simulation scale)."""
+    return Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+
+
+@pytest.fixture
+def paper_dfs(paper_cluster):
+    return DistributedFileSystem(paper_cluster, block_size=32 * 1024)

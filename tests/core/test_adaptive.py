@@ -1,0 +1,187 @@
+"""Unit + integration tests for adaptive re-optimization (Algorithm 1)."""
+
+import pytest
+
+from repro.core.adaptive import evaluate_replan, relevant_operator_ids
+from repro.core.costmodel import CostEnv, Strategy
+from repro.core.optimizer import baseline_plan
+from repro.core.statistics import OperatorStatsAccumulator, TaskSample
+
+
+def make_registry(job, num_machines=12, samples=4, n1=500, tj=5e-3, miss=1.0):
+    registry = {}
+    for op_id, (_pl, m) in job.operator_specs().items():
+        acc = OperatorStatsAccumulator(op_id, m, num_machines)
+        for t in range(samples):
+            s = TaskSample(task_id=f"t{t}")
+            s.n1 = n1
+            s.s1_bytes = n1 * 40.0
+            s.spre_bytes = n1 * 50.0
+            s.sidx_bytes = n1 * 70.0
+            s.spost_bytes = n1 * 30.0
+            s.nik = {0: n1}
+            s.sik_bytes = {0: n1 * 8.0}
+            s.lookups = {0: n1}
+            s.siv_bytes = {0: n1 * 10.0}
+            s.tj_total = {0: n1 * tj}
+            s.tj_samples = {0: n1}
+            s.cache_probes = {0: n1}
+            s.cache_misses = {0: int(n1 * miss)}
+            acc.add_sample(s)
+        # many duplicate keys across tasks
+        for k in range(50):
+            acc.add_key_to_sketch(0, k)
+        registry[op_id] = acc
+    return registry
+
+
+@pytest.fixture
+def env():
+    return CostEnv(bw=125e6, f=3e-8, t_cache=2e-6, extra_job_overhead=3.0)
+
+
+class TestRelevantOperators:
+    def test_map_phase_selects_head_and_body(self, efind_env):
+        job = efind_env.make_job("r1", placement="body")
+        assert relevant_operator_ids(job, "map") == ["body0"]
+        assert relevant_operator_ids(job, "reduce") == []
+
+    def test_reduce_phase_selects_tail(self, efind_env):
+        job = efind_env.make_job("r2", placement="tail")
+        assert relevant_operator_ids(job, "map") == []
+        assert relevant_operator_ids(job, "reduce") == ["tail0"]
+
+
+class TestEvaluateReplan:
+    def test_replans_when_improvement_large(self, efind_env, env):
+        job = efind_env.make_job("e1")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        decision = evaluate_replan(job, plan, registry, env, "map")
+        assert decision is not None
+        assert decision.improvement > 0
+        assert decision.new_plan.operators["head0"].strategies[0] is not (
+            Strategy.BASELINE
+        )
+
+    def test_no_replan_when_nothing_relevant(self, efind_env, env):
+        job = efind_env.make_job("e2", placement="tail")
+        registry = make_registry(job)
+        plan = baseline_plan(job.operator_specs())
+        assert evaluate_replan(job, plan, registry, env, "map") is None
+
+    def test_variance_gate_blocks(self, efind_env, env):
+        job = efind_env.make_job("e3")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        # make one sample wildly different
+        skew = TaskSample(task_id="skew")
+        skew.n1 = 50_000
+        skew.spre_bytes = 50_000 * 50.0
+        registry["head0"].add_sample(skew)
+        assert (
+            evaluate_replan(
+                job, baseline_plan(job.operator_specs()), registry, env, "map",
+                variance_threshold=0.05,
+            )
+            is None
+        )
+
+    def test_too_few_samples_blocks(self, efind_env, env):
+        job = efind_env.make_job("e4")
+        registry = make_registry(job, samples=1)
+        assert (
+            evaluate_replan(
+                job, baseline_plan(job.operator_specs()), registry, env, "map"
+            )
+            is None
+        )
+
+    def test_plan_change_cost_gate(self, efind_env, env):
+        job = efind_env.make_job("e5")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        cheap = evaluate_replan(job, plan, registry, env, "map", plan_change_cost=0.0)
+        assert cheap is not None
+        blocked = evaluate_replan(
+            job, plan, registry, env, "map",
+            plan_change_cost=cheap.improvement + 1.0,
+        )
+        assert blocked is None
+
+    def test_no_replan_when_plan_already_optimal(self, efind_env, env):
+        job = efind_env.make_job("e6")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        first = evaluate_replan(job, plan, registry, env, "map")
+        assert first is not None
+        again = evaluate_replan(job, first.new_plan, registry, env, "map")
+        assert again is None
+
+    def test_scale_zero_means_no_remaining_work(self, efind_env, env):
+        job = efind_env.make_job("e7")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        assert (
+            evaluate_replan(job, plan, registry, env, "map", scale=0.0) is None
+        )
+
+    def test_scale_magnifies_improvement(self, efind_env, env):
+        job = efind_env.make_job("e8")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        small = evaluate_replan(job, plan, registry, env, "map", scale=1.0)
+        big = evaluate_replan(job, plan, registry, env, "map", scale=10.0)
+        assert big.improvement > small.improvement
+
+
+class TestAdaptiveEndToEnd:
+    def test_dynamic_beats_baseline_with_expensive_lookups(self, efind_env):
+        base = efind_env.runner().run(
+            efind_env.make_job("a-base"),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        dyn = efind_env.runner().run(efind_env.make_job("a-dyn"), mode="dynamic")
+        assert sorted(dyn.output) == sorted(base.output)
+        assert dyn.sim_time <= base.sim_time
+
+    def test_dynamic_replans_and_reports_phase(self, efind_env):
+        dyn = efind_env.runner(plan_change_overhead=0.5).run(
+            efind_env.make_job("a-dyn2"), mode="dynamic"
+        )
+        assert dyn.replanned
+        assert dyn.replan_phase == "map"
+        assert not dyn.plan.same_strategies(dyn.initial_plan)
+
+    def test_dynamic_slower_than_static_optimal(self, efind_env):
+        """The paper: dynamic pays the statistics-collection phase."""
+        profiler = efind_env.runner()
+        profiler.run(
+            efind_env.make_job("a-prof"),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        opt = profiler.run(efind_env.make_job("a-opt"), mode="static")
+        dyn = efind_env.runner().run(efind_env.make_job("a-dyn3"), mode="dynamic")
+        assert dyn.sim_time >= opt.sim_time
+
+    def test_reduce_phase_replan_for_tail_op(self, efind_env):
+        dyn = efind_env.runner(variance_threshold=0.6).run(
+            efind_env.make_job("a-tail", placement="tail", reduce_tasks=48),
+            mode="dynamic",
+        )
+        base = efind_env.runner().run(
+            efind_env.make_job("a-tail-base", placement="tail", reduce_tasks=48),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        assert sorted(dyn.output) == sorted(base.output)
+
+    def test_at_most_one_plan_change(self, efind_env):
+        dyn = efind_env.runner(plan_change_overhead=0.5).run(
+            efind_env.make_job("a-once"), mode="dynamic"
+        )
+        if dyn.replanned:
+            # after the change, every subsequent stage ran to completion
+            for stage in dyn.stage_results[1:]:
+                assert not stage.aborted

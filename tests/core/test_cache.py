@@ -1,0 +1,110 @@
+"""Unit tests for the LRU lookup cache and the shadow cache."""
+
+import pytest
+
+from repro.core.cache import LRUCache, ShadowCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        c = LRUCache(4)
+        hit, _ = c.get("a")
+        assert not hit
+        c.put("a", 1)
+        hit, value = c.get("a")
+        assert hit and value == 1
+
+    def test_capacity_evicts_lru(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)  # evicts a
+        assert "a" not in c
+        assert "b" in c and "c" in c
+
+    def test_get_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")
+        c.put("c", 3)  # evicts b, not a
+        assert "a" in c and "b" not in c
+
+    def test_put_existing_updates_value(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("a", 2)
+        assert c.get("a") == (True, 2)
+        assert len(c) == 1
+
+    def test_probe_accounting(self):
+        c = LRUCache(4)
+        c.get("a")
+        c.put("a", 1)
+        c.get("a")
+        assert c.probes == 2
+        assert c.hits == 1
+        assert c.misses == 1
+        assert c.miss_ratio == 0.5
+
+    def test_miss_ratio_before_probes_is_one(self):
+        assert LRUCache(4).miss_ratio == 1.0
+
+    def test_clear(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0 and c.probes == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_paper_default_capacity_workload(self):
+        """1024-entry cache over a 500-key working set: all hits after
+        the first pass (the Section 3.2 scenario)."""
+        c = LRUCache(1024)
+        for k in range(500):
+            c.put(k, k)
+        for k in range(500):
+            hit, _ = c.get(k)
+            assert hit
+
+
+class TestShadowCache:
+    def test_default_warmup_is_fraction_of_capacity(self):
+        s = ShadowCache(1024)
+        for i in range(129):
+            s.probe(i)
+        assert s.warmed  # capacity // 8 = 128 probes suffice
+
+    def test_estimates_without_storing_values(self):
+        s = ShadowCache(8)
+        assert not s.probe("a")
+        assert s.probe("a")
+
+    def test_warmup_excluded_from_estimate(self):
+        s = ShadowCache(10, warmup=10)
+        # First 10 probes are warm-up: all distinct, all misses.
+        for i in range(10):
+            s.probe(i)
+        assert s.miss_ratio == 1.0  # nothing counted yet
+        # After warm-up, repeats of the same keys are hits.
+        for i in range(10):
+            s.probe(i)
+        assert s.miss_ratio == 0.0
+
+    def test_warmed_flag(self):
+        s = ShadowCache(4, warmup=4)
+        for i in range(4):
+            s.probe(i)
+        assert not s.warmed
+        s.probe(99)
+        assert s.warmed
+
+    def test_post_warmup_miss_ratio_tracks_stream(self):
+        s = ShadowCache(4, warmup=4)
+        for i in range(100):
+            s.probe(i)  # all-distinct stream -> everything misses
+        assert s.miss_ratio == 1.0

@@ -1,0 +1,68 @@
+"""Tests for statistics-catalog persistence."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.core.statistics import IndexStats, OperatorStats, StatisticsCatalog
+
+
+def sample_catalog():
+    catalog = StatisticsCatalog()
+    stats = OperatorStats(
+        n1=1234.5, s1=50, spre=60, sidx=120, spost=30, smap=40,
+        num_tasks_sampled=24,
+    )
+    stats.per_index[0] = IndexStats(
+        nik=0.8, sik=8, siv=64, tj=2e-3, miss_ratio=0.25,
+        theta=12.5, distinct=987.0, lookups_observed=5000, probes_observed=5000,
+    )
+    stats.per_index[1] = IndexStats()
+    catalog.put("OpA|IndexAccessor:kv", stats)
+    return catalog
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        catalog = sample_catalog()
+        clone = StatisticsCatalog.from_dict(catalog.to_dict())
+        assert len(clone) == 1
+        stats = clone.get("OpA|IndexAccessor:kv")
+        assert stats.n1 == pytest.approx(1234.5)
+        assert stats.num_tasks_sampled == 24
+        idx = stats.index(0)
+        assert idx.theta == pytest.approx(12.5)
+        assert idx.miss_ratio == pytest.approx(0.25)
+        assert idx.distinct == pytest.approx(987.0)
+        assert stats.index(1).nik == 1.0  # defaults survive
+
+    def test_file_roundtrip(self, tmp_path):
+        catalog = sample_catalog()
+        path = str(tmp_path / "catalog.json")
+        catalog.save(path)
+        loaded = StatisticsCatalog.load(path)
+        assert loaded.to_dict() == catalog.to_dict()
+
+    def test_empty_catalog(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        StatisticsCatalog().save(path)
+        assert len(StatisticsCatalog.load(path)) == 0
+
+
+class TestAcrossProcessesWorkflow:
+    def test_saved_stats_drive_a_new_runner(self, efind_env, tmp_path):
+        """Profile in one 'process', plan statically in another."""
+        first = efind_env.runner()
+        first.run(
+            efind_env.make_job("cp-profile"),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        path = str(tmp_path / "stats.json")
+        first.catalog.save(path)
+
+        second = EFindRunner(
+            efind_env.cluster, efind_env.dfs, catalog=StatisticsCatalog.load(path)
+        )
+        res = second.run(efind_env.make_job("cp-opt"), mode="static")
+        assert res.plan.operators["head0"].strategies[0] is not Strategy.BASELINE

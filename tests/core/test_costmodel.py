@@ -1,0 +1,190 @@
+"""Unit tests for the Table-1 / Equations 1-4 cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    CostEnv,
+    Placement,
+    Strategy,
+    cost_baseline,
+    cost_cache,
+    cost_idxloc,
+    cost_repart,
+    cost_result,
+    cost_shuffle,
+    s_min,
+    strategy_cost,
+)
+from repro.core.statistics import IndexStats, OperatorStats
+from repro.simcluster.timemodel import TimeModel
+
+
+@pytest.fixture
+def env():
+    return CostEnv(
+        bw=125e6, f=3e-8, t_cache=2e-6, extra_job_overhead=0.0, lookup_bw=125e6
+    )
+
+
+@pytest.fixture
+def op():
+    stats = OperatorStats(n1=10_000, s1=100, spre=120, sidx=200, spost=80, smap=60)
+    stats.per_index[0] = IndexStats(
+        nik=1.0, sik=8, siv=64, tj=1e-3, miss_ratio=0.5, theta=4.0
+    )
+    return stats
+
+
+class TestEquation1Baseline:
+    def test_formula(self, env, op):
+        idx = op.index(0)
+        expected = 10_000 * 1.0 * ((8 + 64) / 125e6 + 1e-3)
+        assert cost_baseline(env, op, idx) == pytest.approx(expected)
+
+    def test_scales_with_n1(self, env, op):
+        idx = op.index(0)
+        c1 = cost_baseline(env, op, idx)
+        op.n1 *= 2
+        assert cost_baseline(env, op, idx) == pytest.approx(2 * c1)
+
+    def test_scales_with_nik(self, env, op):
+        idx = op.index(0)
+        c1 = cost_baseline(env, op, idx)
+        idx.nik = 3.0
+        assert cost_baseline(env, op, idx) == pytest.approx(3 * c1)
+
+
+class TestEquation2Cache:
+    def test_formula(self, env, op):
+        idx = op.index(0)
+        expected = 10_000 * (2e-6 + 0.5 * ((8 + 64) / 125e6 + 1e-3))
+        assert cost_cache(env, op, idx) == pytest.approx(expected)
+
+    def test_r_one_reduces_to_baseline_plus_probes(self, env, op):
+        idx = op.index(0)
+        idx.miss_ratio = 1.0
+        diff = cost_cache(env, op, idx) - cost_baseline(env, op, idx)
+        assert diff == pytest.approx(10_000 * 2e-6)
+
+    def test_r_zero_only_probes(self, env, op):
+        idx = op.index(0)
+        idx.miss_ratio = 0.0
+        assert cost_cache(env, op, idx) == pytest.approx(10_000 * 2e-6)
+
+    def test_monotone_in_r(self, env, op):
+        idx = op.index(0)
+        costs = []
+        for r in (0.0, 0.25, 0.5, 1.0):
+            idx.miss_ratio = r
+            costs.append(cost_cache(env, op, idx))
+        assert costs == sorted(costs)
+
+
+class TestSMin:
+    def test_before_map_includes_smap(self, op):
+        assert s_min(op, Placement.BEFORE_MAP) == 60  # smap smallest
+
+    def test_between_excludes_smap(self, op):
+        assert s_min(op, Placement.BETWEEN_MAP_REDUCE) == 80  # spost
+
+    def test_after_reduce_uses_s1(self, op):
+        assert s_min(op, Placement.AFTER_REDUCE) == 100  # min(s1, spre)
+
+    def test_carried_bytes_inflate_spre_and_sidx(self, op):
+        base = s_min(op, Placement.BETWEEN_MAP_REDUCE)
+        with_carry = s_min(op, Placement.BETWEEN_MAP_REDUCE, carried_bytes=500)
+        assert with_carry == base  # spost unaffected by carry
+        op.spost = 1e9
+        assert s_min(op, Placement.BETWEEN_MAP_REDUCE, carried_bytes=500) == 620
+
+
+class TestEquation3Repart:
+    def test_composition(self, env, op):
+        idx = op.index(0)
+        total = cost_repart(env, op, idx, Placement.BEFORE_MAP)
+        shuffle = cost_shuffle(env, op)
+        result = cost_result(env, op, Placement.BEFORE_MAP)
+        lookup = (10_000 / 4.0) * ((8 + 64) / 125e6 + 1e-3)
+        assert total == pytest.approx(shuffle + result + lookup)
+
+    def test_theta_divides_lookups(self, env, op):
+        idx = op.index(0)
+        c_theta4 = cost_repart(env, op, idx, Placement.BEFORE_MAP)
+        idx.theta = 8.0
+        c_theta8 = cost_repart(env, op, idx, Placement.BEFORE_MAP)
+        assert c_theta8 < c_theta4
+
+    def test_extra_job_overhead_added(self, op):
+        cheap = CostEnv(
+            bw=125e6, f=3e-8, t_cache=2e-6, extra_job_overhead=0.0, lookup_bw=125e6
+        )
+        costly = CostEnv(
+            bw=125e6, f=3e-8, t_cache=2e-6, extra_job_overhead=5.0, lookup_bw=125e6
+        )
+        idx = op.index(0)
+        assert cost_repart(costly, op, idx, Placement.BEFORE_MAP) == pytest.approx(
+            cost_repart(cheap, op, idx, Placement.BEFORE_MAP) + 5.0
+        )
+
+
+class TestEquation4Idxloc:
+    def test_no_network_term_in_lookup(self, env, op):
+        """With Theta=1 and a huge result size, idxloc avoids shipping
+        results, so it beats repart."""
+        idx = op.index(0)
+        idx.theta = 1.0
+        idx.siv = 1e6
+        assert cost_idxloc(env, op, idx, Placement.BEFORE_MAP) < cost_repart(
+            env, op, idx, Placement.BEFORE_MAP
+        )
+
+    def test_pays_input_transfer(self, env, op):
+        """With tiny results, idxloc's input shipping makes it lose."""
+        idx = op.index(0)
+        idx.siv = 1.0
+        op.spre = 5000.0
+        op.sidx = 5000.0
+        op.spost = 5000.0
+        op.smap = 5000.0
+        assert cost_idxloc(env, op, idx, Placement.BEFORE_MAP) > cost_repart(
+            env, op, idx, Placement.BEFORE_MAP
+        )
+
+    def test_crossover_in_result_size(self, env, op):
+        """The Figure 11(f) shape: idxloc wins above some result size."""
+        idx = op.index(0)
+        idx.theta = 2.0
+        winners = []
+        for siv in (10, 100, 1000, 10_000, 30_000):
+            idx.siv = siv
+            r = cost_repart(env, op, idx, Placement.BEFORE_MAP)
+            l = cost_idxloc(env, op, idx, Placement.BEFORE_MAP)
+            winners.append("idxloc" if l < r else "repart")
+        assert winners[0] == "repart"
+        assert winners[-1] == "idxloc"
+        # Single crossover: once idxloc wins, it keeps winning.
+        first_idxloc = winners.index("idxloc")
+        assert all(w == "idxloc" for w in winners[first_idxloc:])
+
+
+class TestDispatch:
+    def test_strategy_cost_matches_direct(self, env, op):
+        idx = op.index(0)
+        assert strategy_cost(
+            Strategy.BASELINE, env, op, idx, Placement.BEFORE_MAP
+        ) == cost_baseline(env, op, idx)
+        assert strategy_cost(
+            Strategy.CACHE, env, op, idx, Placement.BEFORE_MAP
+        ) == cost_cache(env, op, idx)
+        assert strategy_cost(
+            Strategy.REPART, env, op, idx, Placement.BEFORE_MAP
+        ) == cost_repart(env, op, idx, Placement.BEFORE_MAP)
+        assert strategy_cost(
+            Strategy.IDXLOC, env, op, idx, Placement.BEFORE_MAP
+        ) == cost_idxloc(env, op, idx, Placement.BEFORE_MAP)
+
+    def test_from_time_model(self):
+        env = CostEnv.from_time_model(TimeModel())
+        assert env.bw == 125 * 1024 * 1024
+        assert env.t_cache == pytest.approx(2e-6)
+        assert env.extra_job_overhead > 0

@@ -1,0 +1,109 @@
+"""Unit tests for IndexJobConf."""
+
+import pytest
+
+from repro.common.errors import DataFlowError
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Placement
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.indices.base import MappingIndex
+from repro.mapreduce.api import IdentityMapper, IdentityReducer
+
+
+def op(name="op"):
+    return IndexOperator(name).add_index(IndexAccessor(MappingIndex("m", {})))
+
+
+def minimal_job(**kw):
+    job = IndexJobConf("j")
+    job.set_input_paths("/in").set_output_path("/out")
+    job.set_mapper(IdentityMapper())
+    return job
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        job = (
+            IndexJobConf("j")
+            .set_input_paths("/a", "/b")
+            .set_output_path("/out")
+            .set_mapper(IdentityMapper())
+            .add_head_index_operator(op())
+        )
+        assert job.input_paths == ["/a", "/b"]
+        assert job.output_path == "/out"
+
+    def test_set_reducer_defaults(self):
+        job = minimal_job()
+        job.set_reducer(IdentityReducer())
+        assert job.num_reduce_tasks == 12
+
+    def test_operator_ids_by_placement(self):
+        job = minimal_job()
+        job.add_head_index_operator(op("a"))
+        job.add_head_index_operator(op("b"))
+        job.set_reducer(IdentityReducer())
+        job.add_body_index_operator(op("c"))
+        job.add_tail_index_operator(op("d"))
+        placed = job.placed_operators()
+        assert [(i, p) for i, p, _ in placed] == [
+            ("head0", Placement.BEFORE_MAP),
+            ("head1", Placement.BEFORE_MAP),
+            ("body0", Placement.BETWEEN_MAP_REDUCE),
+            ("tail0", Placement.AFTER_REDUCE),
+        ]
+
+    def test_operator_specs(self):
+        job = minimal_job()
+        job.add_head_index_operator(op())
+        assert job.operator_specs() == {"head0": (Placement.BEFORE_MAP, 1)}
+
+    def test_operator_by_id(self):
+        job = minimal_job()
+        o = op()
+        job.add_head_index_operator(o)
+        assert job.operator_by_id("head0") is o
+        with pytest.raises(KeyError):
+            job.operator_by_id("head9")
+
+
+class TestValidation:
+    def test_valid_job_passes(self):
+        job = minimal_job()
+        job.add_head_index_operator(op())
+        job.validate()
+
+    def test_requires_input(self):
+        job = IndexJobConf("j").set_output_path("/out")
+        with pytest.raises(DataFlowError):
+            job.validate()
+
+    def test_requires_output(self):
+        job = IndexJobConf("j").set_input_paths("/in")
+        with pytest.raises(DataFlowError):
+            job.validate()
+
+    def test_body_op_needs_reducer(self):
+        job = minimal_job()
+        job.add_body_index_operator(op())
+        with pytest.raises(DataFlowError):
+            job.validate()
+
+    def test_tail_op_needs_reducer(self):
+        job = minimal_job()
+        job.add_tail_index_operator(op())
+        with pytest.raises(DataFlowError):
+            job.validate()
+
+    def test_reducer_needs_positive_tasks(self):
+        job = minimal_job()
+        job.set_reducer(IdentityReducer(), num_reduce_tasks=0)
+        with pytest.raises(DataFlowError):
+            job.validate()
+
+    def test_operator_without_indices_rejected(self):
+        job = minimal_job()
+        job.add_head_index_operator(IndexOperator("empty"))
+        with pytest.raises(DataFlowError):
+            job.validate()

@@ -1,0 +1,87 @@
+"""Tests for the idempotence escape hatch (paper footnote 2)."""
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import CostEnv, Placement, Strategy
+from repro.core.optimizer import (
+    best_strategy_for_index,
+    eligible_strategies,
+    full_enumerate,
+)
+from repro.core.statistics import IndexStats, OperatorStats
+
+
+class VolatileAccessor(IndexAccessor):
+    idempotent = False
+
+
+@pytest.fixture
+def env():
+    return CostEnv(bw=125e6, f=3e-8, t_cache=2e-6, lookup_bw=125e6)
+
+
+@pytest.fixture
+def hot_stats():
+    op = OperatorStats(n1=10_000, spre=100, sidx=150, spost=80, smap=80)
+    op.per_index[0] = IndexStats(
+        nik=1.0, sik=8, siv=64, tj=5e-3, miss_ratio=0.05, theta=50.0
+    )
+    return op
+
+
+class TestOptimizerRespectsIdempotence:
+    def test_non_idempotent_only_baseline(self, hot_stats):
+        strategies = eligible_strategies(
+            hot_stats, 0, supports_locality=True, allow_extra_job=True,
+            idempotent=False,
+        )
+        assert strategies == [Strategy.BASELINE]
+
+    def test_best_strategy_pinned(self, env, hot_stats):
+        # With idempotence, this index would obviously be cached or
+        # re-partitioned (theta=50, R=0.05)...
+        free, _ = best_strategy_for_index(
+            env, hot_stats, 0, Placement.BEFORE_MAP, True, True
+        )
+        assert free is not Strategy.BASELINE
+        # ...but a non-idempotent index must stay baseline.
+        pinned, _ = best_strategy_for_index(
+            env, hot_stats, 0, Placement.BEFORE_MAP, True, True, idempotent=False
+        )
+        assert pinned is Strategy.BASELINE
+
+    def test_full_enumerate_mixed(self, env, hot_stats):
+        hot_stats.per_index[1] = IndexStats(
+            nik=1.0, sik=8, siv=64, tj=5e-3, miss_ratio=0.05, theta=50.0
+        )
+        plan = full_enumerate(
+            env, hot_stats, Placement.BEFORE_MAP, [True, True], "op",
+            idempotent=[True, False],
+        )
+        assert plan.strategies[1] is Strategy.BASELINE
+        assert plan.strategies[0] is not Strategy.BASELINE
+
+
+class TestEndToEnd:
+    def test_static_plan_keeps_baseline_for_volatile_index(self, efind_env):
+        job = efind_env.make_job("vol1")
+        job.head_operators[0].accessors[0] = VolatileAccessor(efind_env.kv)
+        runner = efind_env.runner()
+        runner.run(
+            efind_env.make_job("vol1-prof"),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        # Same signature trick will not apply (different accessor class),
+        # so profile the volatile job itself.
+        job_prof = efind_env.make_job("vol1-prof2")
+        job_prof.head_operators[0].accessors[0] = VolatileAccessor(efind_env.kv)
+        runner.run(job_prof, mode="forced", forced_strategy=Strategy.BASELINE)
+        res = runner.run(job, mode="static")
+        assert res.plan.operators["head0"].strategies[0] is Strategy.BASELINE
+
+    def test_accessor_signature_distinguishes_volatile(self, efind_env):
+        normal = IndexAccessor(efind_env.kv)
+        volatile = VolatileAccessor(efind_env.kv)
+        assert normal.signature() != volatile.signature()

@@ -1,0 +1,123 @@
+"""Unit tests for the IndexOperator interface pieces."""
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.operator import (
+    IndexInput,
+    IndexOperator,
+    IndexOutput,
+    IndexValues,
+)
+from repro.indices.base import MappingIndex
+from repro.mapreduce.api import OutputCollector
+
+
+class TestIndexInput:
+    def test_put_and_keys(self):
+        ii = IndexInput(2)
+        ii.put(0, "a")
+        ii.put(0, "b")
+        ii.put(1, "x")
+        assert ii.keys(0) == ["a", "b"]
+        assert ii.keys(1) == ["x"]
+
+    def test_as_tuple_immutable_form(self):
+        ii = IndexInput(2)
+        ii.put(1, "x")
+        assert ii.as_tuple() == ((), ("x",))
+
+    def test_keys_returns_copy(self):
+        ii = IndexInput(1)
+        ii.put(0, "a")
+        ii.keys(0).append("evil")
+        assert ii.keys(0) == ["a"]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            IndexInput(1).put(5, "a")
+
+
+class TestIndexValues:
+    def test_get_all_flattens(self):
+        iv = IndexValues(["k1", "k2"], [[1, 2], [3]])
+        assert iv.get_all() == [1, 2, 3]
+
+    def test_for_key_positional(self):
+        iv = IndexValues(["k1", "k2"], [[1, 2], [3]])
+        assert iv.for_key(0) == [1, 2]
+        assert iv.for_key(1) == [3]
+
+    def test_keys_copy(self):
+        iv = IndexValues(["k"], [[1]])
+        iv.keys.append("z")
+        assert iv.keys == ["k"]
+
+    def test_len_counts_keys(self):
+        assert len(IndexValues(["a", "b"], [[1], []])) == 2
+
+
+class TestIndexOutput:
+    def test_get_per_index(self):
+        out = IndexOutput((("a",), ("x", "y")), ((((1,),)), ((2,), (3,))))
+        assert out.get(0).get_all() == [1]
+        assert out.get(1).get_all() == [2, 3]
+        assert out.num_indices == 2
+
+    def test_none_value_lists_treated_empty(self):
+        out = IndexOutput((("a",),), (None,))
+        assert out.get(0).get_all() == []
+
+
+class TestIndexOperatorDefaults:
+    @pytest.fixture
+    def op(self):
+        index = MappingIndex("m", {1: "one", 2: "two"})
+        return IndexOperator("default").add_index(IndexAccessor(index))
+
+    def test_add_index_chains(self, op):
+        assert op.num_indices == 1
+
+    def test_default_pre_uses_record_key(self, op):
+        ii = IndexInput(1)
+        key, value = op.pre_process(1, "payload", ii)
+        assert (key, value) == (1, "payload")
+        assert ii.keys(0) == [1]
+
+    def test_default_post_emits_results(self, op):
+        collector = OutputCollector()
+        out = IndexOutput(((1,),), ((("one",),),))
+        op.post_process(1, "payload", out, collector)
+        assert collector.records == [(1, ("payload", ("one",)))]
+
+    def test_signature_includes_index_names(self, op):
+        assert "m" in op.signature()
+        assert "IndexOperator" in op.signature()
+
+    def test_signatures_distinguish_indices(self):
+        a = IndexOperator().add_index(IndexAccessor(MappingIndex("a", {})))
+        b = IndexOperator().add_index(IndexAccessor(MappingIndex("b", {})))
+        assert a.signature() != b.signature()
+
+
+class TestIndexAccessor:
+    def test_lookup_delegates(self):
+        acc = IndexAccessor(MappingIndex("m", {1: [10, 11]}))
+        assert acc.lookup(1) == [10, 11]
+
+    def test_exposes_partitions_flag(self, cluster):
+        from repro.indices.kvstore import DistributedKVStore
+
+        kv = DistributedKVStore("kv", cluster)
+
+        class Hidden(IndexAccessor):
+            exposes_partitions = False
+
+        assert IndexAccessor(kv).supports_locality
+        assert not Hidden(kv).supports_locality
+        assert Hidden(kv).partition_scheme is None
+        assert Hidden(kv).hosts_for_key("a") == []
+
+    def test_service_time_forwarded(self):
+        idx = MappingIndex("m", {}, service_time=7e-3)
+        assert IndexAccessor(idx).service_time() == pytest.approx(7e-3)

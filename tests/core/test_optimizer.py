@@ -1,0 +1,198 @@
+"""Unit tests for the plan optimizer (FullEnumerate / k-Repart)."""
+
+import pytest
+
+from repro.core.costmodel import CostEnv, Placement, Strategy
+from repro.core.optimizer import (
+    baseline_plan,
+    best_strategy_for_index,
+    eligible_strategies,
+    forced_plan,
+    full_enumerate,
+    k_repart,
+    optimize_job,
+    optimize_operator,
+    plan_cost,
+)
+from repro.core.statistics import IndexStats, OperatorStats
+
+
+@pytest.fixture
+def env():
+    return CostEnv(bw=125e6, f=3e-8, t_cache=2e-6, extra_job_overhead=1.0)
+
+
+def stats_with(indices):
+    op = OperatorStats(n1=50_000, s1=100, spre=120, sidx=200, spost=80, smap=70)
+    for j, idx in enumerate(indices):
+        op.per_index[j] = idx
+    return op
+
+
+HOT_CACHE = IndexStats(nik=1.0, sik=8, siv=64, tj=1e-3, miss_ratio=0.05, theta=4)
+NO_LOCALITY = IndexStats(nik=1.0, sik=8, siv=64, tj=1e-3, miss_ratio=1.0, theta=1.0)
+HIGH_DUP = IndexStats(nik=1.0, sik=8, siv=64, tj=1e-3, miss_ratio=1.0, theta=100.0)
+BIG_RESULT = IndexStats(nik=1.0, sik=8, siv=30_000, tj=1e-3, miss_ratio=1.0, theta=2.0)
+
+
+class TestEligibility:
+    def test_baseline_cache_always_eligible(self):
+        op = stats_with([NO_LOCALITY])
+        strategies = eligible_strategies(op, 0, False, allow_extra_job=False)
+        assert strategies == [Strategy.BASELINE, Strategy.CACHE]
+
+    def test_repart_requires_single_key(self):
+        op = stats_with([IndexStats(nik=3.0)])
+        strategies = eligible_strategies(op, 0, True, allow_extra_job=True)
+        assert Strategy.REPART not in strategies
+
+    def test_idxloc_requires_locality(self):
+        op = stats_with([HIGH_DUP])
+        with_loc = eligible_strategies(op, 0, True, allow_extra_job=True)
+        without = eligible_strategies(op, 0, False, allow_extra_job=True)
+        assert Strategy.IDXLOC in with_loc
+        assert Strategy.IDXLOC not in without
+
+
+class TestSingleIndexChoice:
+    def test_hot_cache_picks_cache(self, env):
+        op = stats_with([HOT_CACHE])
+        strategy, _ = best_strategy_for_index(
+            env, op, 0, Placement.BEFORE_MAP, True, True
+        )
+        assert strategy is Strategy.CACHE
+
+    def test_high_duplication_picks_repart(self, env):
+        op = stats_with([HIGH_DUP])
+        strategy, _ = best_strategy_for_index(
+            env, op, 0, Placement.BEFORE_MAP, False, True
+        )
+        assert strategy is Strategy.REPART
+
+    def test_no_redundancy_picks_baseline_or_cache(self, env):
+        op = stats_with([NO_LOCALITY])
+        strategy, _ = best_strategy_for_index(
+            env, op, 0, Placement.BEFORE_MAP, True, True
+        )
+        assert strategy in (Strategy.BASELINE, Strategy.CACHE)
+
+    def test_big_results_pick_idxloc(self, env):
+        op = stats_with([BIG_RESULT])
+        strategy, _ = best_strategy_for_index(
+            env, op, 0, Placement.BEFORE_MAP, True, True
+        )
+        assert strategy is Strategy.IDXLOC
+
+
+class TestFullEnumerate:
+    def test_single_index(self, env):
+        op = stats_with([HIGH_DUP])
+        plan = full_enumerate(env, op, Placement.BEFORE_MAP, [True], "op")
+        assert plan.order == [0]
+        assert plan.strategies[0] is Strategy.REPART
+
+    def test_property4_extra_job_indices_first(self, env):
+        op = stats_with([NO_LOCALITY, HIGH_DUP])
+        plan = full_enumerate(env, op, Placement.BEFORE_MAP, [False, False], "op")
+        strategies_in_order = [plan.strategies[j] for j in plan.order]
+        seen_cheap = False
+        for s in strategies_in_order:
+            if s in (Strategy.BASELINE, Strategy.CACHE):
+                seen_cheap = True
+            else:
+                assert not seen_cheap, "extra-job strategy after baseline/cache"
+
+    def test_cost_is_sum_of_plan(self, env):
+        op = stats_with([HOT_CACHE, HIGH_DUP])
+        plan = full_enumerate(env, op, Placement.BEFORE_MAP, [True, True], "op")
+        assert plan.estimated_cost == pytest.approx(plan_cost(env, op, plan))
+
+    def test_empty_operator(self, env):
+        plan = full_enumerate(env, stats_with([]), Placement.BEFORE_MAP, [], "op")
+        assert plan.order == [] and plan.estimated_cost == 0.0
+
+    def test_three_indices_all_covered(self, env):
+        op = stats_with([HOT_CACHE, HIGH_DUP, NO_LOCALITY])
+        plan = full_enumerate(
+            env, op, Placement.BEFORE_MAP, [True, True, True], "op"
+        )
+        assert sorted(plan.order) == [0, 1, 2]
+        assert set(plan.strategies) == {0, 1, 2}
+
+
+class TestKRepart:
+    def test_never_worse_than_forced_cache(self, env):
+        op = stats_with([HIGH_DUP, HOT_CACHE, NO_LOCALITY])
+        plan = k_repart(env, op, Placement.BEFORE_MAP, [False] * 3, "op", k=1)
+        all_cache = forced_plan({"op": (Placement.BEFORE_MAP, 3)}, Strategy.CACHE)
+        assert plan.estimated_cost <= plan_cost(
+            env, op, all_cache.operators["op"]
+        ) + 1e-9
+
+    def test_k_zero_means_no_extra_jobs(self, env):
+        op = stats_with([HIGH_DUP, HIGH_DUP])
+        plan = k_repart(env, op, Placement.BEFORE_MAP, [False, False], "op", k=0)
+        assert all(
+            s in (Strategy.BASELINE, Strategy.CACHE)
+            for s in plan.strategies.values()
+        )
+
+    def test_matches_full_enumerate_with_k_equal_m(self, env):
+        op = stats_with([HIGH_DUP, HOT_CACHE])
+        full = full_enumerate(env, op, Placement.BEFORE_MAP, [True, True], "op")
+        kr = k_repart(env, op, Placement.BEFORE_MAP, [True, True], "op", k=2)
+        assert kr.estimated_cost == pytest.approx(full.estimated_cost)
+
+
+class TestOptimizeOperator:
+    def test_small_m_uses_full_enumerate(self, env):
+        op = stats_with([HIGH_DUP] * 3)
+        plan = optimize_operator(env, op, Placement.BEFORE_MAP, [True] * 3, "op")
+        assert len(plan.order) == 3
+
+    def test_large_m_falls_back_to_k_repart(self, env):
+        m = 7
+        op = stats_with([HOT_CACHE] * m)
+        plan = optimize_operator(
+            env, op, Placement.BEFORE_MAP, [True] * m, "op", k=1
+        )
+        assert sorted(plan.order) == list(range(m))
+
+
+class TestPlanBuilders:
+    def test_baseline_plan(self):
+        plan = baseline_plan({"a": (Placement.BEFORE_MAP, 2)})
+        assert plan.operators["a"].strategies == {
+            0: Strategy.BASELINE,
+            1: Strategy.BASELINE,
+        }
+
+    def test_forced_plan_uniform(self):
+        plan = forced_plan({"a": (Placement.BEFORE_MAP, 1)}, Strategy.CACHE)
+        assert plan.operators["a"].strategies[0] is Strategy.CACHE
+
+    def test_forced_repart_targets_only(self):
+        plan = forced_plan(
+            {"a": (Placement.BEFORE_MAP, 1), "b": (Placement.BEFORE_MAP, 1)},
+            Strategy.REPART,
+            extra_job_targets=["a"],
+        )
+        assert plan.operators["a"].strategies[0] is Strategy.REPART
+        assert plan.operators["b"].strategies[0] is Strategy.CACHE
+
+    def test_optimize_job_sums_costs(self, env):
+        per_op = {
+            "a": (stats_with([HOT_CACHE]), Placement.BEFORE_MAP, [True]),
+            "b": (stats_with([HIGH_DUP]), Placement.BETWEEN_MAP_REDUCE, [False]),
+        }
+        plan = optimize_job(env, per_op)
+        assert plan.estimated_cost == pytest.approx(
+            plan.operators["a"].estimated_cost + plan.operators["b"].estimated_cost
+        )
+
+    def test_plan_equality_helpers(self):
+        a = forced_plan({"a": (Placement.BEFORE_MAP, 1)}, Strategy.CACHE)
+        b = forced_plan({"a": (Placement.BEFORE_MAP, 1)}, Strategy.CACHE)
+        c = forced_plan({"a": (Placement.BEFORE_MAP, 1)}, Strategy.BASELINE)
+        assert a.same_strategies(b)
+        assert not a.same_strategies(c)

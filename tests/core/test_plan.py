@@ -1,0 +1,84 @@
+"""Unit tests for plan representations."""
+
+from repro.core.costmodel import Placement, Strategy
+from repro.core.plan import AccessPlan, OperatorPlan
+
+
+def make_op_plan(strategies, order=None):
+    order = order if order is not None else list(strategies)
+    return OperatorPlan(
+        operator_id="op",
+        placement=Placement.BEFORE_MAP,
+        order=order,
+        strategies=strategies,
+    )
+
+
+class TestOperatorPlan:
+    def test_strategy_of_defaults_to_baseline(self):
+        plan = make_op_plan({0: Strategy.CACHE})
+        assert plan.strategy_of(0) is Strategy.CACHE
+        assert plan.strategy_of(5) is Strategy.BASELINE
+
+    def test_needs_extra_job(self):
+        assert not make_op_plan({0: Strategy.CACHE}).needs_extra_job
+        assert make_op_plan({0: Strategy.REPART}).needs_extra_job
+        assert make_op_plan({0: Strategy.IDXLOC}).needs_extra_job
+
+    def test_describe_lists_order(self):
+        plan = make_op_plan(
+            {0: Strategy.CACHE, 1: Strategy.REPART}, order=[1, 0]
+        )
+        assert plan.describe() == "op[1:repart, 0:cache]"
+
+    def test_describe_empty(self):
+        assert "<no indices>" in make_op_plan({}, order=[]).describe()
+
+
+class TestAccessPlan:
+    def _plan(self, strategy):
+        plan = AccessPlan()
+        plan.operators["a"] = make_op_plan({0: strategy})
+        return plan
+
+    def test_num_extra_jobs(self):
+        plan = AccessPlan()
+        plan.operators["a"] = make_op_plan({0: Strategy.REPART, 1: Strategy.CACHE})
+        plan.operators["b"] = make_op_plan({0: Strategy.IDXLOC})
+        assert plan.num_extra_jobs == 2
+
+    def test_same_strategies_true(self):
+        assert self._plan(Strategy.CACHE).same_strategies(self._plan(Strategy.CACHE))
+
+    def test_same_strategies_differs_on_strategy(self):
+        assert not self._plan(Strategy.CACHE).same_strategies(
+            self._plan(Strategy.BASELINE)
+        )
+
+    def test_same_strategies_differs_on_operators(self):
+        a = self._plan(Strategy.CACHE)
+        b = self._plan(Strategy.CACHE)
+        b.operators["extra"] = make_op_plan({0: Strategy.CACHE})
+        assert not a.same_strategies(b)
+
+    def test_same_strategies_differs_on_order(self):
+        a = AccessPlan()
+        a.operators["x"] = make_op_plan(
+            {0: Strategy.CACHE, 1: Strategy.CACHE}, order=[0, 1]
+        )
+        b = AccessPlan()
+        b.operators["x"] = make_op_plan(
+            {0: Strategy.CACHE, 1: Strategy.CACHE}, order=[1, 0]
+        )
+        assert not a.same_strategies(b)
+
+    def test_describe_sorted_by_operator(self):
+        plan = AccessPlan()
+        b = make_op_plan({0: Strategy.CACHE})
+        b.operator_id = "b"
+        a = make_op_plan({0: Strategy.BASELINE})
+        a.operator_id = "a"
+        plan.operators["b"] = b
+        plan.operators["a"] = a
+        text = plan.describe()
+        assert text.index("a[") < text.index("b[")

@@ -1,0 +1,75 @@
+"""Tests for access-plan persistence (save a chosen plan, replay it)."""
+
+import pytest
+
+from repro.core.costmodel import Placement, Strategy
+from repro.core.optimizer import forced_plan
+from repro.core.plan import AccessPlan, OperatorPlan
+
+
+def sample_plan():
+    plan = AccessPlan(estimated_cost=3.25)
+    plan.operators["head0"] = OperatorPlan(
+        "head0",
+        Placement.BEFORE_MAP,
+        order=[1, 0],
+        strategies={0: Strategy.CACHE, 1: Strategy.REPART},
+        estimated_cost=2.0,
+    )
+    plan.operators["tail0"] = OperatorPlan(
+        "tail0",
+        Placement.AFTER_REDUCE,
+        order=[0],
+        strategies={0: Strategy.IDXLOC},
+        estimated_cost=1.25,
+    )
+    return plan
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        plan = sample_plan()
+        clone = AccessPlan.from_dict(plan.to_dict())
+        assert clone.same_strategies(plan)
+        assert clone.estimated_cost == pytest.approx(3.25)
+        assert clone.operators["head0"].order == [1, 0]
+        assert clone.operators["head0"].placement is Placement.BEFORE_MAP
+        assert clone.operators["tail0"].strategies[0] is Strategy.IDXLOC
+
+    def test_file_roundtrip(self, tmp_path):
+        plan = sample_plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = AccessPlan.load(path)
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_empty_plan(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        AccessPlan().save(path)
+        loaded = AccessPlan.load(path)
+        assert loaded.operators == {}
+
+    def test_strategy_values_are_stable_names(self):
+        """The wire format uses the paper-facing strategy names, so
+        saved plans stay readable and future-proof."""
+        payload = sample_plan().to_dict()
+        assert payload["operators"]["head0"]["strategies"] == {
+            "0": "cache",
+            "1": "repart",
+        }
+
+
+class TestReplay:
+    def test_saved_plan_replays_identically(self, efind_env, tmp_path):
+        job = efind_env.make_job("pp-source")
+        plan = forced_plan(job.operator_specs(), Strategy.REPART, ["head0"])
+        first = efind_env.runner().run(job, mode="plan", plan=plan)
+
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        replayed_plan = AccessPlan.load(path)
+        second = efind_env.runner().run(
+            efind_env.make_job("pp-replay"), mode="plan", plan=replayed_plan
+        )
+        assert sorted(second.output) == sorted(first.output)
+        assert second.num_stages == first.num_stages

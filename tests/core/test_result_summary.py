@@ -1,0 +1,36 @@
+"""Tests for EFindJobResult.summary()."""
+
+from repro.core.costmodel import Strategy
+
+
+class TestSummary:
+    def test_plain_run(self, efind_env):
+        res = efind_env.runner().run(
+            efind_env.make_job("sum1"), mode="forced", forced_strategy=Strategy.CACHE
+        )
+        text = res.summary()
+        assert "'sum1'" in text
+        assert "1 MapReduce job(s)" in text
+        assert "cache" in text
+        assert f"{len(res.output)} records" in text
+
+    def test_multi_stage_run(self, efind_env):
+        res = efind_env.runner().run(
+            efind_env.make_job("sum2"),
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],
+        )
+        text = res.summary()
+        assert "2 MapReduce job(s)" in text
+        assert "stage 0" in text and "stage 1" in text
+
+    def test_replanned_run_mentions_both_plans(self, efind_env):
+        res = efind_env.runner(plan_change_overhead=0.5).run(
+            efind_env.make_job("sum3"), mode="dynamic"
+        )
+        text = res.summary()
+        if res.replanned:
+            assert "re-optimized mid-map" in text
+            assert "->" in text
+            assert "aborted mid-map" in text

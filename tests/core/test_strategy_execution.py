@@ -1,0 +1,128 @@
+"""Integration tests for strategy execution: every strategy, every
+placement, identical results; lookup counts show each strategy's
+de-duplication behaviour."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+
+ALL = [Strategy.BASELINE, Strategy.CACHE, Strategy.REPART, Strategy.IDXLOC]
+
+
+def run(env, strategy, name, placement="head"):
+    env.kv.reset_accounting()
+    runner = env.runner()
+    result = runner.run(
+        env.make_job(name, placement=placement),
+        mode="forced",
+        forced_strategy=strategy,
+        extra_job_targets=["head0", "body0", "tail0"],
+    )
+    return result, env.kv.lookups_served
+
+
+class TestHeadPlacement:
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_total_preserved(self, efind_env, strategy):
+        result, _ = run(efind_env, strategy, f"h-{strategy.value}")
+        assert sum(v for _, v in result.output) == efind_env.expected_total()
+
+    def test_all_strategies_agree(self, efind_env):
+        outputs = []
+        for s in ALL:
+            result, _ = run(efind_env, s, f"agree-{s.value}")
+            outputs.append(sorted(result.output))
+        assert all(o == outputs[0] for o in outputs)
+
+    def test_baseline_looks_up_every_record(self, efind_env):
+        _, lookups = run(efind_env, Strategy.BASELINE, "lk-base")
+        assert lookups == efind_env.num_records
+
+    def test_cache_cuts_lookups(self, efind_env):
+        _, lookups = run(efind_env, Strategy.CACHE, "lk-cache")
+        assert lookups < efind_env.num_records
+        # at least one compulsory miss per (node, key) is possible, but
+        # never more than nodes x keys
+        assert lookups <= efind_env.cluster.num_nodes * efind_env.num_users
+
+    def test_repart_looks_up_once_per_distinct_key(self, efind_env):
+        # Small slack: the materialised grouped stream is re-split into
+        # blocks, and a group cut across two splits is looked up twice.
+        _, lookups = run(efind_env, Strategy.REPART, "lk-repart")
+        assert efind_env.num_users <= lookups <= efind_env.num_users * 1.2
+
+    def test_idxloc_looks_up_once_per_distinct_key(self, efind_env):
+        _, lookups = run(efind_env, Strategy.IDXLOC, "lk-idxloc")
+        assert efind_env.num_users <= lookups <= efind_env.num_users * 1.2
+
+    def test_extra_job_strategies_add_stages(self, efind_env):
+        base, _ = run(efind_env, Strategy.BASELINE, "st-base")
+        rep, _ = run(efind_env, Strategy.REPART, "st-rep")
+        assert base.num_stages == 1
+        assert rep.num_stages == 2
+
+
+class TestBodyPlacement:
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_total_preserved(self, efind_env, strategy):
+        result, _ = run(efind_env, strategy, f"b-{strategy.value}", "body")
+        assert sum(v for _, v in result.output) == efind_env.expected_total()
+
+    def test_matches_head_placement_output(self, efind_env):
+        head, _ = run(efind_env, Strategy.CACHE, "match-h", "head")
+        body, _ = run(efind_env, Strategy.CACHE, "match-b", "body")
+        assert sorted(head.output) == sorted(body.output)
+
+    def test_repart_dedup(self, efind_env):
+        _, lookups = run(efind_env, Strategy.REPART, "b-dedup", "body")
+        assert lookups == efind_env.num_users
+
+
+class TestTailPlacement:
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_total_preserved(self, efind_env, strategy):
+        result, _ = run(efind_env, strategy, f"t-{strategy.value}", "tail")
+        assert sum(v for _, v in result.output) == efind_env.expected_total()
+
+    def test_tail_repart_adds_stage(self, efind_env):
+        base, _ = run(efind_env, Strategy.BASELINE, "t-st-base", "tail")
+        rep, _ = run(efind_env, Strategy.REPART, "t-st-rep", "tail")
+        assert rep.num_stages > base.num_stages
+
+    def test_tail_lookups_bounded_by_users(self, efind_env):
+        # Reduce groups by user first, so even the baseline only looks
+        # up once per user per reduce task.
+        _, lookups = run(efind_env, Strategy.BASELINE, "t-lk", "tail")
+        assert lookups == efind_env.num_users
+
+
+class TestIdxlocScheduling:
+    def test_lookup_stage_tasks_pinned_to_replica_hosts(self, efind_env):
+        result, _ = run(efind_env, Strategy.IDXLOC, "pin-check")
+        scheme = efind_env.kv.partition_scheme
+        lookup_stage = result.stage_results[1]
+        # every map task of the post-shuffle stage must sit on a host
+        # that replicates its partition
+        for task in lookup_stage.map_runs:
+            assert task.node_host in scheme.all_hosts()
+
+    def test_idxloc_requires_partition_scheme(self, efind_env):
+        from repro.common.errors import PlanningError
+        from repro.core.accessor import IndexAccessor
+        from repro.indices.dynamic import DynamicComputedIndex
+        from tests.conftest import UserCityOperator
+
+        # replace the index with one that has no partitions
+        job = efind_env.make_job("noscheme")
+        job.head_operators = [
+            UserCityOperator("np").add_index(
+                IndexAccessor(DynamicComputedIndex("dyn", lambda k: [k]))
+            )
+        ]
+        with pytest.raises(PlanningError):
+            efind_env.runner().run(
+                job,
+                mode="forced",
+                forced_strategy=Strategy.IDXLOC,
+                extra_job_targets=["head0"],
+            )

@@ -1,0 +1,240 @@
+"""Unit tests for the individual strategy chained-functions."""
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.operator import IndexOperator
+from repro.core.statistics import OperatorStatsAccumulator
+from repro.core.strategy import (
+    CarrierMaterializeReducer,
+    GroupLookupReducer,
+    KeyByIkFn,
+    LookupFn,
+    PostProcessFn,
+    PreProcessFn,
+    RecordMeter,
+    SchemePartitioner,
+    is_carrier,
+    make_carrier,
+    open_carrier,
+)
+from repro.indices.base import MappingIndex
+from repro.indices.partitioning import HashPartitionScheme, round_robin_placements
+from repro.mapreduce.api import OutputCollector, TaskContext
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.timemodel import TimeModel
+
+
+@pytest.fixture
+def ctx():
+    cluster = Cluster(num_nodes=2)
+    return TaskContext(cluster.nodes[0], TimeModel(), task_id="t0")
+
+
+@pytest.fixture
+def op():
+    index = MappingIndex("m", {f"k{i}": [i] for i in range(100)}, service_time=1e-3)
+    return IndexOperator("unit-op").add_index(IndexAccessor(index))
+
+
+class TestCarrierFormat:
+    def test_roundtrip(self):
+        c = make_carrier("v", (("k",),), (None,))
+        assert is_carrier(c)
+        assert open_carrier(c) == ("v", (("k",),), (None,))
+
+    def test_not_a_carrier(self):
+        assert not is_carrier(("x", "y"))
+        with pytest.raises(TypeError):
+            open_carrier(("x", "y"))
+
+
+class TestPreProcessFn(object):
+    def test_wraps_in_carrier(self, op, ctx):
+        fn = PreProcessFn(op, "op0")
+        col = OutputCollector()
+        fn.process("k5", "payload", col, ctx)
+        ((key, value),) = col.records
+        assert key == "k5"
+        v1, ikl, ivl = open_carrier(value)
+        assert v1 == "payload"
+        assert ikl == (("k5",),)
+        assert ivl == (None,)
+
+    def test_collects_statistics(self, op, ctx):
+        acc = OperatorStatsAccumulator("op0", 1, 2)
+        fn = PreProcessFn(op, "op0", acc)
+        col = OutputCollector()
+        for i in range(10):
+            fn.process(f"k{i}", i, col, ctx)
+        sample = acc.sample_for("t0")
+        assert sample.n1 == 10
+        assert sample.nik[0] == 10
+        assert sample.spre_bytes > 0
+
+
+class TestLookupFnModes:
+    def _carrier_for(self, key):
+        return (key, make_carrier("v", ((key,),), (None,)))
+
+    def test_baseline_fills_results(self, op, ctx):
+        fn = LookupFn(op, "op0", 0)
+        col = OutputCollector()
+        k, c = self._carrier_for("k3")
+        fn.process(k, c, col, ctx)
+        _v1, _ikl, ivl = open_carrier(col.records[0][1])
+        assert ivl == (((3,),),)
+
+    def test_baseline_charges_time(self, op, ctx):
+        fn = LookupFn(op, "op0", 0)
+        col = OutputCollector()
+        fn.process(*self._carrier_for("k3"), col, ctx)
+        assert ctx.charged_time >= 1e-3
+
+    def test_cache_mode_saves_second_lookup(self, op, ctx):
+        fn = LookupFn(op, "op0", 0, use_cache=True)
+        col = OutputCollector()
+        fn.process(*self._carrier_for("k3"), col, ctx)
+        served = op.accessors[0].index.lookups_served
+        fn.process(*self._carrier_for("k3"), col, ctx)
+        assert op.accessors[0].index.lookups_served == served
+        assert len(col.records) == 2
+
+    def test_dedup_adjacent_memo(self, op, ctx):
+        fn = LookupFn(op, "op0", 0, dedup_adjacent=True)
+        col = OutputCollector()
+        fn.start(ctx)
+        for _ in range(5):
+            fn.process(*self._carrier_for("k7"), col, ctx)
+        assert op.accessors[0].index.lookups_served == 1
+
+    def test_memo_resets_per_task(self, op, ctx):
+        fn = LookupFn(op, "op0", 0, dedup_adjacent=True)
+        col = OutputCollector()
+        fn.start(ctx)
+        fn.process(*self._carrier_for("k7"), col, ctx)
+        fn.start(ctx)  # new task
+        fn.process(*self._carrier_for("k7"), col, ctx)
+        assert op.accessors[0].index.lookups_served == 2
+
+    def test_assume_local_charges_service_only(self, op, ctx):
+        fn = LookupFn(op, "op0", 0, assume_local=True)
+        col = OutputCollector()
+        fn.process(*self._carrier_for("k3"), col, ctx)
+        assert ctx.charged_time == pytest.approx(1e-3)
+
+    def test_missing_key_empty_result(self, op, ctx):
+        fn = LookupFn(op, "op0", 0)
+        col = OutputCollector()
+        fn.process(*self._carrier_for("nope"), col, ctx)
+        _v1, _ikl, ivl = open_carrier(col.records[0][1])
+        assert ivl == (((),),)
+
+    def test_record_with_no_keys_skips_lookup(self, op, ctx):
+        fn = LookupFn(op, "op0", 0)
+        col = OutputCollector()
+        carrier = make_carrier("v", ((),), (None,))
+        fn.process("k", carrier, col, ctx)
+        assert op.accessors[0].index.lookups_served == 0
+
+
+class TestPostProcessFn:
+    def test_default_post_emits(self, op, ctx):
+        fn = PostProcessFn(op, "op0")
+        col = OutputCollector()
+        carrier = make_carrier("v", (("k3",),), (((3,),),))
+        fn.process("k3", carrier, col, ctx)
+        assert col.records == [("k3", ("v", (3,)))]
+
+    def test_records_spost(self, op, ctx):
+        acc = OperatorStatsAccumulator("op0", 1, 2)
+        fn = PostProcessFn(op, "op0", acc)
+        col = OutputCollector()
+        fn.process("k3", make_carrier("v", (("k3",),), (((3,),),)), col, ctx)
+        assert acc.sample_for("t0").spost_bytes > 0
+
+
+class TestKeyByIkFn:
+    def test_rekeys_by_lookup_key(self, op, ctx):
+        fn = KeyByIkFn(op, "op0", 0)
+        col = OutputCollector()
+        carrier = make_carrier("v", (("k9",),), (None,))
+        fn.process("orig", carrier, col, ctx)
+        ((key, value),) = col.records
+        assert key == "k9"
+        assert value == ("orig", carrier)
+
+    def test_no_key_routes_to_none(self, op, ctx):
+        fn = KeyByIkFn(op, "op0", 0)
+        col = OutputCollector()
+        fn.process("orig", make_carrier("v", ((),), (None,)), col, ctx)
+        assert col.records[0][0] is None
+
+    def test_multiple_keys_rejected(self, op, ctx):
+        fn = KeyByIkFn(op, "op0", 0)
+        col = OutputCollector()
+        carrier = make_carrier("v", (("a", "b"),), (None,))
+        with pytest.raises(ValueError):
+            fn.process("orig", carrier, col, ctx)
+
+
+class TestGroupLookupReducer:
+    def test_one_lookup_per_group(self, op, ctx):
+        red = GroupLookupReducer(op, "op0", 0)
+        col = OutputCollector()
+        carriers = [
+            (f"orig{i}", make_carrier(f"v{i}", (("k2",),), (None,)))
+            for i in range(6)
+        ]
+        red.reduce("k2", carriers, col, ctx)
+        assert op.accessors[0].index.lookups_served == 1
+        assert len(col.records) == 6
+        for (key, value), i in zip(col.records, range(6)):
+            assert key == f"orig{i}"
+            _v, _ikl, ivl = open_carrier(value)
+            assert ivl == (((2,),),)
+
+    def test_none_group_no_lookup(self, op, ctx):
+        red = GroupLookupReducer(op, "op0", 0)
+        col = OutputCollector()
+        carriers = [("o", make_carrier("v", ((),), (None,)))]
+        red.reduce(None, carriers, col, ctx)
+        assert op.accessors[0].index.lookups_served == 0
+        _v, _ikl, ivl = open_carrier(col.records[0][1])
+        assert ivl == ((),)
+
+
+class TestMaterializeReducer:
+    def test_passthrough_preserves_grouping(self, ctx):
+        red = CarrierMaterializeReducer()
+        col = OutputCollector()
+        red.reduce("ik", [("a", 1), ("b", 2)], col, ctx)
+        assert col.records == [("a", 1), ("b", 2)]
+
+
+class TestSchemePartitioner:
+    def test_uses_index_scheme(self):
+        scheme = HashPartitionScheme(
+            8, round_robin_placements(["h0", "h1", "h2"], 8, 2)
+        )
+        p = SchemePartitioner(scheme)
+        for key in range(50):
+            assert p.partition(key, 8) == scheme.partition_of(key)
+
+    def test_none_key_goes_to_zero(self):
+        scheme = HashPartitionScheme(4, round_robin_placements(["h0"], 4, 1))
+        assert SchemePartitioner(scheme).partition(None, 4) == 0
+
+
+class TestRecordMeter:
+    def test_reports_counts_and_bytes(self, ctx):
+        seen = {}
+        meter = RecordMeter(lambda n, b: seen.update(n=n, b=b))
+        col = OutputCollector()
+        meter.start(ctx)
+        meter.process("k", "vvvv", col, ctx)
+        meter.process("k", "vvvv", col, ctx)
+        meter.finish(col, ctx)
+        assert seen["n"] == 2
+        assert seen["b"] == 2 * (1 + 4)
+        assert len(col.records) == 2

@@ -1,0 +1,69 @@
+"""Edge cases for split handling and scheduler interplay."""
+
+import pytest
+
+from repro.dfs.filesystem import DistributedFileSystem, _coalesce
+from repro.dfs.splits import InputSplit
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.simcluster.cluster import Cluster
+
+
+@pytest.fixture
+def fs(cluster):
+    return DistributedFileSystem(cluster, block_size=500)
+
+
+class TestCoalesceEdges:
+    def test_rejects_nonpositive_target(self):
+        splits = [InputSplit("/f", 0, [(1, "a")], 9, ["node00"])]
+        with pytest.raises(ValueError):
+            _coalesce(splits, 0)
+
+    def test_coalesce_to_exactly_one(self, fs):
+        fs.write("/f", [(i, "v" * 40) for i in range(100)])
+        merged = fs.splits("/f", max_splits=1)
+        assert len(merged) == 1
+        assert len(merged[0]) == 100
+
+    def test_coalesce_preserves_order(self, fs):
+        fs.write("/f", [(i, "v" * 40) for i in range(100)])
+        merged = fs.splits("/f", max_splits=3)
+        flat = [k for s in merged for k, _v in s.records]
+        assert flat == list(range(100))
+
+    def test_no_coalesce_when_under_limit(self, fs):
+        fs.write("/f", [(i, "v" * 40) for i in range(20)])
+        raw = fs.splits("/f")
+        same = fs.splits("/f", max_splits=len(raw) + 5)
+        assert len(same) == len(raw)
+
+    def test_sizes_conserved(self, fs):
+        fs.write("/f", [(i, "v" * 40) for i in range(100)])
+        raw_bytes = sum(s.size_bytes for s in fs.splits("/f"))
+        merged_bytes = sum(s.size_bytes for s in fs.splits("/f", max_splits=2))
+        assert raw_bytes == merged_bytes
+
+
+class TestSchedulerPreferenceWithConstraint:
+    def test_preference_inside_allowed_set(self):
+        cluster = Cluster(num_nodes=4, map_slots_per_node=2)
+        sched = SlotScheduler(cluster, "map")
+        slot = sched.acquire(
+            preferred_hosts=["node02"], allowed_hosts=["node01", "node02"]
+        )
+        assert slot.host == "node02"
+
+    def test_preference_outside_allowed_set_ignored(self):
+        cluster = Cluster(num_nodes=4, map_slots_per_node=2)
+        sched = SlotScheduler(cluster, "map")
+        slot = sched.acquire(
+            preferred_hosts=["node03"], allowed_hosts=["node00", "node01"]
+        )
+        assert slot.host in ("node00", "node01")
+
+    def test_constraint_with_offset_start_time(self):
+        cluster = Cluster(num_nodes=2, map_slots_per_node=1)
+        sched = SlotScheduler(cluster, "map", start_time=5.0)
+        slot = sched.acquire(allowed_hosts=["node01"])
+        start, end, _ = sched.commit(slot, 1.0)
+        assert (start, end) == (5.0, 6.0)

@@ -1,0 +1,163 @@
+"""Tests for B-tree and R*-tree deletion."""
+
+import random
+
+import pytest
+
+from repro.indices.btree import BTree
+from repro.indices.rstar import RStarTree
+
+
+class TestBTreeDelete:
+    def test_delete_leaf_key(self):
+        t = BTree(t=2)
+        for k in range(10):
+            t.insert(k, k)
+        assert t.delete(5)
+        assert t.search(5) == []
+        assert len(t) == 9
+        t.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        t = BTree(t=2)
+        t.insert(1, 1)
+        assert not t.delete(99)
+        assert len(t) == 1
+
+    def test_delete_removes_all_values_of_key(self):
+        t = BTree(t=2)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.delete(1)
+        assert t.search(1) == []
+        assert t.num_entries == 0
+
+    def test_delete_internal_keys(self):
+        t = BTree(t=2)
+        keys = list(range(100))
+        for k in keys:
+            t.insert(k, k)
+        # delete in an order that hits internal nodes
+        for k in range(0, 100, 7):
+            assert t.delete(k)
+            t.check_invariants()
+        for k in range(100):
+            expected = [] if k % 7 == 0 else [k]
+            assert t.search(k) == expected
+
+    def test_delete_everything_then_reuse(self):
+        t = BTree(t=3)
+        for k in range(60):
+            t.insert(k, k)
+        for k in range(60):
+            assert t.delete(k)
+            t.check_invariants()
+        assert len(t) == 0
+        t.insert(7, "back")
+        assert t.search(7) == ["back"]
+
+    def test_root_shrinks(self):
+        t = BTree(t=2)
+        for k in range(30):
+            t.insert(k, k)
+        height_before = t.height()
+        for k in range(28):
+            t.delete(k)
+        assert t.height() <= height_before
+        t.check_invariants()
+
+    @pytest.mark.parametrize("t_degree", [2, 3, 8])
+    def test_randomized_against_model(self, t_degree):
+        rng = random.Random(t_degree)
+        tree = BTree(t=t_degree)
+        model = {}
+        for _ in range(600):
+            k = rng.randrange(120)
+            if rng.random() < 0.55:
+                tree.insert(k, k)
+                model.setdefault(k, []).append(k)
+            else:
+                assert tree.delete(k) == (k in model)
+                model.pop(k, None)
+        tree.check_invariants()
+        for k in range(120):
+            assert tree.search(k) == model.get(k, [])
+        assert len(tree) == len(model)
+
+    def test_range_scan_after_deletes(self):
+        t = BTree(t=3)
+        for k in range(50):
+            t.insert(k, k)
+        for k in range(10, 20):
+            t.delete(k)
+        assert [k for k, _ in t.range_scan(5, 25)] == [5, 6, 7, 8, 9] + list(
+            range(20, 26)
+        )
+
+
+class TestRStarDelete:
+    def _build(self, n, seed=0, max_entries=6):
+        rng = random.Random(seed)
+        tree = RStarTree(max_entries=max_entries)
+        pts = {}
+        for i in range(n):
+            p = (rng.random(), rng.random())
+            tree.insert(p, i)
+            pts[i] = p
+        return tree, pts
+
+    def test_delete_existing(self):
+        tree, pts = self._build(50)
+        assert tree.delete(pts[7], 7)
+        assert len(tree) == 49
+        tree.check_invariants()
+        assert 7 not in [pid for _d, pid in tree.knn(pts[7], 50)]
+
+    def test_delete_missing(self):
+        tree, _pts = self._build(20)
+        assert not tree.delete((2.0, 2.0), 999)
+        assert len(tree) == 20
+
+    def test_delete_wrong_payload_at_same_point(self):
+        tree = RStarTree()
+        tree.insert((0.5, 0.5), "a")
+        assert not tree.delete((0.5, 0.5), "b")
+        assert tree.delete((0.5, 0.5), "a")
+
+    def test_duplicate_points_delete_one(self):
+        tree = RStarTree()
+        for i in range(5):
+            tree.insert((0.3, 0.3), i)
+        assert tree.delete((0.3, 0.3), 2)
+        remaining = {pid for _d, pid in tree.knn((0.3, 0.3), 10)}
+        assert remaining == {0, 1, 3, 4}
+
+    def test_condense_keeps_invariants(self):
+        tree, pts = self._build(200, seed=3)
+        ids = list(pts)
+        random.Random(4).shuffle(ids)
+        for i in ids[:170]:
+            assert tree.delete(pts[i], i)
+            tree.check_invariants()
+        assert len(tree) == 30
+
+    def test_knn_exact_after_heavy_deletion(self):
+        tree, pts = self._build(300, seed=5)
+        for i in range(0, 300, 2):
+            tree.delete(pts[i], i)
+            del pts[i]
+        q = (0.4, 0.6)
+        brute = sorted(
+            pts.items(),
+            key=lambda kv: (kv[1][0] - q[0]) ** 2 + (kv[1][1] - q[1]) ** 2,
+        )
+        got = [pid for _d, pid in tree.knn(q, 10)]
+        assert got == [pid for pid, _p in brute[:10]]
+
+    def test_delete_to_empty_and_reinsert(self):
+        tree, pts = self._build(40, seed=6)
+        for i, p in pts.items():
+            assert tree.delete(p, i)
+        assert len(tree) == 0
+        tree.insert((0.1, 0.1), "fresh")
+        assert [pid for _d, pid in tree.knn((0.1, 0.1), 1)] == ["fresh"]

@@ -1,0 +1,133 @@
+"""Unit tests for partition schemes."""
+
+import pytest
+
+from repro.indices.partitioning import (
+    ConsistentHashRing,
+    HashPartitionScheme,
+    RangePartitionScheme,
+    round_robin_placements,
+)
+
+HOSTS = [f"node{i:02d}" for i in range(6)]
+
+
+class TestRoundRobinPlacements:
+    def test_shape(self):
+        placements = round_robin_placements(HOSTS, 8, 3)
+        assert len(placements) == 8
+        assert all(len(p) == 3 for p in placements)
+
+    def test_replicas_distinct(self):
+        for p in round_robin_placements(HOSTS, 8, 3):
+            assert len(set(p)) == 3
+
+    def test_replication_capped(self):
+        placements = round_robin_placements(HOSTS[:2], 4, 3)
+        assert all(len(p) == 2 for p in placements)
+
+
+class TestHashPartitionScheme:
+    @pytest.fixture
+    def scheme(self):
+        return HashPartitionScheme(8, round_robin_placements(HOSTS, 8, 3))
+
+    def test_partition_in_range(self, scheme):
+        for key in range(100):
+            assert 0 <= scheme.partition_of(key) < 8
+
+    def test_deterministic(self, scheme):
+        assert scheme.partition_of("k") == scheme.partition_of("k")
+
+    def test_locations_per_partition(self, scheme):
+        for p in range(8):
+            assert len(scheme.locations(p)) == 3
+
+    def test_all_hosts(self, scheme):
+        assert set(scheme.all_hosts()) == set(HOSTS)
+
+    def test_rejects_mismatched_placements(self):
+        with pytest.raises(ValueError):
+            HashPartitionScheme(4, [["a"]])
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitionScheme(0, [])
+
+
+class TestRangePartitionScheme:
+    @pytest.fixture
+    def scheme(self):
+        return RangePartitionScheme(
+            [10, 20, 30], round_robin_placements(HOSTS, 4, 2)
+        )
+
+    def test_routing(self, scheme):
+        assert scheme.partition_of(5) == 0
+        assert scheme.partition_of(10) == 0
+        assert scheme.partition_of(11) == 1
+        assert scheme.partition_of(25) == 2
+        assert scheme.partition_of(1000) == 3
+
+    def test_num_partitions(self, scheme):
+        assert scheme.num_partitions == 4
+
+    def test_boundaries_copied(self, scheme):
+        b = scheme.boundaries
+        b.append(99)
+        assert scheme.boundaries == [10, 20, 30]
+
+    def test_rejects_bad_placement_count(self):
+        with pytest.raises(ValueError):
+            RangePartitionScheme([1, 2], [["a"]])
+
+    def test_ordering_invariant(self, scheme):
+        """Keys in the same partition form a contiguous range."""
+        parts = [scheme.partition_of(k) for k in range(50)]
+        assert parts == sorted(parts)
+
+
+class TestConsistentHashRing:
+    @pytest.fixture
+    def ring(self):
+        return ConsistentHashRing(HOSTS, vnodes=16, replication=3)
+
+    def test_partition_in_range(self, ring):
+        for key in range(200):
+            assert 0 <= ring.partition_of(key) < ring.num_partitions
+
+    def test_vnode_count(self, ring):
+        assert ring.num_partitions == 6 * 16
+
+    def test_replicas_distinct_hosts(self, ring):
+        for p in range(0, ring.num_partitions, 7):
+            locs = ring.locations(p)
+            assert len(locs) == 3
+            assert len(set(locs)) == 3
+
+    def test_key_distribution_roughly_even(self, ring):
+        from collections import Counter
+
+        owners = Counter(
+            ring.locations(ring.partition_of(f"key{i}"))[0] for i in range(3000)
+        )
+        assert len(owners) == 6
+        assert max(owners.values()) < 4 * min(owners.values())
+
+    def test_stability_when_host_added(self):
+        """Adding a host moves only a fraction of the keys (the point
+        of consistent hashing)."""
+        before = ConsistentHashRing(HOSTS, vnodes=32, replication=1)
+        after = ConsistentHashRing(HOSTS + ["node99"], vnodes=32, replication=1)
+        moved = 0
+        for i in range(2000):
+            key = f"key{i}"
+            a = before.locations(before.partition_of(key))[0]
+            b = after.locations(after.partition_of(key))[0]
+            if a != b:
+                moved += 1
+        assert moved < 1200  # far fewer than all keys
+
+    def test_rejects_empty_hosts(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])

@@ -1,0 +1,179 @@
+"""Unit tests for the R*-tree and the grid forest."""
+
+import math
+import random
+
+import pytest
+
+from repro.indices.rstar import GridRStarForest, Rect, RStarTree
+
+
+def random_points(n, seed=0, lo=0.0, hi=1.0):
+    rng = random.Random(seed)
+    return [((rng.uniform(lo, hi), rng.uniform(lo, hi)), i) for i in range(n)]
+
+
+def brute_knn(points, q, k):
+    return [
+        pid
+        for _p, pid in sorted(
+            points, key=lambda pr: (pr[0][0] - q[0]) ** 2 + (pr[0][1] - q[1]) ** 2
+        )[:k]
+    ]
+
+
+class TestRect:
+    def test_area_and_margin(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.area() == 6
+        assert r.margin() == 10
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, 0, 3, 3)
+
+    def test_enlargement(self):
+        assert Rect(0, 0, 1, 1).enlargement(Rect(0, 0, 2, 1)) == 1.0
+
+    def test_intersects(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_min_dist2(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.min_dist2((0.5, 0.5)) == 0.0
+        assert r.min_dist2((2.0, 0.5)) == pytest.approx(1.0)
+        assert r.min_dist2((2.0, 2.0)) == pytest.approx(2.0)
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point((0.0, 1.0))
+        assert not r.contains_point((1.1, 0.5))
+
+
+class TestRStarTreeStructure:
+    def test_rejects_small_fanout(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=3)
+
+    def test_len(self):
+        t = RStarTree(max_entries=4)
+        for p, pid in random_points(50):
+            t.insert(p, pid)
+        assert len(t) == 50
+
+    @pytest.mark.parametrize("n", [1, 5, 60, 500])
+    def test_invariants(self, n):
+        t = RStarTree(max_entries=6)
+        for p, pid in random_points(n, seed=n):
+            t.insert(p, pid)
+        t.check_invariants()
+
+    def test_duplicate_points_allowed(self):
+        t = RStarTree(max_entries=4)
+        for i in range(30):
+            t.insert((0.5, 0.5), i)
+        t.check_invariants()
+        assert len(t.knn((0.5, 0.5), 30)) == 30
+
+
+class TestKnn:
+    def test_empty_tree(self):
+        assert RStarTree().knn((0, 0), 5) == []
+
+    def test_k_zero(self):
+        t = RStarTree()
+        t.insert((0, 0), 1)
+        assert t.knn((0, 0), 0) == []
+
+    def test_k_larger_than_size(self):
+        t = RStarTree()
+        t.insert((0, 0), 1)
+        assert [pid for _d, pid in t.knn((0, 0), 10)] == [1]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        points = random_points(400, seed=seed)
+        t = RStarTree(max_entries=8)
+        for p, pid in points:
+            t.insert(p, pid)
+        for q in [(0.5, 0.5), (0.0, 0.0), (0.9, 0.1)]:
+            assert [pid for _d, pid in t.knn(q, 10)] == brute_knn(points, q, 10)
+
+    def test_distances_sorted_and_correct(self):
+        points = random_points(100, seed=9)
+        t = RStarTree(max_entries=8)
+        for p, pid in points:
+            t.insert(p, pid)
+        q = (0.3, 0.7)
+        result = t.knn(q, 15)
+        dists = [d for d, _ in result]
+        assert dists == sorted(dists)
+        by_id = dict((pid, p) for p, pid in points)
+        for d, pid in result:
+            p = by_id[pid]
+            assert d == pytest.approx(math.dist(p, q))
+
+
+class TestRangeSearch:
+    def test_finds_all_inside(self):
+        points = random_points(300, seed=4)
+        t = RStarTree(max_entries=8)
+        for p, pid in points:
+            t.insert(p, pid)
+        box = Rect(0.2, 0.2, 0.6, 0.6)
+        expected = {pid for p, pid in points if box.contains_point(p)}
+        assert set(t.range_search(box)) == expected
+
+    def test_empty_region(self):
+        t = RStarTree()
+        t.insert((0.1, 0.1), 1)
+        assert t.range_search(Rect(5, 5, 6, 6)) == []
+
+
+class TestGridRStarForest:
+    @pytest.fixture
+    def forest(self, cluster):
+        self.points = random_points(600, seed=11)
+        return GridRStarForest(
+            "grid", cluster, self.points, k=5, grid_x=3, grid_y=3, overlap=0.2
+        )
+
+    def test_lookup_returns_k(self, forest):
+        assert len(forest.lookup((0.5, 0.5))) == 5
+
+    def test_interior_query_exact(self, forest):
+        q = (0.5, 0.5)
+        assert forest.lookup(q) == brute_knn(self.points, q, 5)
+
+    def test_high_recall_everywhere(self, forest):
+        rng = random.Random(5)
+        hits = total = 0
+        for _ in range(50):
+            q = (rng.random(), rng.random())
+            exact = set(brute_knn(self.points, q, 5))
+            got = set(forest.lookup(q))
+            hits += len(exact & got)
+            total += 5
+        assert hits / total >= 0.9
+
+    def test_partition_scheme_grid(self, forest):
+        scheme = forest.partition_scheme
+        assert scheme.num_partitions == 9
+        assert scheme.partition_of((0.01, 0.01)) == 0
+
+    def test_total_insertions_at_least_points(self, forest):
+        # overlap duplicates boundary points into neighbour cells
+        assert len(forest) >= 600
+
+    def test_rejects_bad_key(self, forest):
+        with pytest.raises(TypeError):
+            forest.lookup("not-a-point")
+
+    def test_rejects_empty(self, cluster):
+        with pytest.raises(ValueError):
+            GridRStarForest("g", cluster, [], k=5)

@@ -1,0 +1,131 @@
+"""Integration: EFind over a *range-partitioned distributed B-tree*
+index (every other integration test uses the hash-partitioned KV
+store). Exercises the RangePartitionScheme through co-partitioning and
+index locality."""
+
+import random
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.core.runner import EFindRunner
+from repro.indices.btree import DistributedBTree
+from repro.mapreduce.api import FnMapper, FnReducer
+
+
+class ScoreLookupOperator(IndexOperator):
+    """Record (id, item_id) -> (score_bucket, 1) via the B-tree index."""
+
+    def pre_process(self, key, value, index_input):
+        index_input.put(0, value)
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        scores = index_output.get(0).get_all()
+        if not scores:
+            return
+        collector.collect(scores[0] // 100, 1)
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=16 * 1024)
+    rng = random.Random(17)
+    num_items = 1_500
+    records = [(i, rng.randrange(num_items)) for i in range(9_000)]
+    dfs.write("/in/lookups", records)
+    btree = DistributedBTree(
+        "scores",
+        cluster,
+        [(item, (item * 7919) % 1000) for item in range(num_items)],
+        num_partitions=8,
+        service_time=3e-3,
+    )
+    return cluster, dfs, btree, records
+
+
+def make_job(env, name):
+    cluster, dfs, btree, _records = env
+    job = IndexJobConf(name)
+    job.set_input_paths("/in/lookups").set_output_path(f"/out/{name}")
+    job.add_head_index_operator(
+        ScoreLookupOperator("score").add_index(IndexAccessor(btree))
+    )
+    job.set_mapper(FnMapper(lambda k, v: [(k, v)], "i"))
+    job.set_reducer(FnReducer(lambda k, vs: [(k, sum(vs))], "s"), num_reduce_tasks=6)
+    return job
+
+
+def expected(env):
+    _c, _d, _b, records = env
+    out = {}
+    for _rid, item in records:
+        bucket = ((item * 7919) % 1000) // 100
+        out[bucket] = out.get(bucket, 0) + 1
+    return out
+
+
+class TestBTreeBackedJob:
+    @pytest.mark.parametrize(
+        "strategy",
+        [Strategy.BASELINE, Strategy.CACHE, Strategy.REPART, Strategy.IDXLOC],
+    )
+    def test_all_strategies_correct(self, env, strategy):
+        cluster, dfs, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, f"bt-{strategy.value}"),
+            mode="forced",
+            forced_strategy=strategy,
+            extra_job_targets=["head0"],
+        )
+        assert dict(res.output) == expected(env)
+
+    def test_idxloc_pins_tasks_to_range_partitions(self, env):
+        cluster, dfs, btree, _ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "bt-pin"),
+            mode="forced",
+            forced_strategy=Strategy.IDXLOC,
+            extra_job_targets=["head0"],
+        )
+        scheme = btree.partition_scheme
+        lookup_stage = res.stage_results[1]
+        replica_hosts = set(scheme.all_hosts())
+        for task in lookup_stage.map_runs:
+            assert task.node_host in replica_hosts
+
+    def test_idxloc_shuffle_uses_range_partitioning(self, env):
+        """Keys are co-partitioned with the B-tree's range scheme: the
+        shuffle stage runs one reduce task per index partition, and the
+        scheme is monotone over the key space."""
+        cluster, dfs, btree, _ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "bt-range"),
+            mode="forced",
+            forced_strategy=Strategy.IDXLOC,
+            extra_job_targets=["head0"],
+        )
+        shuffle = res.stage_results[0]
+        scheme = btree.partition_scheme
+        assert len(shuffle.reduce_runs) == scheme.num_partitions
+        parts = [scheme.partition_of(k) for k in range(0, 1500, 10)]
+        assert parts == sorted(parts)
+
+    def test_dedup_counts_with_btree(self, env):
+        cluster, dfs, btree, records = env
+        btree.reset_accounting()
+        EFindRunner(cluster, dfs).run(
+            make_job(env, "bt-dedup"),
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],
+        )
+        distinct = len({item for _rid, item in records})
+        assert btree.lookups_served <= distinct * 1.2

@@ -1,0 +1,119 @@
+"""Failure-injection tests: errors from indices and mis-wired jobs must
+surface loudly, never as silently wrong output."""
+
+import pytest
+
+from repro.common.errors import DataFlowError, IndexLookupError
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.indices.base import IndexService, MappingIndex
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
+from tests.conftest import UserCityOperator
+
+
+class FlakyIndex(IndexService):
+    """Fails on a specific key."""
+
+    def __init__(self, poison):
+        super().__init__("flaky", service_time=1e-4)
+        self.poison = poison
+
+    def _lookup(self, key):
+        if key == self.poison:
+            raise IndexLookupError(f"backend exploded on {key!r}")
+        return [key]
+
+
+def simple_job(env, name, accessor):
+    job = IndexJobConf(name)
+    job.set_input_paths("/in/events").set_output_path(f"/out/{name}")
+    job.add_head_index_operator(UserCityOperator("op").add_index(accessor))
+    job.set_mapper(FnMapper(lambda k, v: [(k, v)], "i"))
+    job.set_reducer(FnReducer(lambda k, vs: [(k, len(vs))], "c"), num_reduce_tasks=4)
+    return job
+
+
+class TestIndexErrorsPropagate:
+    def test_strict_store_raises_through_the_job(self, efind_env):
+        strict = DistributedKVStore("strict", efind_env.cluster, strict=True)
+        strict.put_unique("only-key", "x")
+        job = simple_job(efind_env, "strict-job", IndexAccessor(strict))
+        with pytest.raises(IndexLookupError):
+            efind_env.runner().run(
+                job, mode="forced", forced_strategy=Strategy.BASELINE
+            )
+
+    def test_flaky_backend_raises_through_the_job(self, efind_env):
+        # every user key except the poisoned one resolves
+        flaky = FlakyIndex(poison="user0001")
+        job = simple_job(efind_env, "flaky-job", IndexAccessor(flaky))
+        with pytest.raises(IndexLookupError):
+            efind_env.runner().run(
+                job, mode="forced", forced_strategy=Strategy.CACHE
+            )
+
+    def test_flaky_backend_raises_in_shuffle_job_too(self, efind_env):
+        flaky = FlakyIndex(poison="user0001")
+        job = simple_job(efind_env, "flaky-repart", IndexAccessor(flaky))
+        with pytest.raises(IndexLookupError):
+            efind_env.runner().run(
+                job,
+                mode="forced",
+                forced_strategy=Strategy.REPART,
+                extra_job_targets=["head0"],
+            )
+
+
+class TestMiswiredJobs:
+    def test_unknown_input_path(self, efind_env):
+        job = efind_env.make_job("bad-in")
+        job.set_input_paths("/does/not/exist")
+        with pytest.raises(DataFlowError):
+            efind_env.runner().run(
+                job, mode="forced", forced_strategy=Strategy.BASELINE
+            )
+
+    def test_empty_input_file_is_fine(self, efind_env):
+        efind_env.dfs.write("/in/empty", [])
+        job = efind_env.make_job("empty-in")
+        job.set_input_paths("/in/empty")
+        res = efind_env.runner().run(
+            job, mode="forced", forced_strategy=Strategy.CACHE
+        )
+        assert res.output == []
+
+    def test_operator_state_not_shared_between_jobs(self, efind_env):
+        """Reusing one IndexOperator object across two runs must not
+        leak lookup results between them (fresh runner, fresh plan)."""
+        op = UserCityOperator("shared").add_index(IndexAccessor(efind_env.kv))
+        for i in range(2):
+            job = IndexJobConf(f"reuse-{i}")
+            job.set_input_paths("/in/events").set_output_path(f"/out/reuse-{i}")
+            job.add_head_index_operator(op)
+            job.set_mapper(FnMapper(lambda k, v: [(k, v)], "i"))
+            job.set_reducer(
+                FnReducer(lambda k, vs: [(k, len(vs))], "c"), num_reduce_tasks=4
+            )
+            res = efind_env.runner().run(
+                job, mode="forced", forced_strategy=Strategy.CACHE
+            )
+            assert sum(v for _k, v in res.output) == efind_env.num_records
+
+
+class TestIdempotenceFingerprint:
+    def test_index_unchanged_during_job(self, efind_env):
+        before = efind_env.kv.fingerprint()
+        efind_env.runner().run(
+            efind_env.make_job("fp"), mode="forced", forced_strategy=Strategy.CACHE
+        )
+        assert efind_env.kv.fingerprint() == before
+
+    def test_mapping_index_stable(self):
+        idx = MappingIndex("m", {1: "one"})
+        fp = idx.fingerprint()
+        idx.lookup(1)
+        idx.lookup(2)
+        assert idx.fingerprint() == fp

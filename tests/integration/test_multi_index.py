@@ -1,0 +1,147 @@
+"""Integration tests for multiple independent indices in one
+IndexOperator (Section 3.5)."""
+
+import random
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.core.runner import EFindRunner
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
+
+
+class TwoIndexOperator(IndexOperator):
+    """Looks up a user profile *and* a product catalog independently."""
+
+    def pre_process(self, key, value, index_input):
+        user, product, payload = value
+        index_input.put(0, user)
+        index_input.put(1, product)
+        return key, payload
+
+    def post_process(self, key, value, index_output, collector):
+        cities = index_output.get(0).get_all()
+        prices = index_output.get(1).get_all()
+        if not cities or not prices:
+            return
+        collector.collect((cities[0], prices[0]), 1)
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=32 * 1024)
+    rng = random.Random(3)
+    num_records, num_users, num_products = 6000, 300, 40
+    records = [
+        (
+            i,
+            (
+                f"user{rng.randrange(num_users):04d}",
+                f"prod{rng.randrange(num_products):03d}",
+                "x" * 60,
+            ),
+        )
+        for i in range(num_records)
+    ]
+    dfs.write("/in/orders", records)
+    users = DistributedKVStore("users", cluster, service_time=4e-3)
+    for u in range(num_users):
+        users.put_unique(f"user{u:04d}", f"city{u % 20:02d}")
+    products = DistributedKVStore("products", cluster, service_time=4e-3)
+    for p in range(num_products):
+        products.put_unique(f"prod{p:03d}", round(9.99 + p, 2))
+    return cluster, dfs, users, products, num_records
+
+
+def make_job(env, name):
+    cluster, dfs, users, products, _n = env
+    op = TwoIndexOperator("two-idx")
+    op.add_index(IndexAccessor(users))
+    op.add_index(IndexAccessor(products))
+    job = IndexJobConf(name)
+    job.set_input_paths("/in/orders").set_output_path(f"/out/{name}")
+    job.add_head_index_operator(op)
+    job.set_mapper(FnMapper(lambda k, v: [(k, v)], "ident"))
+    job.set_reducer(FnReducer(lambda k, vs: [(k, sum(vs))], "sum"), num_reduce_tasks=8)
+    return job
+
+
+class TestTwoIndexOperator:
+    def test_baseline_runs_both_lookups(self, env):
+        cluster, dfs, users, products, n = env
+        users.reset_accounting()
+        products.reset_accounting()
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "mi-base"), mode="forced", forced_strategy=Strategy.BASELINE
+        )
+        assert users.lookups_served == n
+        assert products.lookups_served == n
+        assert sum(v for _, v in res.output) == n
+
+    def test_all_strategies_agree(self, env):
+        cluster, dfs, *_ = env
+        outputs = []
+        for strat in (Strategy.BASELINE, Strategy.CACHE, Strategy.REPART):
+            res = EFindRunner(cluster, dfs).run(
+                make_job(env, f"mi-{strat.value}"),
+                mode="forced",
+                forced_strategy=strat,
+                extra_job_targets=["head0"],
+            )
+            outputs.append(sorted(res.output))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_forced_repart_adds_one_stage_per_index(self, env):
+        cluster, dfs, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "mi-rep2"),
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],
+        )
+        # both indices of head0 forced to repart -> two shuffle stages
+        assert res.num_stages == 3
+
+    def test_static_optimization_orders_extra_job_first(self, env):
+        cluster, dfs, *_ = env
+        runner = EFindRunner(cluster, dfs)
+        runner.run(
+            make_job(env, "mi-prof"), mode="forced", forced_strategy=Strategy.BASELINE
+        )
+        res = runner.run(make_job(env, "mi-opt"), mode="static")
+        plan = res.plan.operators["head0"]
+        strategies_in_order = [plan.strategies[j] for j in plan.order]
+        seen_cheap = False
+        for s in strategies_in_order:
+            if s in (Strategy.BASELINE, Strategy.CACHE):
+                seen_cheap = True
+            else:
+                assert not seen_cheap, "Property 4 violated in chosen plan"
+
+    def test_static_output_correct(self, env):
+        cluster, dfs, *_ = env
+        runner = EFindRunner(cluster, dfs)
+        base = runner.run(
+            make_job(env, "mi-prof2"),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        opt = runner.run(make_job(env, "mi-opt2"), mode="static")
+        assert sorted(opt.output) == sorted(base.output)
+
+    def test_dynamic_output_correct(self, env):
+        cluster, dfs, *_ = env
+        base = EFindRunner(cluster, dfs).run(
+            make_job(env, "mi-b2"), mode="forced", forced_strategy=Strategy.BASELINE
+        )
+        dyn = EFindRunner(cluster, dfs).run(make_job(env, "mi-dyn"), mode="dynamic")
+        assert sorted(dyn.output) == sorted(base.output)
+        assert dyn.sim_time <= base.sim_time + 1e-9

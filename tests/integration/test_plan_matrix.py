@@ -1,0 +1,124 @@
+"""Exhaustive plan matrix: every (head strategy x body strategy)
+combination executes through the compiler and produces identical
+results. This covers compiler paths no single figure exercises (e.g.
+head CACHE + body REPART, head IDXLOC + body IDXLOC: three jobs)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Placement, Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.core.plan import AccessPlan, OperatorPlan
+from repro.core.runner import EFindRunner
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
+from tests.conftest import UserCityOperator
+
+ALL = (Strategy.BASELINE, Strategy.CACHE, Strategy.REPART, Strategy.IDXLOC)
+
+
+class RegionTagOperator(IndexOperator):
+    """Body operator: re-key (city, payload) records by region via the
+    second index."""
+
+    def pre_process(self, key, value, index_input):
+        index_input.put(0, key)  # the record key is the city
+        return key, value
+
+    def post_process(self, key, value, index_output, collector):
+        regions = index_output.get(0).get_all()
+        collector.collect(regions[0] if regions else "?", value)
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=6, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=8 * 1024)
+    rng = random.Random(9)
+    num_users, num_cities = 120, 15
+    records = [
+        (i, (f"user{rng.randrange(num_users):04d}", "x" * 24))
+        for i in range(2500)
+    ]
+    dfs.write("/in/matrix", records)
+    users = DistributedKVStore("mx-users", cluster, service_time=2e-3)
+    for u in range(num_users):
+        users.put_unique(f"user{u:04d}", f"city{u % num_cities:02d}")
+    cities = DistributedKVStore("mx-cities", cluster, service_time=2e-3)
+    for c in range(num_cities):
+        cities.put_unique(f"city{c:02d}", f"region{c % 4}")
+    return cluster, dfs, users, cities
+
+
+def make_job(env, name):
+    cluster, dfs, users, cities = env
+    job = IndexJobConf(name)
+    job.set_input_paths("/in/matrix").set_output_path(f"/out/{name}")
+    # head: (user, payload) -> (city, payload)
+    job.add_head_index_operator(
+        UserCityOperator("head-op").add_index(IndexAccessor(users))
+    )
+    job.set_mapper(FnMapper(lambda k, v: [(k, v)], "i"))
+    # body: (city, payload) -> (region, payload)
+    job.add_body_index_operator(
+        RegionTagOperator("body-op").add_index(IndexAccessor(cities))
+    )
+    job.set_reducer(
+        FnReducer(lambda k, vs: [(k, len(vs))], "count"), num_reduce_tasks=4
+    )
+    return job
+
+
+def plan_for(head: Strategy, body: Strategy) -> AccessPlan:
+    plan = AccessPlan()
+    plan.operators["head0"] = OperatorPlan(
+        "head0", Placement.BEFORE_MAP, order=[0], strategies={0: head}
+    )
+    plan.operators["body0"] = OperatorPlan(
+        "body0", Placement.BETWEEN_MAP_REDUCE, order=[0], strategies={0: body}
+    )
+    return plan
+
+
+class TestPlanMatrix:
+    @pytest.fixture(scope="class")
+    def reference(self, env):
+        cluster, dfs, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "mx-ref"),
+            mode="plan",
+            plan=plan_for(Strategy.BASELINE, Strategy.BASELINE),
+        )
+        total = sum(v for _k, v in res.output)
+        assert total == 2500
+        return sorted(res.output)
+
+    @pytest.mark.parametrize(
+        "head,body", list(itertools.product(ALL, ALL)),
+        ids=lambda s: s.value if isinstance(s, Strategy) else s,
+    )
+    def test_combination_correct(self, env, reference, head, body):
+        cluster, dfs, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, f"mx-{head.value}-{body.value}"),
+            mode="plan",
+            plan=plan_for(head, body),
+        )
+        assert sorted(res.output) == reference
+
+    def test_double_extra_job_stage_count(self, env):
+        cluster, dfs, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "mx-stages"),
+            mode="plan",
+            plan=plan_for(Strategy.REPART, Strategy.IDXLOC),
+        )
+        # shuffle(head) + [lookup..map..pre..keyby] shuffle(body) + final
+        assert res.num_stages == 3

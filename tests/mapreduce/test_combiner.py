@@ -1,0 +1,94 @@
+"""Tests for map-side combiner support."""
+
+import pytest
+
+from repro.common.errors import DataFlowError
+from repro.mapreduce.api import FnMapper, FnReducer
+from repro.mapreduce.jobconf import JobConf
+from repro.mapreduce.runtime import JobRunner
+
+
+def tokenize(k, v):
+    for w in v.split():
+        yield (w, 1)
+
+
+def total(k, vs):
+    yield (k, sum(vs))
+
+
+def wc_conf(**overrides):
+    conf = JobConf(
+        name="wc-comb",
+        input_paths=["/in"],
+        output_path="/out",
+        map_chain=[FnMapper(tokenize)],
+        reducer=FnReducer(total),
+        num_reduce_tasks=3,
+    )
+    for key, value in overrides.items():
+        setattr(conf, key, value)
+    return conf
+
+
+@pytest.fixture
+def loaded(cluster, dfs):
+    records = [(i, "alpha beta alpha gamma alpha") for i in range(1500)]
+    dfs.write("/in", records)
+    return JobRunner(cluster, dfs)
+
+
+class TestCombiner:
+    def test_same_answer_with_combiner(self, loaded):
+        plain = loaded.run(wc_conf())
+        combined = loaded.run(wc_conf(combiner=FnReducer(total)))
+        assert sorted(plain.output) == sorted(combined.output)
+        assert dict(combined.output)["alpha"] == 4500
+
+    def test_combiner_shrinks_shuffle(self, loaded):
+        plain = loaded.run(wc_conf())
+        combined = loaded.run(wc_conf(combiner=FnReducer(total)))
+        plain_in = plain.counters.get("task", "reduce_input_records")
+        comb_in = combined.counters.get("task", "reduce_input_records")
+        assert comb_in < plain_in / 10
+
+    def test_combiner_counters(self, loaded):
+        res = loaded.run(wc_conf(combiner=FnReducer(total)))
+        assert res.counters.get("task", "combine_input_records") == 1500 * 5
+        assert res.counters.get("task", "combine_output_records") < 1500 * 5
+
+    def test_combiner_reduces_sim_time(self, loaded):
+        plain = loaded.run(wc_conf())
+        combined = loaded.run(wc_conf(combiner=FnReducer(total)))
+        # less shuffle transfer + merge work than it costs to combine
+        assert combined.sim_time <= plain.sim_time * 1.05
+
+    def test_combiner_requires_reducer(self, loaded):
+        conf = wc_conf(
+            reducer=None, num_reduce_tasks=0, combiner=FnReducer(total)
+        )
+        with pytest.raises(DataFlowError):
+            loaded.run(conf)
+
+    def test_non_idempotent_friendly_combiner_semantics(self, loaded):
+        """The combiner runs on map-local groups only; a max() combiner
+        (idempotent, associative) is also exact."""
+
+        def peak(k, vs):
+            yield (k, max(vs))
+
+        def emit_val(k, v):
+            for i, w in enumerate(v.split()):
+                yield (w, i)
+
+        plain = loaded.run(
+            wc_conf(map_chain=[FnMapper(emit_val)], reducer=FnReducer(peak))
+        )
+        combined = loaded.run(
+            wc_conf(
+                map_chain=[FnMapper(emit_val)],
+                reducer=FnReducer(peak),
+                combiner=FnReducer(peak),
+            )
+        )
+        assert sorted(plain.output) == sorted(combined.output)

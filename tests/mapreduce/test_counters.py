@@ -1,0 +1,81 @@
+"""Unit tests for counters."""
+
+from repro.mapreduce.counters import Counters
+
+
+class TestIncrement:
+    def test_starts_at_zero(self):
+        c = Counters()
+        assert c.get("g", "n") == 0.0
+
+    def test_increment_default_one(self):
+        c = Counters()
+        c.increment("g", "n")
+        c.increment("g", "n")
+        assert c.get("g", "n") == 2.0
+
+    def test_increment_amount(self):
+        c = Counters()
+        c.increment("g", "bytes", 100)
+        c.increment("g", "bytes", 50)
+        assert c.get("g", "bytes") == 150.0
+
+    def test_set_overwrites(self):
+        c = Counters()
+        c.increment("g", "n", 5)
+        c.set("g", "n", 2)
+        assert c.get("g", "n") == 2.0
+
+    def test_groups_isolated(self):
+        c = Counters()
+        c.increment("a", "n")
+        c.increment("b", "n", 3)
+        assert c.get("a", "n") == 1.0
+        assert c.get("b", "n") == 3.0
+
+
+class TestMerge:
+    def test_merge_adds(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "n", 1)
+        b.increment("g", "n", 2)
+        b.increment("g", "m", 5)
+        a.merge(b)
+        assert a.get("g", "n") == 3.0
+        assert a.get("g", "m") == 5.0
+
+    def test_merge_leaves_source_unchanged(self):
+        a, b = Counters(), Counters()
+        b.increment("g", "n", 2)
+        a.merge(b)
+        assert b.get("g", "n") == 2.0
+
+    def test_copy_is_independent(self):
+        a = Counters()
+        a.increment("g", "n")
+        b = a.copy()
+        b.increment("g", "n")
+        assert a.get("g", "n") == 1.0
+        assert b.get("g", "n") == 2.0
+
+
+class TestIntrospection:
+    def test_items_iterates_all(self):
+        c = Counters()
+        c.increment("a", "x", 1)
+        c.increment("b", "y", 2)
+        assert sorted(c.items()) == [("a", "x", 1.0), ("b", "y", 2.0)]
+
+    def test_len(self):
+        c = Counters()
+        c.increment("a", "x")
+        c.increment("a", "y")
+        c.increment("b", "x")
+        assert len(c) == 3
+
+    def test_group_view_is_copy(self):
+        c = Counters()
+        c.increment("g", "n")
+        view = c.group("g")
+        view["n"] = 99
+        assert c.get("g", "n") == 1.0

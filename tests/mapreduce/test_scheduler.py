@@ -1,0 +1,104 @@
+"""Unit tests for the slot scheduler."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.simcluster.cluster import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=3, map_slots_per_node=2, reduce_slots_per_node=1)
+
+
+class TestConstruction:
+    def test_map_slot_count(self, cluster):
+        assert SlotScheduler(cluster, "map").num_slots == 6
+
+    def test_reduce_slot_count(self, cluster):
+        assert SlotScheduler(cluster, "reduce").num_slots == 3
+
+    def test_rejects_unknown_kind(self, cluster):
+        with pytest.raises(ValueError):
+            SlotScheduler(cluster, "combine")
+
+    def test_start_time_applied(self, cluster):
+        sched = SlotScheduler(cluster, "map", start_time=10.0)
+        assert all(s.available == 10.0 for s in sched.slots)
+
+
+class TestAcquireCommit:
+    def test_earliest_slot_wins(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        slot = sched.acquire()
+        sched.commit(slot, 5.0)
+        nxt = sched.acquire()
+        assert nxt is not slot
+
+    def test_commit_returns_start_end_wave(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        slot = sched.acquire()
+        start, end, wave = sched.commit(slot, 2.5)
+        assert (start, end, wave) == (0.0, 2.5, 0)
+
+    def test_second_task_on_slot_is_wave_one(self, cluster):
+        sched = SlotScheduler(cluster, "reduce")
+        for _ in range(3):
+            sched.commit(sched.acquire(), 1.0)
+        _, _, wave = sched.commit(sched.acquire(), 1.0)
+        assert wave == 1
+
+    def test_negative_duration_rejected(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        with pytest.raises(SchedulingError):
+            sched.commit(sched.acquire(), -1.0)
+
+    def test_makespan(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        for d in (1.0, 2.0, 3.0):
+            sched.commit(sched.acquire(), d)
+        assert sched.makespan() == 3.0
+
+    def test_makespan_floor(self, cluster):
+        sched = SlotScheduler(cluster, "map", start_time=7.0)
+        assert sched.makespan(floor=7.0) == 7.0
+
+
+class TestLocality:
+    def test_prefers_preferred_host_among_ties(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        slot = sched.acquire(preferred_hosts=["node02"])
+        assert slot.host == "node02"
+
+    def test_preference_ignored_when_host_busy(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        # Fill both slots of node02.
+        for _ in range(2):
+            s = sched.acquire(preferred_hosts=["node02"])
+            assert s.host == "node02"
+            sched.commit(s, 100.0)
+        slot = sched.acquire(preferred_hosts=["node02"])
+        assert slot.host != "node02"
+
+    def test_allowed_hosts_hard_constraint(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        for _ in range(10):
+            slot = sched.acquire(allowed_hosts=["node01"])
+            assert slot.host == "node01"
+            sched.commit(slot, 1.0)
+
+    def test_unsatisfiable_constraint_raises(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        with pytest.raises(SchedulingError):
+            sched.acquire(allowed_hosts=["node99"])
+
+    def test_constraint_queues_rather_than_spills(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        ends = []
+        for _ in range(4):
+            slot = sched.acquire(allowed_hosts=["node00"])
+            _, end, _ = sched.commit(slot, 1.0)
+            ends.append(end)
+        # node00 has 2 map slots -> 4 tasks take 2 waves.
+        assert max(ends) == 2.0

@@ -1,0 +1,159 @@
+"""Property-based tests on the cost model and optimizer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import (
+    CostEnv,
+    Placement,
+    Strategy,
+    cost_baseline,
+    cost_cache,
+    cost_idxloc,
+    cost_repart,
+    s_min,
+)
+from repro.core.optimizer import full_enumerate, k_repart, plan_cost
+from repro.core.statistics import IndexStats, OperatorStats
+
+env_strategy = st.builds(
+    CostEnv,
+    bw=st.floats(1e6, 1e9),
+    f=st.floats(1e-9, 1e-6),
+    t_cache=st.floats(1e-7, 1e-4),
+    extra_job_overhead=st.floats(0.0, 10.0),
+)
+
+index_strategy = st.builds(
+    IndexStats,
+    nik=st.floats(0.1, 1.0),
+    sik=st.floats(1, 1000),
+    siv=st.floats(1, 50_000),
+    tj=st.floats(1e-5, 0.1),
+    miss_ratio=st.floats(0.0, 1.0),
+    theta=st.floats(1.0, 1000.0),
+)
+
+op_strategy = st.builds(
+    OperatorStats,
+    n1=st.floats(1, 1e6),
+    s1=st.floats(1, 10_000),
+    spre=st.floats(1, 10_000),
+    sidx=st.floats(1, 10_000),
+    spost=st.floats(1, 10_000),
+    smap=st.floats(1, 10_000),
+)
+
+placements = st.sampled_from(list(Placement))
+
+
+class TestCostProperties:
+    @given(env_strategy, op_strategy, index_strategy, placements)
+    @settings(max_examples=100)
+    def test_all_costs_nonnegative(self, env, op, idx, placement):
+        assert cost_baseline(env, op, idx) >= 0
+        assert cost_cache(env, op, idx) >= 0
+        assert cost_repart(env, op, idx, placement) >= 0
+        assert cost_idxloc(env, op, idx, placement) >= 0
+
+    @given(env_strategy, op_strategy, index_strategy)
+    @settings(max_examples=100)
+    def test_cache_never_beats_baseline_at_r1(self, env, op, idx):
+        """With miss ratio 1 the cache is pure overhead (Eq. 2 vs 1)."""
+        idx.miss_ratio = 1.0
+        assert cost_cache(env, op, idx) >= cost_baseline(env, op, idx)
+
+    @given(env_strategy, op_strategy, index_strategy)
+    @settings(max_examples=100)
+    def test_cache_improves_as_r_falls(self, env, op, idx):
+        idx.miss_ratio = 0.9
+        high = cost_cache(env, op, idx)
+        idx.miss_ratio = 0.1
+        low = cost_cache(env, op, idx)
+        assert low <= high
+
+    @given(env_strategy, op_strategy, index_strategy, placements)
+    @settings(max_examples=100)
+    def test_repart_improves_with_theta(self, env, op, idx, placement):
+        idx.theta = 1.0
+        no_dup = cost_repart(env, op, idx, placement)
+        idx.theta = 100.0
+        high_dup = cost_repart(env, op, idx, placement)
+        assert high_dup <= no_dup
+
+    @given(op_strategy, placements, st.floats(0, 1000))
+    @settings(max_examples=100)
+    def test_s_min_is_a_lower_bound_of_candidates(self, op, placement, carried):
+        m = s_min(op, placement, carried)
+        assert m <= op.spre + carried + 1e-9
+
+    @given(env_strategy, op_strategy, index_strategy, placements)
+    @settings(max_examples=100)
+    def test_baseline_independent_of_placement(self, env, op, idx, placement):
+        assert cost_baseline(env, op, idx) == cost_baseline(env, op, idx)
+
+
+class TestOptimizerProperties:
+    @given(
+        env_strategy,
+        op_strategy,
+        st.lists(index_strategy, min_size=1, max_size=3),
+        placements,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_enumerate_never_worse_than_any_uniform_plan(
+        self, env, op, indices, placement
+    ):
+        for j, idx in enumerate(indices):
+            op.per_index[j] = idx
+        locality = [True] * len(indices)
+        best = full_enumerate(env, op, placement, locality, "op")
+        # compare against forcing baseline / cache uniformly
+        from repro.core.plan import OperatorPlan
+
+        for uniform in (Strategy.BASELINE, Strategy.CACHE):
+            plan = OperatorPlan(
+                "op",
+                placement,
+                order=list(range(len(indices))),
+                strategies={j: uniform for j in range(len(indices))},
+            )
+            assert best.estimated_cost <= plan_cost(env, op, plan) + 1e-6
+
+    @given(
+        env_strategy,
+        op_strategy,
+        st.lists(index_strategy, min_size=1, max_size=3),
+        placements,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_k_repart_upper_bounds_full_enumerate(
+        self, env, op, indices, placement
+    ):
+        """k-Repart explores a subset of FullEnumerate's plans, so its
+        best plan can never be cheaper."""
+        for j, idx in enumerate(indices):
+            op.per_index[j] = idx
+        locality = [False] * len(indices)
+        full = full_enumerate(env, op, placement, locality, "op")
+        kr = k_repart(env, op, placement, locality, "op", k=1)
+        assert kr.estimated_cost >= full.estimated_cost - 1e-6
+
+    @given(
+        env_strategy,
+        op_strategy,
+        st.lists(index_strategy, min_size=1, max_size=3),
+        placements,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_cost_reprices_consistently(self, env, op, indices, placement):
+        for j, idx in enumerate(indices):
+            op.per_index[j] = idx
+        best = full_enumerate(env, op, placement, [True] * len(indices), "op")
+        assert plan_cost(env, op, best) == pytest_approx(best.estimated_cost)
+
+
+def pytest_approx(x):
+    import pytest
+
+    return pytest.approx(x, rel=1e-9, abs=1e-9)

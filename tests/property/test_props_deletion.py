@@ -1,0 +1,77 @@
+"""Property-based tests for index mutation (insert/delete) paths."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indices.btree import BTree
+from repro.indices.rstar import RStarTree
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 60)),
+    max_size=250,
+)
+
+
+class TestBTreeMutation:
+    @given(ops, st.sampled_from([2, 3, 6]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, sequence, degree):
+        tree = BTree(t=degree)
+        model = {}
+        for action, key in sequence:
+            if action == "ins":
+                tree.insert(key, key)
+                model.setdefault(key, []).append(key)
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        tree.check_invariants()
+        for key in range(61):
+            assert tree.search(key) == model.get(key, [])
+        assert len(tree) == len(model)
+        assert tree.num_entries == sum(len(v) for v in model.values())
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_items_stay_sorted(self, sequence):
+        tree = BTree(t=3)
+        for action, key in sequence:
+            if action == "ins":
+                tree.insert(key, key)
+            else:
+                tree.delete(key)
+        keys = [k for k, _vs in tree.items()]
+        assert keys == sorted(set(keys))
+
+
+coords = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+point_ops = st.lists(
+    st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 40)),
+    max_size=150,
+)
+
+
+class TestRStarMutation:
+    @given(point_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_set_model(self, sequence):
+        tree = RStarTree(max_entries=5)
+        live = {}
+        # deterministic point per id
+        def point(i):
+            return (math.sin(i) * 5 + 5, math.cos(i * 1.7) * 5 + 5)
+
+        for action, i in sequence:
+            if action == "ins" and i not in live:
+                tree.insert(point(i), i)
+                live[i] = point(i)
+            elif action == "del":
+                assert tree.delete(point(i), i) == (i in live)
+                live.pop(i, None)
+        tree.check_invariants()
+        assert len(tree) == len(live)
+        if live:
+            got = {pid for _d, pid in tree.knn((5.0, 5.0), len(live))}
+            assert got == set(live)

@@ -1,0 +1,55 @@
+"""Unit tests for the simulated cluster."""
+
+import pytest
+
+from repro.simcluster.cluster import Cluster
+
+
+class TestConstruction:
+    def test_default_matches_paper(self):
+        c = Cluster()
+        assert c.num_nodes == 12
+        assert c.total_map_slots == 12 * 8
+        assert c.total_reduce_slots == 12 * 4
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+
+    def test_hostnames_unique(self):
+        c = Cluster(num_nodes=5)
+        hosts = {n.hostname for n in c.nodes}
+        assert len(hosts) == 5
+
+
+class TestLookup:
+    def test_node_by_index_wraps(self):
+        c = Cluster(num_nodes=3)
+        assert c.node(4) is c.nodes[1]
+
+    def test_node_by_host(self):
+        c = Cluster(num_nodes=3)
+        assert c.node_by_host("node01") is c.nodes[1]
+        assert c.node_by_host("nosuch") is None
+
+
+class TestReplicaPlacement:
+    def test_replicas_distinct_nodes(self):
+        c = Cluster(num_nodes=6)
+        nodes = c.replica_nodes(block_index=2, replication=3)
+        assert len({n.node_id for n in nodes}) == 3
+
+    def test_replication_capped_at_cluster_size(self):
+        c = Cluster(num_nodes=2)
+        assert len(c.replica_nodes(0, replication=3)) == 2
+
+    def test_deterministic(self):
+        c = Cluster(num_nodes=6)
+        assert [n.node_id for n in c.replica_nodes(3, 3)] == [
+            n.node_id for n in c.replica_nodes(3, 3)
+        ]
+
+    def test_spread_across_blocks(self):
+        c = Cluster(num_nodes=6)
+        firsts = {c.replica_nodes(i, 3)[0].node_id for i in range(12)}
+        assert len(firsts) > 1

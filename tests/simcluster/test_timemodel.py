@@ -1,0 +1,85 @@
+"""Unit tests for the time model."""
+
+import pytest
+
+from repro.common.units import MB
+from repro.simcluster.timemodel import TimeModel
+
+
+@pytest.fixture
+def tm():
+    return TimeModel()
+
+
+class TestDefaults:
+    def test_network_is_one_gbps(self, tm):
+        assert tm.network_bandwidth == 125 * MB
+
+    def test_replication_three(self, tm):
+        assert tm.dfs_replication == 3
+
+
+class TestTransfer:
+    def test_transfer_time_linear(self, tm):
+        assert tm.transfer_time(250 * MB) == pytest.approx(2.0)
+
+    def test_zero_bytes_free(self, tm):
+        assert tm.transfer_time(0) == 0.0
+
+    def test_disk_read(self, tm):
+        assert tm.disk_read_time(100 * MB) == pytest.approx(1.0)
+
+
+class TestDfsCosts:
+    def test_store_includes_replication_network(self, tm):
+        t = tm.dfs_store_time(100 * MB)
+        expected = 1.0 + 2 * (100 / 125)
+        assert t == pytest.approx(expected)
+
+    def test_retrieve_local_is_disk_only(self, tm):
+        assert tm.dfs_retrieve_time(100 * MB, local=True) == pytest.approx(1.0)
+
+    def test_retrieve_remote_adds_network(self, tm):
+        local = tm.dfs_retrieve_time(100 * MB, local=True)
+        remote = tm.dfs_retrieve_time(100 * MB, local=False)
+        assert remote > local
+        assert remote - local == pytest.approx(tm.transfer_time(100 * MB))
+
+    def test_f_combines_store_and_retrieve(self, tm):
+        f = tm.dfs_cost_per_byte
+        assert f == pytest.approx(
+            tm.dfs_store_time(1) + tm.dfs_retrieve_time(1, local=True)
+        )
+
+
+class TestLookupCosts:
+    def test_remote_lookup_includes_transfer_and_service(self, tm):
+        t = tm.remote_lookup_time(100, 900, 1e-3)
+        assert t == pytest.approx(1000 / tm.lookup_bandwidth + 1e-3)
+
+    def test_lookup_bandwidth_below_link_bandwidth(self, tm):
+        # per-request throughput never exceeds the bulk link rate
+        assert tm.lookup_bandwidth <= tm.network_bandwidth
+
+    def test_remote_lookup_includes_latency(self):
+        tm = TimeModel(network_latency=2e-3)
+        base = TimeModel()
+        assert tm.remote_lookup_time(8, 64, 1e-3) == pytest.approx(
+            base.remote_lookup_time(8, 64, 1e-3) + 2e-3
+        )
+
+    def test_local_lookup_is_service_only(self, tm):
+        assert tm.local_lookup_time(2e-3) == 2e-3
+
+    def test_local_cheaper_than_remote(self, tm):
+        assert tm.local_lookup_time(1e-3) < tm.remote_lookup_time(8, 1024, 1e-3)
+
+    def test_cpu_time_scales_with_records_and_bytes(self, tm):
+        assert tm.cpu_time(1000) == pytest.approx(1000 * tm.cpu_per_record)
+        assert tm.cpu_time(0, 1e6) == pytest.approx(1e6 * tm.cpu_per_byte)
+
+
+class TestImmutability:
+    def test_frozen(self, tm):
+        with pytest.raises(Exception):
+            tm.network_bandwidth = 1.0

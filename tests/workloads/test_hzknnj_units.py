@@ -1,0 +1,96 @@
+"""Unit tests for H-zkNNJ internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import hzknnj
+from repro.workloads.osm import US_BOUNDS
+
+
+class TestRangePartition:
+    def test_routing(self):
+        bounds = [10, 20, 30]
+        assert hzknnj._range_partition(5, bounds) == 0
+        assert hzknnj._range_partition(10, bounds) == 0
+        assert hzknnj._range_partition(15, bounds) == 1
+        assert hzknnj._range_partition(35, bounds) == 3
+
+    def test_empty_bounds_single_partition(self):
+        assert hzknnj._range_partition(123, []) == 0
+
+    @given(st.integers(0, 1 << 32), st.lists(st.integers(0, 1 << 32), max_size=10))
+    @settings(max_examples=50)
+    def test_partition_consistent_with_sorted_bounds(self, z, raw):
+        bounds = sorted(raw)
+        p = hzknnj._range_partition(z, bounds)
+        assert 0 <= p <= len(bounds)
+        if p > 0:
+            assert bounds[p - 1] < z
+        if p < len(bounds):
+            assert z <= bounds[p]
+
+
+class TestQuantileBoundaries:
+    def test_even_split(self):
+        samples = [(0, z) for z in range(1000)]
+        bounds = hzknnj._quantile_boundaries(samples, 1, 4)
+        assert len(bounds) == 1
+        assert len(bounds[0]) == 3
+        assert bounds[0] == sorted(bounds[0])
+        # roughly the quartiles
+        assert 200 < bounds[0][0] < 300
+        assert 450 < bounds[0][1] < 550
+
+    def test_per_shift_separation(self):
+        samples = [(0, z) for z in range(100)] + [(1, z * 10) for z in range(100)]
+        bounds = hzknnj._quantile_boundaries(samples, 2, 2)
+        assert len(bounds) == 2
+        assert bounds[1][0] > bounds[0][0]
+
+    def test_empty_shift(self):
+        bounds = hzknnj._quantile_boundaries([], 2, 4)
+        assert bounds == [[], []]
+
+
+class TestBisect:
+    def test_positions(self):
+        assert hzknnj._bisect([1, 4, 9], 0) == 0
+        assert hzknnj._bisect([1, 4, 9], 5) == 2
+        assert hzknnj._bisect([1, 4, 9], 100) == 3
+        assert hzknnj._bisect([], 5) == 0
+
+
+class TestZValueProperties:
+    floats_x = st.floats(min_value=US_BOUNDS[0], max_value=US_BOUNDS[2])
+    floats_y = st.floats(min_value=US_BOUNDS[1], max_value=US_BOUNDS[3])
+
+    @given(floats_x, floats_y)
+    @settings(max_examples=100)
+    def test_z_in_range(self, x, y):
+        z = hzknnj.zvalue((x, y))
+        assert 0 <= z < (1 << 32)
+
+    @given(floats_x, floats_y)
+    @settings(max_examples=50)
+    def test_out_of_bounds_clamped(self, x, y):
+        inside = hzknnj.zvalue((x, y))
+        assert hzknnj.zvalue((x - 1000, y - 1000)) == hzknnj.zvalue(
+            (US_BOUNDS[0], US_BOUNDS[1])
+        )
+        assert inside >= 0
+
+    def test_monotone_along_axes_coarse(self):
+        # moving strictly within one grid cell axis keeps order on the
+        # interleaved bits at the coarse level
+        z_sw = hzknnj.zvalue((US_BOUNDS[0], US_BOUNDS[1]))
+        z_ne = hzknnj.zvalue((US_BOUNDS[2], US_BOUNDS[3]))
+        assert z_sw == 0
+        assert z_ne == (1 << 32) - 1
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = hzknnj.HzknnjConfig()
+        assert cfg.alpha == 2
+        assert cfg.epsilon == pytest.approx(0.003)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.workloads import synthetic
+
+
+@pytest.fixture
+def cfg():
+    return synthetic.SyntheticConfig(
+        num_records=3000, num_distinct_keys=1500, result_size=256
+    )
+
+
+class TestGenerator:
+    def test_record_count(self, paper_dfs, cfg):
+        synthetic.generate(paper_dfs, "/syn", cfg)
+        assert paper_dfs.meta("/syn").num_records == cfg.num_records
+
+    def test_keys_in_domain(self, paper_dfs, cfg):
+        synthetic.generate(paper_dfs, "/syn", cfg)
+        for _rid, (key, _payload) in paper_dfs.read("/syn"):
+            assert 0 <= key < cfg.num_distinct_keys
+
+    def test_theta_about_two(self, paper_dfs, cfg):
+        """On average every key occurs ~twice (paper Section 5.2)."""
+        synthetic.generate(paper_dfs, "/syn", cfg)
+        keys = [k for _rid, (k, _p) in paper_dfs.read("/syn")]
+        theta = len(keys) / len(set(keys))
+        assert 1.5 < theta < 3.5
+
+    def test_value_payload_size(self, paper_dfs):
+        cfg = synthetic.SyntheticConfig(num_records=10, record_value_size=77)
+        synthetic.generate(paper_dfs, "/syn77", cfg)
+        _rid, (_k, payload) = paper_dfs.read("/syn77")[0]
+        assert len(payload) == 77
+
+
+class TestIndex:
+    def test_index_value_size_honoured(self):
+        assert len(synthetic.index_value_for(5, 10)) == 10
+        assert len(synthetic.index_value_for(5, 30_000)) == 30_000
+
+    def test_index_value_deterministic(self):
+        assert synthetic.index_value_for(7, 64) == synthetic.index_value_for(7, 64)
+
+    def test_build_index_covers_all_keys(self, paper_cluster, cfg):
+        idx = synthetic.build_index(paper_cluster, cfg)
+        assert idx.num_keys == cfg.num_distinct_keys
+        assert len(idx.lookup(0)[0]) == cfg.result_size
+
+
+class TestJoinJob:
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.CACHE, Strategy.REPART, Strategy.IDXLOC]
+    )
+    def test_matches_reference(self, paper_cluster, paper_dfs, cfg, strategy):
+        synthetic.generate(paper_dfs, "/syn", cfg)
+        idx = synthetic.build_index(paper_cluster, cfg)
+        job = synthetic.make_join_job(
+            f"syn-{strategy.value}", "/syn", f"/out/syn-{strategy.value}", idx
+        )
+        res = EFindRunner(paper_cluster, paper_dfs).run(
+            job,
+            mode="forced",
+            forced_strategy=strategy,
+            extra_job_targets=["head0"],
+        )
+        assert dict(res.output) == synthetic.reference_join(paper_dfs, "/syn", cfg)
+
+    def test_cache_useless_here(self, paper_cluster, paper_dfs):
+        """Far more distinct keys than cache entries -> high miss rate
+        (the Figure 11(f) observation)."""
+        cfg = synthetic.SyntheticConfig(num_records=6000, num_distinct_keys=3000)
+        synthetic.generate(paper_dfs, "/syn-big", cfg)
+        idx = synthetic.build_index(paper_cluster, cfg)
+        runner = EFindRunner(paper_cluster, paper_dfs)
+        idx.reset_accounting()
+        runner.run(
+            synthetic.make_join_job("syn-cache", "/syn-big", "/o1", idx),
+            mode="forced",
+            forced_strategy=Strategy.CACHE,
+        )
+        # The cache saves almost nothing.
+        assert idx.lookups_served > cfg.num_records * 0.6

@@ -1,0 +1,110 @@
+"""Tests for the text-analysis workload."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.workloads import textanalysis as ta
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=16 * 1024)
+    cfg = ta.TextConfig(num_documents=600, corpus_documents=300)
+    ta.generate_documents(dfs, "/docs", cfg)
+    acronyms = ta.build_acronym_dictionary(cluster)
+    background = ta.build_background_index(cfg)
+    return cluster, dfs, cfg, acronyms, background
+
+
+class TestGenerators:
+    def test_document_count(self, env):
+        _c, dfs, cfg, *_ = env
+        assert dfs.meta("/docs").num_records == cfg.num_documents
+
+    def test_documents_contain_acronyms(self, env):
+        _c, dfs, *_ = env
+        text = " ".join(t for _id, t in dfs.read("/docs")[:200])
+        assert any(a.upper() in text.split() for a in ta.ACRONYMS)
+
+    def test_acronym_dictionary_complete(self, env):
+        acronyms = env[3]
+        for short, phrase in ta.ACRONYMS.items():
+            assert acronyms.lookup(short) == [phrase]
+
+    def test_background_index_populated(self, env):
+        background = env[4]
+        assert background.num_docs == env[2].corpus_documents
+        assert background.lookup("index")  # a common vocabulary word
+
+
+class TestAcronymExpansion:
+    def test_operator_expands(self, env):
+        from repro.core.accessor import IndexAccessor
+        from repro.core.operator import IndexInput, IndexOutput
+        from repro.mapreduce.api import OutputCollector
+
+        op = ta.AcronymExpandOperator("x").add_index(IndexAccessor(env[3]))
+        ii = IndexInput(1)
+        key, value = op.pre_process(1, "great ML and DB work", ii)
+        assert ii.keys(0) == ["ml", "db"]
+        out = IndexOutput(
+            (tuple(ii.keys(0)),),
+            ((("machine learning",), ("database",)),),
+        )
+        collector = OutputCollector()
+        op.post_process(key, value, out, collector)
+        ((_k, expanded),) = collector.records
+        assert "machine learning" in expanded
+        assert "database" in expanded
+        assert "ml" not in expanded.split()
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("strategy", [Strategy.BASELINE, Strategy.CACHE])
+    def test_matches_reference(self, env, strategy):
+        cluster, dfs, cfg, acronyms, background = env
+        job = ta.make_top_term_job(
+            f"ta-{strategy.value}", "/docs", f"/out/ta-{strategy.value}",
+            acronyms, background, cfg,
+        )
+        res = EFindRunner(cluster, dfs).run(
+            job, mode="forced", forced_strategy=strategy
+        )
+        got = dict(res.output)
+        want = ta.reference_top_terms(dfs, "/docs", background, cfg)
+        assert got == want
+
+    def test_cache_pays_off_on_zipf_terms(self, env):
+        """Zipf-skewed terms repeat constantly: the cache slashes
+        inverted-index lookups."""
+        cluster, dfs, cfg, acronyms, background = env
+        runner = EFindRunner(cluster, dfs)
+        background.reset_accounting()
+        runner.run(
+            ta.make_top_term_job("ta-b", "/docs", "/o1", acronyms, background, cfg),
+            mode="forced",
+            forced_strategy=Strategy.BASELINE,
+        )
+        base_lookups = background.lookups_served
+        background.reset_accounting()
+        runner.run(
+            ta.make_top_term_job("ta-c", "/docs", "/o2", acronyms, background, cfg),
+            mode="forced",
+            forced_strategy=Strategy.CACHE,
+        )
+        assert background.lookups_served < base_lookups / 5
+
+    def test_dynamic_same_answer(self, env):
+        cluster, dfs, cfg, acronyms, background = env
+        res = EFindRunner(cluster, dfs).run(
+            ta.make_top_term_job("ta-dyn", "/docs", "/o3", acronyms, background, cfg),
+            mode="dynamic",
+        )
+        assert dict(res.output) == ta.reference_top_terms(
+            dfs, "/docs", background, cfg
+        )

@@ -1,0 +1,162 @@
+"""Tests for the TPC-H workload: generator invariants and query
+correctness under multiple strategies."""
+
+import math
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.workloads import tpch
+from repro.workloads.tpch import schema as sc
+
+
+@pytest.fixture(scope="module")
+def data():
+    return tpch.generate(tpch.TpchConfig(sf=0.0008))
+
+
+class TestGenerator:
+    def test_cardinalities(self, data):
+        cfg = data.config
+        assert len(data.nation) == 25
+        assert len(data.orders) == cfg.num_orders
+        assert len(data.part) == cfg.num_parts
+        assert len(data.partsupp) == cfg.num_parts * cfg.suppliers_per_part
+
+    def test_lineitem_clustered_by_orderkey(self, data):
+        """dbgen property Q3's cache hits depend on."""
+        orderkeys = [item[sc.L_ORDERKEY] for _lid, item in data.lineitem]
+        assert orderkeys == sorted(orderkeys)
+
+    def test_suppkeys_unclustered(self, data):
+        """Q9's supplier lookups must have no locality."""
+        suppkeys = [item[sc.L_SUPPKEY] for _lid, item in data.lineitem]
+        adjacent_equal = sum(
+            1 for a, b in zip(suppkeys, suppkeys[1:]) if a == b
+        )
+        assert adjacent_equal < len(suppkeys) / 3
+
+    def test_lineitem_suppkey_stocked_for_part(self, data):
+        """Every (partkey, suppkey) in lineitem exists in partsupp."""
+        ps_keys = {ps[sc.PS_KEY] for ps in data.partsupp}
+        for _lid, item in data.lineitem:
+            assert (item[sc.L_PARTKEY], item[sc.L_SUPPKEY]) in ps_keys
+
+    def test_orders_reference_customers(self, data):
+        for o in data.orders:
+            assert 0 <= o[sc.O_CUST] < data.config.num_customers
+
+    def test_shipdate_after_orderdate(self, data):
+        orders = {o[sc.O_KEY]: o for o in data.orders}
+        for _lid, item in data.lineitem:
+            assert item[sc.L_SHIPDATE] > orders[item[sc.L_ORDERKEY]][sc.O_DATE]
+
+    def test_part_names_contain_colors(self, data):
+        colored = sum(
+            1
+            for p in data.part
+            if any(c in p[sc.P_NAME] for c in sc.PART_COLORS)
+        )
+        assert colored == len(data.part)
+
+    def test_deterministic(self):
+        a = tpch.generate(tpch.TpchConfig(sf=0.0005, seed=1))
+        b = tpch.generate(tpch.TpchConfig(sf=0.0005, seed=1))
+        assert a.lineitem == b.lineitem
+
+    def test_dup10_write(self, data, paper_dfs):
+        tpch.write_lineitem(paper_dfs, "/li1", data, dup_factor=1)
+        tpch.write_lineitem(paper_dfs, "/li10", data, dup_factor=10)
+        assert paper_dfs.meta("/li10").num_records == 10 * paper_dfs.meta(
+            "/li1"
+        ).num_records
+        ids = [lid for lid, _ in paper_dfs.read("/li10")]
+        assert len(set(ids)) == len(ids), "duplicated line ids must stay unique"
+
+
+class TestDateHelpers:
+    def test_make_and_year(self):
+        assert sc.make_date(1995, 3, 15) == 19950315
+        assert sc.date_year(19950315) == 1995
+
+    def test_add_days_rolls_months(self):
+        assert sc.add_days(19950328, 5) == 19950403
+
+    def test_add_days_rolls_years(self):
+        assert sc.date_year(sc.add_days(19981225, 40)) == 1999
+
+
+@pytest.fixture(scope="module")
+def queries_env(data):
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=32 * 1024)
+    tpch.write_lineitem(dfs, "/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data)
+    return cluster, dfs, indexes
+
+
+def assert_close(got: dict, want: dict):
+    assert set(got) == set(want)
+    for key in got:
+        assert math.isclose(got[key], want[key], rel_tol=1e-6), key
+
+
+class TestQ3:
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.BASELINE, Strategy.CACHE, Strategy.REPART]
+    )
+    def test_matches_reference(self, queries_env, data, strategy):
+        cluster, dfs, indexes = queries_env
+        job = tpch.make_q3_job(
+            f"q3-{strategy.value}", "/lineitem", f"/out/q3-{strategy.value}", indexes
+        )
+        res = EFindRunner(cluster, dfs).run(
+            job,
+            mode="forced",
+            forced_strategy=strategy,
+            extra_job_targets=["head0"],
+        )
+        assert_close(dict(res.output), tpch.reference_q3(data))
+
+    def test_reference_nonempty(self, data):
+        assert tpch.reference_q3(data)
+
+
+class TestQ9:
+    def test_matches_reference(self, queries_env, data):
+        cluster, dfs, indexes = queries_env
+        job = tpch.make_q9_job("q9-t", "/lineitem", "/out/q9-t", indexes)
+        res = EFindRunner(cluster, dfs).run(
+            job, mode="forced", forced_strategy=Strategy.CACHE
+        )
+        assert_close(dict(res.output), tpch.reference_q9(data))
+
+    def test_repart_on_supplier_same_answer(self, queries_env, data):
+        cluster, dfs, indexes = queries_env
+        job = tpch.make_q9_job("q9-r", "/lineitem", "/out/q9-r", indexes)
+        res = EFindRunner(cluster, dfs).run(
+            job,
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],  # the Supplier operator
+        )
+        assert_close(dict(res.output), tpch.reference_q9(data))
+
+    def test_five_operators_chained(self, queries_env):
+        cluster, dfs, indexes = queries_env
+        job = tpch.make_q9_job("q9-c", "/lineitem", "/out/q9-c", indexes)
+        assert len(job.head_operators) == 5
+
+    def test_groups_are_nation_year(self, queries_env, data):
+        cluster, dfs, indexes = queries_env
+        job = tpch.make_q9_job("q9-g", "/lineitem", "/out/q9-g", indexes)
+        res = EFindRunner(cluster, dfs).run(
+            job, mode="forced", forced_strategy=Strategy.CACHE
+        )
+        for (nation, year), _amount in res.output:
+            assert nation in sc.NATION_NAMES
+            assert 1992 <= year <= 1998

@@ -1,0 +1,101 @@
+"""Tests for Example 2.1 (the Twitter topic pipeline)."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.workloads import twitter
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.simcluster.cluster import Cluster
+
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=32 * 1024)
+    cfg = twitter.TwitterConfig(num_tweets=3000, num_users=500)
+    twitter.generate_tweets(dfs, "/tweets", cfg)
+    profiles = twitter.build_user_profile_index(cluster, cfg)
+    kb = twitter.build_knowledge_base()
+    events = twitter.build_event_database(cluster, cfg)
+    return cluster, dfs, cfg, profiles, kb, events
+
+
+def make_job(env, name):
+    cluster, dfs, cfg, profiles, kb, events = env
+    return twitter.make_topic_job(
+        name, "/tweets", f"/out/{name}", profiles, kb, events, cfg
+    )
+
+
+class TestGenerators:
+    def test_tweet_count(self, env):
+        _c, dfs, cfg, *_ = env
+        assert dfs.meta("/tweets").num_records == cfg.num_tweets
+
+    def test_profile_index_covers_users(self, env):
+        *_, cfg, profiles, _kb, _ev = env[2], env[2], env[3], env[4], env[5]
+        cfg, profiles = env[2], env[3]
+        assert profiles.num_keys == cfg.num_users
+        city = profiles.lookup("@user00000")[0][0]
+        assert city.startswith("city")
+
+    def test_event_db_covers_city_days(self, env):
+        cfg, events = env[2], env[5]
+        assert events.num_keys == cfg.num_cities * cfg.num_days
+        assert events.lookup(("city00", 0))
+
+    def test_knowledge_base_is_dynamic(self, env):
+        kb = env[4]
+        assert kb.lookup("the team won the game in the league") == ["sports"]
+        # infinite key space: any input gets a topic
+        assert kb.lookup("zzz unknown words qqq")
+
+
+class TestPipeline:
+    def test_matches_reference(self, env):
+        cluster, dfs, cfg, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "tw1"), mode="forced", forced_strategy=Strategy.CACHE
+        )
+        assert dict(res.output) == twitter.reference_topics(dfs, "/tweets", cfg)
+
+    def test_three_placements_configured(self, env):
+        job = make_job(env, "tw2")
+        assert len(job.head_operators) == 1
+        assert len(job.body_operators) == 1
+        assert len(job.tail_operators) == 1
+
+    def test_baseline_same_answer(self, env):
+        cluster, dfs, cfg, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "tw3"), mode="forced", forced_strategy=Strategy.BASELINE
+        )
+        assert dict(res.output) == twitter.reference_topics(dfs, "/tweets", cfg)
+
+    def test_repart_on_user_profile_same_answer(self, env):
+        cluster, dfs, cfg, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "tw4"),
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],
+        )
+        assert dict(res.output) == twitter.reference_topics(dfs, "/tweets", cfg)
+
+    def test_dynamic_same_answer(self, env):
+        cluster, dfs, cfg, *_ = env
+        res = EFindRunner(cluster, dfs).run(make_job(env, "tw5"), mode="dynamic")
+        assert dict(res.output) == twitter.reference_topics(dfs, "/tweets", cfg)
+
+    def test_output_shape(self, env):
+        cluster, dfs, cfg, *_ = env
+        res = EFindRunner(cluster, dfs).run(
+            make_job(env, "tw6"), mode="forced", forced_strategy=Strategy.CACHE
+        )
+        (city, day), (top, events) = res.output[0]
+        assert city.startswith("city")
+        assert 0 <= day < cfg.num_days
+        assert len(top) <= cfg.topk
+        assert len(events) == 2

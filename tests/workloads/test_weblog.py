@@ -1,0 +1,106 @@
+"""Tests for the LOG workload."""
+
+import pytest
+
+from repro.core.costmodel import Strategy
+from repro.core.runner import EFindRunner
+from repro.workloads import weblog
+
+
+@pytest.fixture
+def cfg():
+    return weblog.LogConfig(
+        num_events=4000, num_ips=600, num_urls=300, num_log_files=3
+    )
+
+
+@pytest.fixture
+def log_paths(paper_dfs, cfg):
+    return weblog.generate(paper_dfs, "/in/log", cfg)
+
+
+class TestGenerator:
+    def test_event_count(self, paper_dfs, log_paths, cfg):
+        total = sum(len(paper_dfs.read(p)) for p in log_paths)
+        assert total == cfg.num_events
+
+    def test_one_file_per_server(self, log_paths, cfg):
+        assert len(log_paths) == cfg.num_log_files
+
+    def test_sessions_striped_across_files(self, paper_dfs, log_paths):
+        """Cross-machine redundancy: the same IP appears in several
+        log files."""
+        per_file_ips = [
+            {ip for _eid, (ip, _ts, _url) in paper_dfs.read(p)} for p in log_paths
+        ]
+        shared = per_file_ips[0] & per_file_ips[1]
+        assert len(shared) > len(per_file_ips[0]) / 2
+
+    def test_local_redundancy_within_file(self, paper_dfs, log_paths):
+        """An IP visits several URLs in a short period (sessions)."""
+        records = paper_dfs.read(log_paths[0])
+        ips = [ip for _eid, (ip, _ts, _url) in records]
+        assert len(set(ips)) < len(ips)
+
+    def test_deterministic(self, paper_dfs, cfg):
+        a = weblog.generate(paper_dfs, "/det/a", cfg)
+        b = weblog.generate(paper_dfs, "/det/b", cfg)
+        assert paper_dfs.read(a[0]) == paper_dfs.read(b[0])
+
+    def test_event_shape(self, paper_dfs, log_paths):
+        eid, (ip, ts, url) = paper_dfs.read(log_paths[0])[0]
+        assert isinstance(eid, int)
+        assert ip.startswith("10.")
+        assert url.startswith("/page/")
+
+
+class TestGeoService:
+    def test_deterministic_region(self, cfg):
+        geo = weblog.build_geo_service(cfg)
+        assert geo.lookup("10.0.0.1") == geo.lookup("10.0.0.1")
+
+    def test_region_in_range(self, cfg):
+        geo = weblog.build_geo_service(cfg)
+        region = geo.lookup("10.1.2.3")[0]
+        assert region.startswith("region")
+        assert 0 <= int(region[6:]) < cfg.num_regions
+
+    def test_delay_knob(self, cfg):
+        geo = weblog.build_geo_service(cfg, extra_delay=0.005)
+        assert geo.service_time() == pytest.approx(0.8e-3 + 5e-3)
+
+
+class TestTopKJob:
+    def test_matches_reference(self, paper_cluster, paper_dfs, log_paths, cfg):
+        geo = weblog.build_geo_service(cfg, extra_delay=0.001)
+        job = weblog.make_topk_job("log-j", log_paths, "/out/log-j", geo, k=5)
+        res = EFindRunner(paper_cluster, paper_dfs).run(
+            job, mode="forced", forced_strategy=Strategy.CACHE
+        )
+        assert dict(res.output) == weblog.reference_topk(
+            paper_dfs, log_paths, cfg, k=5
+        )
+
+    def test_repart_same_answer(self, paper_cluster, paper_dfs, log_paths, cfg):
+        geo = weblog.build_geo_service(cfg)
+        job = weblog.make_topk_job("log-r", log_paths, "/out/log-r", geo, k=5)
+        res = EFindRunner(paper_cluster, paper_dfs).run(
+            job,
+            mode="forced",
+            forced_strategy=Strategy.REPART,
+            extra_job_targets=["head0"],
+        )
+        assert dict(res.output) == weblog.reference_topk(
+            paper_dfs, log_paths, cfg, k=5
+        )
+
+    def test_topk_truncates(self, paper_cluster, paper_dfs, log_paths, cfg):
+        geo = weblog.build_geo_service(cfg)
+        job = weblog.make_topk_job("log-k", log_paths, "/out/log-k", geo, k=2)
+        res = EFindRunner(paper_cluster, paper_dfs).run(
+            job, mode="forced", forced_strategy=Strategy.CACHE
+        )
+        for _region, top in res.output:
+            assert len(top) <= 2
+            counts = [c for _url, c in top]
+            assert counts == sorted(counts, reverse=True)
