@@ -15,7 +15,7 @@ import sys
 import time
 
 from repro.bench import figures
-from repro.bench.harness import format_table
+from repro.bench.harness import format_fault_table, format_table
 
 
 def _table_fig12(rows) -> str:
@@ -106,6 +106,25 @@ EXPERIMENTS = {
             rows,
             modes=figures.SEC53_MODES,
             x_label="workload",
+        ),
+    ),
+    "faults": (
+        "fault recovery: runtime vs lookup failure rate",
+        figures.run_fault_recovery,
+        lambda rows: "\n\n".join(
+            [
+                format_table(
+                    "Fault recovery  TPC-H Q3: runtime vs lookup failure rate",
+                    rows,
+                    modes=figures.FAULT_MODES,
+                    x_label="failure rate",
+                ),
+                format_fault_table(
+                    "Fault recovery  fault.* counter totals",
+                    rows,
+                    modes=figures.FAULT_MODES,
+                ),
+            ]
         ),
     ),
 }

@@ -19,6 +19,7 @@ from repro.common.sizing import sizeof
 from repro.core.costmodel import Strategy
 from repro.core.runner import EFindRunner
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.simcluster.faults import FaultPlan, RetryPolicy
 from repro.workloads import hzknnj, knn, osm, synthetic, tpch, weblog
 
 SIX_MODES = ("Base", "Cache", "Repart", "Idxloc", "Optimized", "Dynamic")
@@ -311,6 +312,73 @@ def run_sec53() -> List[ExperimentRow]:
                 modes=SEC53_MODES,
                 label=label,
                 cache_capacity=256,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fault recovery -- runtime vs lookup-failure rate per strategy
+# ----------------------------------------------------------------------
+FAULT_RATES = (0.0, 0.01, 0.04)
+FAULT_MODES = ("Base", "Cache", "Repart", "Idxloc")
+
+#: Retry knobs scaled to the benchmark cluster (the paper's Hadoop
+#: defaults would be seconds; our simulated jobs run for a few seconds
+#: total, so backoffs/timeouts scale down with the other fixed costs).
+FAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4,
+    base_backoff=5e-3,
+    backoff_multiplier=2.0,
+    max_backoff=0.1,
+    jitter=0.5,
+    attempt_timeout=20e-3,
+)
+
+#: One dead KV replica: the node disappears from the task-slot pool and
+#: every index partition it replicates fails over to survivors.
+FAULT_DEAD_HOST = "node03"
+
+
+def run_fault_recovery() -> List[ExperimentRow]:
+    """The Fig. 11(b) workload (TPC-H Q3) re-run under injected faults.
+
+    x-axis: per-attempt lookup failure rate (plus half that rate of
+    timeouts and one dead KV replica once faults are on). Every variant
+    must produce output identical to the fault-free run -- the whole
+    point of the retry/failover layer -- while paying for retries,
+    backoff, failovers, and the lost node's slots in simulated time.
+    """
+    rows = []
+    for rate in FAULT_RATES:
+        cluster = bench_cluster()
+        dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+        data = tpch.generate(tpch.TpchConfig(sf=0.002))
+        tpch.write_lineitem(dfs, "/in/lineitem", data)
+        indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+        plan = None
+        if rate > 0.0:
+            plan = FaultPlan(
+                seed=1729,
+                lookup_failure_rate=rate,
+                lookup_timeout_rate=rate / 2.0,
+                dead_hosts=(FAULT_DEAD_HOST,),
+            )
+            indexes.set_fault_plan(plan, FAULT_RETRY_POLICY)
+
+        def job_factory(name, indexes=indexes):
+            indexes.reset_accounting()
+            return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+        rows.append(
+            run_all_modes(
+                cluster,
+                dfs,
+                job_factory,
+                extra_job_targets=("head0",),
+                modes=FAULT_MODES,
+                label=f"{rate:.0%} faults",
+                fault_plan=plan,
             )
         )
     return rows

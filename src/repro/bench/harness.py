@@ -27,6 +27,7 @@ from repro.core.ejobconf import IndexJobConf
 from repro.core.runner import EFindJobResult, EFindRunner
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan
 from repro.simcluster.timemodel import TimeModel
 
 ALL_MODES = ("Base", "Cache", "Repart", "Idxloc", "Optimized", "Dynamic")
@@ -66,6 +67,8 @@ class ExperimentRow:
     label: str
     times: Dict[str, float] = field(default_factory=dict)
     details: Dict[str, EFindJobResult] = field(default_factory=dict)
+    faults: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``fault.*`` counter totals (empty on clean runs)."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -82,6 +85,7 @@ def run_all_modes(
     skip: Sequence[str] = (),
     cache_capacity: int = 1024,
     forced_boundary: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentRow:
     """Run the requested variants and return their simulated times.
 
@@ -90,7 +94,9 @@ def run_all_modes(
     ``skip`` lists modes that do not apply (e.g. Idxloc when the index
     exposes no partition scheme). ``cache_capacity`` applies to every
     variant (the paper fixes 1024 entries; scaled-down experiments may
-    scale it with their key domains).
+    scale it with their key domains). ``fault_plan`` (optional) runs
+    every variant under the same injected faults; the per-variant
+    ``fault.*`` counter totals land in ``row.faults``.
     """
     row = ExperimentRow(label=label)
     reference: Optional[list] = None
@@ -102,21 +108,31 @@ def run_all_modes(
         if mode == "Optimized":
             # Profiling run with the baseline collects "sufficient
             # statistics"; only the optimized run's time is reported.
-            profiler = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            profiler = EFindRunner(
+                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+            )
             profiler.run(
                 job_factory(f"{label or 'job'}-profile"),
                 mode="forced",
                 forced_strategy=Strategy.BASELINE,
             )
             runner = EFindRunner(
-                cluster, dfs, catalog=profiler.catalog, cache_capacity=cache_capacity
+                cluster,
+                dfs,
+                catalog=profiler.catalog,
+                cache_capacity=cache_capacity,
+                fault_plan=fault_plan,
             )
             result = runner.run(job, mode="static")
         elif mode == "Dynamic":
-            runner = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            runner = EFindRunner(
+                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+            )
             result = runner.run(job, mode="dynamic")
         else:
-            runner = EFindRunner(cluster, dfs, cache_capacity=cache_capacity)
+            runner = EFindRunner(
+                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+            )
             strategy = {
                 "Base": Strategy.BASELINE,
                 "Cache": Strategy.CACHE,
@@ -134,6 +150,7 @@ def run_all_modes(
             )
         row.times[mode] = result.sim_time
         row.details[mode] = result
+        row.faults[mode] = result.counters.group("fault")
         if verify_outputs:
             output = sorted(result.output, key=repr)
             if reference is None:
@@ -160,6 +177,42 @@ def _equivalent(a, b) -> bool:
 def speedup(row: ExperimentRow, over: str, under: str) -> float:
     """``time(over) / time(under)`` -- how much faster ``under`` is."""
     return row.times[over] / row.times[under]
+
+
+FAULT_COUNTER_NAMES = (
+    "lookups_retried",
+    "lookups_failed",
+    "failovers",
+    "locality_fallbacks",
+    "tasks_retried",
+)
+
+
+def format_fault_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``fault.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(m in r.faults for r in rows)]
+    widths = [max(8, len(n)) for n in FAULT_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(FAULT_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if mode not in row.faults:
+                continue
+            counters = row.faults[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}g}"
+                for n, w in zip(FAULT_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
 
 
 def format_table(

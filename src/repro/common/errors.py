@@ -10,6 +10,25 @@ class IndexLookupError(EFindError):
     unreachable partition, or a malformed request)."""
 
 
+class TransientLookupError(IndexLookupError):
+    """A lookup attempt failed for a *recoverable* reason (injected
+    error/timeout, partition briefly unreachable). The retry layer in
+    :meth:`IndexService.lookup` catches these; only after the retry
+    policy is exhausted does a terminal :class:`IndexLookupError`
+    escape. Data errors (strict-mode missing key) are never transient."""
+
+
+class TaskCrashError(EFindError):
+    """A simulated task attempt crashed partway (fault injection). The
+    job runner catches this and re-executes the task on another slot;
+    ``duration`` is the simulated time the wasted attempt occupied."""
+
+    def __init__(self, task_id: str, duration: float):
+        super().__init__(f"task {task_id} crashed (injected fault)")
+        self.task_id = task_id
+        self.duration = duration
+
+
 class PlanningError(EFindError):
     """The optimizer could not produce a valid index access plan."""
 

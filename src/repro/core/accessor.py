@@ -43,9 +43,13 @@ class IndexAccessor:
         self.index = index
 
     # -- the black box ---------------------------------------------------
-    def lookup(self, ik: Any) -> List[Any]:
-        """Look up one key; returns the (possibly empty) result list."""
-        return self.index.lookup(ik)
+    def lookup(self, ik: Any, ctx=None) -> List[Any]:
+        """Look up one key; returns the (possibly empty) result list.
+
+        ``ctx`` (optional TaskContext) lets the index's retry layer
+        charge backoff/timeout waits to the enclosing task.
+        """
+        return self.index.lookup(ik, ctx)
 
     # -- optimizer-visible metadata --------------------------------------
     @property
@@ -69,10 +73,11 @@ class IndexAccessor:
         return self.partition_scheme is not None
 
     def hosts_for_key(self, ik: Any) -> List[str]:
-        scheme = self.partition_scheme
-        if scheme is None:
+        if not self.exposes_partitions:
             return []
-        return scheme.locations(scheme.partition_of(ik))
+        # Delegate to the index so a fault plan's dead replicas are
+        # filtered out (locality checks must only see live hosts).
+        return self.index.hosts_for_key(ik)
 
     def signature(self) -> str:
         """Stable identity for the statistics catalog."""

@@ -34,6 +34,7 @@ from repro.dfs.splits import InputSplit
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.runtime import JobResult, JobRunner
 from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan
 
 Record = Tuple[Any, Any]
 
@@ -97,10 +98,12 @@ class EFindRunner:
         cache_capacity: int = 1024,
         variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
         plan_change_overhead: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ):
         self.cluster = cluster
         self.dfs = dfs
-        self.job_runner = JobRunner(cluster, dfs)
+        self.fault_plan = fault_plan
+        self.job_runner = JobRunner(cluster, dfs, fault_plan=fault_plan)
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.cache_capacity = cache_capacity
         self.variance_threshold = variance_threshold

@@ -175,6 +175,9 @@ class LookupFn(ChainedFunction):
             self._record_cache_stats(ctx, hit)
             if hit:
                 return list(cached)
+            # Insert only after a *successful* fetch: a terminal lookup
+            # failure must not poison the shared node-local LRU (and a
+            # retried task would otherwise see the bogus entry).
             values = self._fetch(ik, ctx)
             cache.put(ik, tuple(values))
         else:
@@ -198,11 +201,22 @@ class LookupFn(ChainedFunction):
 
     def _fetch(self, ik: Any, ctx: TaskContext) -> List[Any]:
         tm = ctx.time_model
-        values = self.accessor.lookup(ik)
+        values = self.accessor.lookup(ik, ctx)
         tj = self.accessor.service_time()
         local = self.assume_local or (
             ctx.node.hostname in self.accessor.hosts_for_key(ik)
         )
+        if local and self.assume_local:
+            # Index locality scheduled this task onto a replica host,
+            # but that replica may since have died: hosts_for_key only
+            # lists live hosts, so re-check and fall back to a remote
+            # lookup against a surviving replica.
+            plan = getattr(self.accessor.index, "fault_plan", None)
+            if plan is not None and plan.dead_hosts:
+                hosts = self.accessor.hosts_for_key(ik)
+                if hosts and ctx.node.hostname not in hosts:
+                    local = False
+                    ctx.counters.increment("fault", "locality_fallbacks")
         if local:
             ctx.charge(tm.local_lookup_time(tj))
         else:
@@ -334,7 +348,7 @@ class GroupLookupReducer(Reducer):
 
     def _fetch(self, ik, ctx) -> List[Any]:
         tm = ctx.time_model
-        values = self.accessor.lookup(ik)
+        values = self.accessor.lookup(ik, ctx)
         tj = self.accessor.service_time()
         local = ctx.node.hostname in self.accessor.hosts_for_key(ik)
         if local:

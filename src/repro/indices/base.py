@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.common.errors import IndexLookupError
+from repro.common.errors import IndexLookupError, TransientLookupError
 from repro.indices.partitioning import PartitionScheme
+from repro.simcluster.faults import FaultPlan, RetryPolicy
 
 
 class IndexService:
@@ -32,21 +33,100 @@ class IndexService:
             self.DEFAULT_SERVICE_TIME if service_time is None else service_time
         )
         self.lookups_served = 0
+        self.lookups_retried = 0
+        self.lookups_failed = 0
+        self.failovers = 0
+        self._fault_plan: Optional[FaultPlan] = None
+        self._retry_policy = RetryPolicy()
 
     # ------------------------------------------------------------------
     # The black-box lookup
     # ------------------------------------------------------------------
-    def lookup(self, key: Any) -> List[Any]:
+    def lookup(self, key: Any, ctx=None) -> List[Any]:
         """Return the (possibly empty) list of values for ``key``.
 
         Idempotent during a job -- the assumption behind the lookup
         cache strategy (Section 3.2).
+
+        ``ctx`` (a :class:`repro.mapreduce.api.TaskContext`, optional)
+        is where retry backoff and timeout waits are charged as
+        simulated time and where ``fault.*`` counters accumulate. With
+        no fault plan attached the call is a single attempt, exactly as
+        before the fault layer existed.
         """
         self.lookups_served += 1
+        plan = self._fault_plan
+        if plan is None:
+            return self._attempt(key, ctx)
+        policy = self._retry_policy
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.lookups_retried += 1
+                if ctx is not None:
+                    ctx.charge(plan.backoff_time(policy, self.name, key, attempt))
+                    ctx.counters.increment("fault", "lookups_retried")
+            fault = plan.lookup_fault(self.name, key, attempt)
+            if fault is not None:
+                # A timed-out attempt blocks for the full per-attempt
+                # timeout; an errored one still cost the index a serve.
+                if ctx is not None:
+                    ctx.charge(
+                        policy.attempt_timeout
+                        if fault == "timeout"
+                        else self.service_time(key)
+                    )
+                last_error = TransientLookupError(
+                    f"injected {fault} looking up {key!r} on {self.name!r} "
+                    f"(attempt {attempt + 1})"
+                )
+                continue
+            try:
+                return self._attempt(key, ctx)
+            except TransientLookupError as exc:
+                if ctx is not None:
+                    ctx.charge(policy.attempt_timeout)
+                last_error = exc
+                continue
+        self.lookups_failed += 1
+        if ctx is not None:
+            ctx.counters.increment("fault", "lookups_failed")
+        raise IndexLookupError(
+            f"lookup of {key!r} on index {self.name!r} failed after "
+            f"{policy.max_attempts} attempts"
+        ) from last_error
+
+    def _attempt(self, key: Any, ctx=None) -> List[Any]:
+        """One fault-free serve. Subclasses with replica placement
+        override this to model failover/unavailability; raising
+        :class:`TransientLookupError` here triggers a retry."""
         return self._lookup(key)
 
     def _lookup(self, key: Any) -> List[Any]:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Fault model
+    # ------------------------------------------------------------------
+    def set_fault_plan(
+        self,
+        plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "IndexService":
+        """Attach (or with ``None`` detach) a fault plan; optionally
+        replace the retry policy in the same call."""
+        self._fault_plan = plan
+        if retry_policy is not None:
+            self._retry_policy = retry_policy
+        return self
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self._fault_plan
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry_policy
 
     # ------------------------------------------------------------------
     # Optional capabilities
@@ -75,11 +155,19 @@ class IndexService:
         return None
 
     def hosts_for_key(self, key: Any) -> List[str]:
-        """Hosts that can serve ``key`` locally (empty if unknown)."""
+        """Hosts that can serve ``key`` locally (empty if unknown).
+
+        With a fault plan attached, dead replicas drop out: callers
+        (locality checks, co-partitioned scheduling) only ever see the
+        hosts that can actually answer.
+        """
         scheme = self.partition_scheme
         if scheme is None:
             return []
-        return scheme.locations(scheme.partition_of(key))
+        hosts = scheme.locations(scheme.partition_of(key))
+        if self._fault_plan is not None:
+            hosts = [h for h in hosts if not self._fault_plan.host_down(h)]
+        return hosts
 
     def fingerprint(self) -> int:
         """A stable digest of the index contents; tests use it to verify
@@ -88,6 +176,9 @@ class IndexService:
 
     def reset_accounting(self) -> None:
         self.lookups_served = 0
+        self.lookups_retried = 0
+        self.lookups_failed = 0
+        self.failovers = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r})"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import IndexLookupError
+from repro.common.errors import IndexLookupError, TransientLookupError
 from repro.indices.base import IndexService
 from repro.indices.partitioning import (
     HashPartitionScheme,
@@ -58,8 +58,14 @@ class DistributedKVStore(IndexService):
     def put_unique(self, key: Any, value: Any) -> None:
         """Set ``key`` to exactly ``[value]`` (last write wins)."""
         bucket = self._partitions[self._scheme.partition_of(key)]
-        if key not in bucket:
+        old = bucket.get(key)
+        if old is None:
             self._size += 1
+        else:
+            # Overwriting a multi-valued key drops len(old) values and
+            # stores one; without this, __len__/fingerprint() drift and
+            # a later delete() underflows _size.
+            self._size -= len(old) - 1
         bucket[key] = [value]
 
     def load(self, items: Iterable[Tuple[Any, Any]]) -> "DistributedKVStore":
@@ -79,6 +85,35 @@ class DistributedKVStore(IndexService):
     # ------------------------------------------------------------------
     # IndexService contract
     # ------------------------------------------------------------------
+    def _attempt(self, key: Any, ctx=None) -> List[Any]:
+        """One serve attempt with replica-liveness routing.
+
+        A dead replica's partitions are served by the surviving
+        replicas (counted as ``fault.failovers``); a partition with no
+        live replica, or one inside an injected outage window, raises a
+        transient error so the retry layer keeps probing.
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            partition = self._scheme.partition_of(key)
+            if plan.partition_probe(self.name, partition):
+                raise TransientLookupError(
+                    f"partition {partition} of kvstore {self.name!r} is "
+                    f"unavailable"
+                )
+            replicas = self._scheme.locations(partition)
+            live = [h for h in replicas if not plan.host_down(h)]
+            if not live:
+                raise TransientLookupError(
+                    f"all replicas of partition {partition} of kvstore "
+                    f"{self.name!r} are down"
+                )
+            if len(live) < len(replicas):
+                self.failovers += 1
+                if ctx is not None:
+                    ctx.counters.increment("fault", "failovers")
+        return self._lookup(key)
+
     def _lookup(self, key: Any) -> List[Any]:
         partition = self._scheme.partition_of(key)
         values = self._partitions[partition].get(key)
@@ -96,7 +131,12 @@ class DistributedKVStore(IndexService):
 
     @property
     def entry_host(self) -> Optional[str]:
-        return self._scheme.locations(0)[0]
+        hosts = self._scheme.locations(0)
+        if self.fault_plan is not None:
+            live = [h for h in hosts if not self.fault_plan.host_down(h)]
+            if live:
+                return live[0]
+        return hosts[0]
 
     # ------------------------------------------------------------------
     # Introspection

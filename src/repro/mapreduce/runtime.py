@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import DataFlowError
+from repro.common.errors import DataFlowError, TaskCrashError
 from repro.common.sizing import sizeof_records
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.dfs.splits import InputSplit
@@ -33,6 +33,7 @@ from repro.mapreduce.jobconf import JobConf
 from repro.mapreduce.scheduler import SlotScheduler
 from repro.mapreduce.shuffle import bucket_bytes, group_by_key, partition_records
 from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan
 
 Record = Tuple[Any, Any]
 
@@ -89,11 +90,85 @@ class JobResult:
 
 
 class JobRunner:
-    """Executes jobs against one cluster + DFS pair."""
+    """Executes jobs against one cluster + DFS pair.
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem):
+    ``fault_plan`` (optional) turns on the fault model: task slots on
+    dead hosts disappear, per-host straggler factors stretch task
+    durations, and injected task crashes are retried on another slot up
+    to ``max_task_attempts`` times (Hadoop's semantics) instead of
+    failing the job. Without a plan, execution is bit-identical to the
+    fault-free runner.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFileSystem,
+        fault_plan: Optional[FaultPlan] = None,
+        max_task_attempts: int = 4,
+    ):
         self.cluster = cluster
         self.dfs = dfs
+        self.fault_plan = fault_plan
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        self.max_task_attempts = max_task_attempts
+
+    # ------------------------------------------------------------------
+    # Fault-model helpers
+    # ------------------------------------------------------------------
+    def _scheduler(self, kind: str, start_time: float) -> SlotScheduler:
+        down = self.fault_plan.dead_hosts if self.fault_plan is not None else ()
+        return SlotScheduler(
+            self.cluster, kind, start_time=start_time, down_hosts=down
+        )
+
+    def _straggled(self, duration: float, host: str) -> float:
+        if self.fault_plan is None:
+            return duration
+        return self.cluster.time_model.straggled(
+            duration, self.fault_plan.straggler_factor(host)
+        )
+
+    def _run_attempts(
+        self,
+        scheduler: SlotScheduler,
+        execute: Callable[[Any, int], TaskRun],
+        preferred_hosts: Optional[Sequence[str]] = None,
+        allowed_hosts: Optional[Sequence[str]] = None,
+    ) -> TaskRun:
+        """Run one task with retry-up-to-N semantics.
+
+        A crashed attempt still occupies its slot for the simulated time
+        it wasted; the re-execution prefers a different host. The
+        successful run carries a ``fault.tasks_retried`` counter for
+        each extra attempt it needed.
+        """
+        failed_hosts: List[str] = []
+        last_crash: Optional[TaskCrashError] = None
+        for attempt in range(self.max_task_attempts):
+            slot = scheduler.acquire(
+                preferred_hosts=preferred_hosts,
+                allowed_hosts=allowed_hosts,
+                avoid_hosts=failed_hosts,
+            )
+            try:
+                run = execute(slot.node, attempt)
+            except TaskCrashError as crash:
+                scheduler.commit(slot, self._straggled(crash.duration, slot.host))
+                failed_hosts.append(slot.host)
+                last_crash = crash
+                continue
+            run.duration = self._straggled(run.duration, slot.host)
+            start, end, wave = scheduler.commit(slot, run.duration)
+            run.start, run.end, run.wave = start, end, wave
+            if attempt:
+                run.counters.increment("fault", "tasks_retried", attempt)
+            return run
+        raise DataFlowError(
+            f"task {last_crash.task_id if last_crash else '?'} failed "
+            f"{self.max_task_attempts} attempts; giving up"
+        ) from last_crash
 
     # ------------------------------------------------------------------
     def run(
@@ -219,7 +294,7 @@ class JobRunner:
         abort_check: Optional[AbortCheck],
     ) -> Tuple[List[TaskRun], List[InputSplit], float]:
         tm = self.cluster.time_model
-        scheduler = SlotScheduler(self.cluster, "map", start_time=job_start)
+        scheduler = self._scheduler("map", job_start)
         runs: List[TaskRun] = []
         first_wave = min(scheduler.num_slots, len(splits))
         checked = abort_check is None
@@ -228,11 +303,14 @@ class JobRunner:
             allowed = None
             if conf.map_host_constraint is not None:
                 allowed = conf.map_host_constraint(split.index)
-            slot = scheduler.acquire(preferred_hosts=split.hosts, allowed_hosts=allowed)
-            run = self._execute_map_task(conf, split, slot.node, tm)
-            start, end, wave = scheduler.commit(slot, run.duration)
-            run.start, run.end = start, start + run.duration
-            run.wave = wave
+            run = self._run_attempts(
+                scheduler,
+                lambda node, attempt, split=split: self._execute_map_task(
+                    conf, split, node, tm, attempt
+                ),
+                preferred_hosts=split.hosts,
+                allowed_hosts=allowed,
+            )
             runs.append(run)
 
             if not checked and len(runs) == first_wave:
@@ -244,10 +322,23 @@ class JobRunner:
         map_end = scheduler.makespan(floor=job_start)
         return runs, [], map_end
 
-    def _execute_map_task(self, conf, split, node, tm) -> TaskRun:
-        ctx = TaskContext(node, tm, task_id=f"{conf.name}-m{split.index:04d}")
+    def _execute_map_task(self, conf, split, node, tm, attempt: int = 0) -> TaskRun:
+        ctx = TaskContext(
+            node, tm, task_id=f"{conf.name}-m{split.index:04d}", attempt=attempt
+        )
         local = node.hostname in split.hosts
         read_time = tm.dfs_retrieve_time(split.size_bytes, local=local)
+        if self.fault_plan is not None:
+            crash_after = self.fault_plan.task_crash(ctx.task_id, attempt)
+            if crash_after is not None:
+                # The attempt dies after ~crash_after records: charge the
+                # slot the fraction of the work it wasted, with no side
+                # effects (the retry redoes the task from scratch).
+                frac = min(1.0, crash_after / max(1, len(split.records)))
+                wasted = tm.task_startup_time + frac * (
+                    read_time + tm.cpu_time(len(split.records), split.size_bytes)
+                )
+                raise TaskCrashError(ctx.task_id, wasted)
         output = run_chain(conf.map_chain, split.records, ctx)
         out_bytes = sizeof_records(output)
         cpu = tm.cpu_time(len(split.records), split.size_bytes)
@@ -322,7 +413,7 @@ class JobRunner:
         abort_check: Optional[AbortCheck],
     ) -> Tuple[List[TaskRun], List[int], float]:
         tm = self.cluster.time_model
-        scheduler = SlotScheduler(self.cluster, "reduce", start_time=map_end)
+        scheduler = self._scheduler("reduce", map_end)
         runs: List[TaskRun] = []
         partitions = list(range(conf.num_reduce_tasks))
         first_wave = min(scheduler.num_slots, len(partitions))
@@ -332,13 +423,18 @@ class JobRunner:
         )
 
         for i, partition in enumerate(partitions):
-            slot = scheduler.acquire()
-            run = self._execute_reduce_task(
-                conf, partition, map_runs, slot.node, tm, side_buckets[partition]
+            run = self._run_attempts(
+                scheduler,
+                lambda node, attempt, partition=partition: self._execute_reduce_task(
+                    conf,
+                    partition,
+                    map_runs,
+                    node,
+                    tm,
+                    side_buckets[partition],
+                    attempt,
+                ),
             )
-            start, end, wave = scheduler.commit(slot, run.duration)
-            run.start, run.end = start, start + run.duration
-            run.wave = wave
             runs.append(run)
 
             if not checked and len(runs) == first_wave:
@@ -356,13 +452,22 @@ class JobRunner:
         records: List[Record] = []
         for run in map_runs:
             if run.buckets:
+                if partition >= len(run.buckets):
+                    raise DataFlowError(
+                        f"map task {run.task_id} produced {len(run.buckets)} "
+                        f"shuffle buckets but reduce partition {partition} was "
+                        f"requested; a resumed job is mixing map runs from "
+                        f"plans with different reduce-task counts"
+                    )
                 records.extend(run.buckets[partition])
         return records
 
     def _execute_reduce_task(
-        self, conf, partition, map_runs, node, tm, side_records=()
+        self, conf, partition, map_runs, node, tm, side_records=(), attempt: int = 0
     ) -> TaskRun:
-        ctx = TaskContext(node, tm, task_id=f"{conf.name}-r{partition:04d}")
+        ctx = TaskContext(
+            node, tm, task_id=f"{conf.name}-r{partition:04d}", attempt=attempt
+        )
         records = self.reduce_input_for(map_runs, partition)
         records.extend(side_records)
         in_bytes = bucket_bytes(records)
@@ -371,6 +476,14 @@ class JobRunner:
         remote_fraction = max(0.0, 1.0 - 1.0 / self.cluster.num_nodes)
         transfer = tm.transfer_time(in_bytes * remote_fraction)
         merge = len(records) * tm.sort_cpu_per_record
+        if self.fault_plan is not None:
+            crash_after = self.fault_plan.task_crash(ctx.task_id, attempt)
+            if crash_after is not None:
+                frac = min(1.0, crash_after / max(1, len(records)))
+                wasted = tm.task_startup_time + frac * (
+                    transfer + merge + tm.cpu_time(len(records), in_bytes)
+                )
+                raise TaskCrashError(ctx.task_id, wasted)
 
         groups = group_by_key(records)
         collector = OutputCollector()

@@ -7,16 +7,28 @@ trigger re-optimization", Section 4.1). The scheduler here reproduces
 it: tasks are assigned greedily to the earliest-available slot, with a
 data-locality preference and an optional hard host constraint (used by
 the index-locality strategy).
+
+Fault awareness: slots on ``down_hosts`` never enter the pool, and a
+hard host constraint that is unsatisfiable *only because its hosts are
+dead* degrades to the live pool instead of failing the job (the
+index-locality strategy then pays remote lookups, which is the correct
+graceful behavior).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.common.errors import SchedulingError
 from repro.simcluster.cluster import Cluster
 from repro.simcluster.node import Node
+
+#: Relative tolerance when comparing slot availability times. Task end
+#: times are sums of many float durations, so two slots that are
+#: logically tied can differ by accumulated rounding noise; exact
+#: equality would silently drop the data-locality preference.
+AVAILABILITY_REL_TOL = 1e-9
 
 
 @dataclass
@@ -36,15 +48,28 @@ class Slot:
 class SlotScheduler:
     """Greedy earliest-finish scheduler over a pool of slots."""
 
-    def __init__(self, cluster: Cluster, kind: str, start_time: float = 0.0):
+    def __init__(
+        self,
+        cluster: Cluster,
+        kind: str,
+        start_time: float = 0.0,
+        down_hosts: Iterable[str] = (),
+    ):
         if kind not in ("map", "reduce"):
             raise ValueError(f"unknown slot kind: {kind!r}")
         self.kind = kind
+        self.down_hosts = frozenset(down_hosts)
         self.slots: List[Slot] = []
         for node in cluster.nodes:
+            if node.hostname in self.down_hosts:
+                continue
             count = node.map_slots if kind == "map" else node.reduce_slots
             for i in range(count):
                 self.slots.append(Slot(node=node, slot_index=i, available=start_time))
+        if not self.slots:
+            raise SchedulingError(
+                f"no live {kind} slots: every host is down"
+            )
 
     @property
     def num_slots(self) -> int:
@@ -54,23 +79,39 @@ class SlotScheduler:
         self,
         preferred_hosts: Optional[Sequence[str]] = None,
         allowed_hosts: Optional[Sequence[str]] = None,
+        avoid_hosts: Optional[Sequence[str]] = None,
     ) -> Slot:
         """Pick the slot the next task should run on.
 
         Among the earliest-available slots, a slot on a *preferred* host
         (a data-local one) wins. ``allowed_hosts`` is a hard constraint:
-        only slots on those hosts are considered at all.
+        only slots on those hosts are considered at all -- unless every
+        allowed host is dead, in which case the constraint degrades to
+        the live pool. ``avoid_hosts`` is a soft constraint (hosts a
+        previous attempt of the task failed on); it is ignored when it
+        would leave no candidates.
         """
         candidates = self.slots
         if allowed_hosts is not None:
             allowed = set(allowed_hosts)
-            candidates = [s for s in candidates if s.host in allowed]
+            candidates = [s for s in self.slots if s.host in allowed]
             if not candidates:
-                raise SchedulingError(
-                    f"no {self.kind} slots on any of hosts {sorted(allowed)}"
-                )
+                if allowed & self.down_hosts:
+                    # Constraint exists but every allowed host is dead:
+                    # degrade gracefully to the live pool.
+                    candidates = self.slots
+                else:
+                    raise SchedulingError(
+                        f"no {self.kind} slots on any of hosts {sorted(allowed)}"
+                    )
+        if avoid_hosts:
+            avoid = set(avoid_hosts)
+            kept = [s for s in candidates if s.host not in avoid]
+            if kept:
+                candidates = kept
         earliest = min(s.available for s in candidates)
-        front = [s for s in candidates if s.available == earliest]
+        tol = AVAILABILITY_REL_TOL * max(1.0, abs(earliest))
+        front = [s for s in candidates if s.available - earliest <= tol]
         if preferred_hosts:
             preferred = set(preferred_hosts)
             for slot in front:

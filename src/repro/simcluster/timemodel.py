@@ -139,3 +139,10 @@ class TimeModel:
         """Cost of one index lookup served on the same node: ``T_j`` only
         (the index-locality strategy's pay-off, Equation 4)."""
         return service_time
+
+    def straggled(self, duration: float, factor: float) -> float:
+        """Scale one task's duration by its node's straggler factor
+        (the fault layer's slow-node model; 1.0 = a healthy node)."""
+        if factor <= 0:
+            raise ValueError("straggler factor must be positive")
+        return duration * factor

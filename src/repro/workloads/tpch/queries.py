@@ -41,16 +41,25 @@ class TpchIndexes:
     partsupp: DistributedKVStore
     nation: DistributedKVStore
 
-    def reset_accounting(self) -> None:
-        for store in (
+    def stores(self) -> Tuple[DistributedKVStore, ...]:
+        return (
             self.orders,
             self.customer,
             self.supplier,
             self.part,
             self.partsupp,
             self.nation,
-        ):
+        )
+
+    def reset_accounting(self) -> None:
+        for store in self.stores():
             store.reset_accounting()
+
+    def set_fault_plan(self, plan, retry_policy=None) -> None:
+        """Attach one fault plan (and optionally a retry policy) to all
+        six dimension-table indices."""
+        for store in self.stores():
+            store.set_fault_plan(plan, retry_policy)
 
 
 def build_indexes(

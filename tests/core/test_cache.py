@@ -57,6 +57,21 @@ class TestLRUCache:
         c.clear()
         assert len(c) == 0 and c.probes == 0
 
+    def test_clear_resets_all_accounting(self):
+        c = LRUCache(4)
+        c.get("a")  # miss
+        c.put("a", 1)
+        c.get("a")  # hit
+        c.clear()
+        assert (c.probes, c.hits, c.misses) == (0, 0, 0)
+        assert c.miss_ratio == 1.0  # back to the pessimistic prior
+        # Post-clear probes start a fresh estimate, not a continuation.
+        c.get("a")
+        assert (c.probes, c.hits, c.miss_ratio) == (1, 0, 1.0)
+        c.put("a", 2)
+        c.get("a")
+        assert (c.probes, c.hits, c.miss_ratio) == (2, 1, 0.5)
+
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             LRUCache(0)
@@ -107,4 +122,27 @@ class TestShadowCache:
         s = ShadowCache(4, warmup=4)
         for i in range(100):
             s.probe(i)  # all-distinct stream -> everything misses
+        assert s.miss_ratio == 1.0
+
+    def test_warmup_boundary_first_counted_probe(self):
+        # The boundary is exclusive: probe warmup+1 is the FIRST one
+        # that enters the estimate, and miss_ratio stays exactly 1.0
+        # (the pessimistic prior) until then.
+        s = ShadowCache(16, warmup=5)
+        for i in range(5):
+            s.probe("k")
+            assert not s.warmed
+            assert s.counted_probes == 0
+            assert s.miss_ratio == 1.0
+        s.probe("k")  # probe number warmup + 1
+        assert s.warmed
+        assert s.counted_probes == 1
+        assert s.counted_hits == 1  # "k" was cached during warm-up
+        assert s.miss_ratio == 0.0
+
+    def test_zero_warmup_counts_from_first_probe(self):
+        s = ShadowCache(16, warmup=0)
+        assert not s.probe("k")
+        assert s.warmed
+        assert s.counted_probes == 1
         assert s.miss_ratio == 1.0

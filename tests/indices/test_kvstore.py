@@ -45,6 +45,30 @@ class TestBasicOps:
         result.append(99)
         assert kv.lookup("a") == [1]
 
+    def test_put_unique_over_multivalued_key_fixes_size(self, kv):
+        # Regression: put_unique over an existing multi-valued key used
+        # to keep counting the dropped values, so __len__/fingerprint
+        # drifted and the later delete() underflowed _size.
+        kv.put("a", 1)
+        kv.put("a", 2)
+        kv.put("a", 3)
+        assert len(kv) == 3
+        kv.put_unique("a", 9)
+        assert kv.lookup("a") == [9]
+        assert len(kv) == 1
+        assert kv.num_keys == 1
+        assert kv.delete("a")
+        assert len(kv) == 0
+
+    def test_put_unique_size_over_fresh_and_single_keys(self, kv):
+        kv.put_unique("a", 1)
+        assert len(kv) == 1
+        kv.put_unique("a", 2)
+        assert len(kv) == 1
+        kv.put("b", 1)
+        kv.put_unique("b", 2)
+        assert len(kv) == 2
+
 
 class TestPartitioning:
     def test_keys_spread_over_partitions(self, kv):

@@ -150,6 +150,22 @@ class TestAbortHooks:
         assert seen["runs"] == min(cluster.total_map_slots, seen["total"])
 
 
+class TestReduceInputFor:
+    def test_mismatched_bucket_count_is_clear_error(self, loaded):
+        # Regression: a resumed job mixing map runs from plans with
+        # different reduce-task counts used to die with a bare
+        # IndexError deep in the shuffle.
+        res = loaded.run(wordcount_conf(num_reduce_tasks=3))
+        with pytest.raises(DataFlowError, match="shuffle buckets"):
+            loaded.reduce_input_for(res.map_runs, 3)
+
+    def test_valid_partition_still_served(self, loaded):
+        res = loaded.run(wordcount_conf(num_reduce_tasks=3))
+        records = loaded.reduce_input_for(res.map_runs, 2)
+        assert records
+        assert all(isinstance(r, tuple) for r in records)
+
+
 class TestPerPartitionOutput:
     def test_part_files_written(self, loaded, dfs):
         conf = wordcount_conf(output_per_partition=True)

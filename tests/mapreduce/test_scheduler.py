@@ -102,3 +102,25 @@ class TestLocality:
             ends.append(end)
         # node00 has 2 map slots -> 4 tasks take 2 waves.
         assert max(ends) == 2.0
+
+    def test_locality_survives_float_noise_in_availability(self, cluster):
+        # Regression: the earliest-available "front" used exact float
+        # equality, so slots whose availability differed by accumulated
+        # rounding noise fell out of the tie and lost the data-locality
+        # preference.
+        sched = SlotScheduler(cluster, "map")
+        for slot in sched.slots:
+            # Same logical time reached via different summation orders:
+            # 0.1 + 0.2 == 0.30000000000000004, a hair *later* than 0.3.
+            slot.available = 0.1 + 0.2 if slot.host == "node02" else 0.3
+        slot = sched.acquire(preferred_hosts=["node02"])
+        assert slot.host == "node02"
+
+    def test_tolerance_does_not_merge_distinct_times(self, cluster):
+        sched = SlotScheduler(cluster, "map")
+        for slot in sched.slots:
+            slot.available = 5.0 if slot.host == "node02" else 1.0
+        slot = sched.acquire(preferred_hosts=["node02"])
+        # node02 is genuinely later: the preference must NOT override
+        # the earliest-available rule.
+        assert slot.host != "node02"
