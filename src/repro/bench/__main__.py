@@ -15,7 +15,7 @@ import sys
 import time
 
 from repro.bench import figures
-from repro.bench.harness import format_fault_table, format_table
+from repro.bench.harness import format_batch_table, format_fault_table, format_table
 
 
 def _table_fig12(rows) -> str:
@@ -106,6 +106,25 @@ EXPERIMENTS = {
             rows,
             modes=figures.SEC53_MODES,
             x_label="workload",
+        ),
+    ),
+    "batching": (
+        "batched lookups: runtime vs multiget batch size",
+        figures.run_batching,
+        lambda rows: "\n\n".join(
+            [
+                format_table(
+                    "Batching  TPC-H Q3: runtime vs multiget batch size",
+                    rows,
+                    modes=figures.BATCH_MODES,
+                    x_label="batch size",
+                ),
+                format_batch_table(
+                    "Batching  batch.* counter totals",
+                    rows,
+                    modes=figures.BATCH_MODES,
+                ),
+            ]
         ),
     ),
     "faults": (

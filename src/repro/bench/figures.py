@@ -382,3 +382,48 @@ def run_fault_recovery() -> List[ExperimentRow]:
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Batching -- runtime vs multiget batch size per strategy
+# ----------------------------------------------------------------------
+BATCH_SIZES = (1, 8, 64, 256)
+BATCH_MODES = ("Base", "Cache", "Repart", "Idxloc")
+
+
+def run_batching() -> List[ExperimentRow]:
+    """The Fig. 11(b) workload (TPC-H Q3) swept over multiget batch
+    sizes.
+
+    x-axis: the strategy layer's ``batch_size`` (pending records per
+    multiget flush). ``B=1`` is the unbatched code path; every larger
+    batch amortises the KV store's fixed per-request cost
+    (``C_req + B*C_key`` instead of ``B*T_j``) and one network latency
+    per batch, so simulated lookup time must fall monotonically with
+    the batch size for every strategy. Outputs are verified identical
+    across strategies at each batch size.
+    """
+    rows = []
+    for batch_size in BATCH_SIZES:
+        cluster = bench_cluster()
+        dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+        data = tpch.generate(tpch.TpchConfig(sf=0.002))
+        tpch.write_lineitem(dfs, "/in/lineitem", data)
+        indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+
+        def job_factory(name, indexes=indexes):
+            indexes.reset_accounting()
+            return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+        rows.append(
+            run_all_modes(
+                cluster,
+                dfs,
+                job_factory,
+                extra_job_targets=("head0",),
+                modes=BATCH_MODES,
+                label=f"B={batch_size}",
+                batch_size=batch_size,
+            )
+        )
+    return rows

@@ -69,6 +69,9 @@ class ExperimentRow:
     details: Dict[str, EFindJobResult] = field(default_factory=dict)
     faults: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant ``fault.*`` counter totals (empty on clean runs)."""
+    batches: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``batch.*`` counter totals, with the derived
+    ``mean_fill`` (empty on unbatched runs)."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -86,6 +89,7 @@ def run_all_modes(
     cache_capacity: int = 1024,
     forced_boundary: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    batch_size: int = 1,
 ) -> ExperimentRow:
     """Run the requested variants and return their simulated times.
 
@@ -109,7 +113,11 @@ def run_all_modes(
             # Profiling run with the baseline collects "sufficient
             # statistics"; only the optimized run's time is reported.
             profiler = EFindRunner(
-                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+                cluster,
+                dfs,
+                cache_capacity=cache_capacity,
+                fault_plan=fault_plan,
+                batch_size=batch_size,
             )
             profiler.run(
                 job_factory(f"{label or 'job'}-profile"),
@@ -122,16 +130,25 @@ def run_all_modes(
                 catalog=profiler.catalog,
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
+                batch_size=batch_size,
             )
             result = runner.run(job, mode="static")
         elif mode == "Dynamic":
             runner = EFindRunner(
-                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+                cluster,
+                dfs,
+                cache_capacity=cache_capacity,
+                fault_plan=fault_plan,
+                batch_size=batch_size,
             )
             result = runner.run(job, mode="dynamic")
         else:
             runner = EFindRunner(
-                cluster, dfs, cache_capacity=cache_capacity, fault_plan=fault_plan
+                cluster,
+                dfs,
+                cache_capacity=cache_capacity,
+                fault_plan=fault_plan,
+                batch_size=batch_size,
             )
             strategy = {
                 "Base": Strategy.BASELINE,
@@ -151,6 +168,7 @@ def run_all_modes(
         row.times[mode] = result.sim_time
         row.details[mode] = result
         row.faults[mode] = result.counters.group("fault")
+        row.batches[mode] = batch_totals(result.counters)
         if verify_outputs:
             output = sorted(result.output, key=repr)
             if reference is None:
@@ -160,6 +178,17 @@ def run_all_modes(
                     f"{mode} produced different output than the first variant"
                 )
     return row
+
+
+def batch_totals(counters) -> Dict[str, float]:
+    """The ``batch.*`` counter totals plus the derived ``mean_fill``
+    (keys per issued multiget). Counters merge additively across tasks,
+    so the mean must be derived here rather than counted."""
+    totals = counters.group("batch")
+    issued = totals.get("batches_issued", 0.0)
+    if issued:
+        totals["mean_fill"] = totals.get("keys_batched", 0.0) / issued
+    return totals
 
 
 def _equivalent(a, b) -> bool:
@@ -209,6 +238,41 @@ def format_fault_table(
             cells = " | ".join(
                 f"{counters.get(n, 0.0):{w}g}"
                 for n, w in zip(FAULT_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+BATCH_COUNTER_NAMES = (
+    "batches_issued",
+    "keys_batched",
+    "mean_fill",
+    "flushes_on_finish",
+)
+
+
+def format_batch_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``batch.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(m in r.batches for r in rows)]
+    widths = [max(8, len(n)) for n in BATCH_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(BATCH_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if mode not in row.batches:
+                continue
+            counters = row.batches[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}.4g}"
+                for n, w in zip(BATCH_COUNTER_NAMES, widths)
             )
             lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
     lines.append("-" * len(header))

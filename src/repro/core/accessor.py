@@ -51,6 +51,31 @@ class IndexAccessor:
         """
         return self.index.lookup(ik, ctx)
 
+    def lookup_batch(self, iks: List[Any], ctx=None) -> List[List[Any]]:
+        """Look up many keys in one request; result lists in key order.
+
+        Falls back to a loop of single lookups inside the index when it
+        has no native multiget (``supports_batch`` False), with
+        identical results and per-key fault behavior either way.
+        """
+        return self.index.lookup_batch(iks, ctx)
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when the index has a native multiget whose amortised
+        batch cost (``C_req + B*C_key``) the strategy layer may charge
+        instead of ``B*T_j``."""
+        return self.index.supports_batch
+
+    def batch_service_time(self, batch_size: int) -> float:
+        return self.index.batch_service_time(batch_size)
+
+    def batch_request_overhead(self) -> float:
+        return self.index.batch_request_overhead()
+
+    def batch_key_time(self) -> float:
+        return self.index.batch_key_time()
+
     # -- optimizer-visible metadata --------------------------------------
     @property
     def name(self) -> str:

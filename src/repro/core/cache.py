@@ -84,7 +84,11 @@ class ShadowCache:
         self._cache = LRUCache(capacity)
         # Capped so operators that see only a few dozen keys per node
         # (e.g. behind a selective filter) still produce an estimate.
-        self._warmup = min(capacity // 8, 64) if warmup is None else warmup
+        if warmup is None:
+            warmup = min(capacity // 8, 64)
+        elif warmup < 0:
+            raise ValueError("shadow-cache warm-up cannot be negative")
+        self._warmup = warmup
         self._seen = 0
         self.counted_probes = 0
         self.counted_hits = 0
@@ -115,3 +119,13 @@ class ShadowCache:
         if self.counted_probes == 0:
             return 1.0
         return 1.0 - self.counted_hits / self.counted_probes
+
+    def clear(self) -> None:
+        """Reset contents and the estimate, *including* the warm-up
+        window: a cleared shadow starts cold, so counting its first
+        probes would mix one window's compulsory misses into the next
+        window's estimate. It must re-warm before counting again."""
+        self._cache.clear()
+        self._seen = 0
+        self.counted_probes = 0
+        self.counted_hits = 0

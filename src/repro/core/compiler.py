@@ -103,9 +103,10 @@ class _SmapMeter:
 
 
 class _StageBuilder:
-    def __init__(self, iconf: IndexJobConf, cluster: Cluster):
+    def __init__(self, iconf: IndexJobConf, cluster: Cluster, batch_size: int = 1):
         self.iconf = iconf
         self.cluster = cluster
+        self.batch_size = max(1, int(batch_size))
         self.stages: List[StageSpec] = []
         self.shuffle_parallelism = max(
             cluster.num_nodes, min(32, cluster.total_reduce_slots)
@@ -192,6 +193,7 @@ class _StageBuilder:
                         use_cache=(strategy is Strategy.CACHE),
                         cache_capacity=cache_capacity,
                         record_sidx=is_last,
+                        batch_size=self.batch_size,
                     )
                 )
         if not post_emitted:
@@ -238,6 +240,7 @@ class _StageBuilder:
                     dedup_adjacent=True,
                     assume_local=True,
                     record_sidx=is_last,
+                    batch_size=self.batch_size,
                 )
             )
             return False
@@ -256,15 +259,20 @@ class _StageBuilder:
                     stats=stats_acc,
                     dedup_adjacent=True,
                     record_sidx=is_last,
+                    batch_size=self.batch_size,
                 )
             )
             return False
         if boundary == "idx":
-            self.reducer = GroupLookupReducer(op, op_id, j, stats_acc)
+            self.reducer = GroupLookupReducer(
+                op, op_id, j, stats_acc, batch_size=self.batch_size
+            )
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
             return False
         if boundary == "post":
-            self.reducer = GroupLookupReducer(op, op_id, j, stats_acc)
+            self.reducer = GroupLookupReducer(
+                op, op_id, j, stats_acc, batch_size=self.batch_size
+            )
             self.reduce_post.append(PostProcessFn(op, op_id, stats_acc))
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
             return True
@@ -310,6 +318,7 @@ def compile_plan(
     cache_capacity: int = 1024,
     boundary_override: Optional[str] = None,
     start_at: str = "head",
+    batch_size: int = 1,
 ) -> List[StageSpec]:
     """Compile ``iconf`` under ``plan`` into physical stages.
 
@@ -319,7 +328,7 @@ def compile_plan(
     """
     stats_registry = stats_registry or {}
     op_stats = op_stats or {}
-    builder = _StageBuilder(iconf, cluster)
+    builder = _StageBuilder(iconf, cluster, batch_size=batch_size)
 
     placed = iconf.placed_operators()
 

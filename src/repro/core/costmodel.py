@@ -71,9 +71,16 @@ def cost_baseline(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
 
     ``Cost_base = N1 * Nik_j * ((Sik_j + Siv_j)/BW + T_j)``
     (plus the per-message latency of a remote request).
+
+    ``T_j`` and the latency are *effective* per-lookup values: when the
+    runtime has observed batched lookups they amortise the fixed
+    multiget overhead (``C_req``) and the round trip over the mean
+    batch fill; otherwise they are the plain sampled values.
     """
     return op.n1 * idx.nik * (
-        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+        (idx.sik + idx.siv) / env.lookup_bw
+        + idx.effective_latency(env.latency)
+        + idx.effective_tj()
     )
 
 
@@ -83,7 +90,9 @@ def cost_cache(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
     ``Cost_cache = N1 * Nik_j * (T_cache + R * ((Sik_j + Siv_j)/BW + T_j))``
     """
     per_key = env.t_cache + idx.miss_ratio * (
-        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+        (idx.sik + idx.siv) / env.lookup_bw
+        + idx.effective_latency(env.latency)
+        + idx.effective_tj()
     )
     return op.n1 * idx.nik * per_key
 
@@ -136,7 +145,9 @@ def cost_repart(
     ``Cost_lookup = (N1 * Nik_j / Theta) * ((Sik_j + Siv_j)/BW + T_j)``
     """
     lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * (
-        (idx.sik + idx.siv) / env.lookup_bw + env.latency + idx.tj
+        (idx.sik + idx.siv) / env.lookup_bw
+        + idx.effective_latency(env.latency)
+        + idx.effective_tj()
     )
     return (
         env.extra_job_overhead
@@ -157,7 +168,7 @@ def cost_idxloc(
 
     ``Cost_lookup = (N1 * Nik_j / Theta) * T_j + N1 * Spre / BW``
     """
-    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * idx.tj + op.n1 * (
+    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * idx.effective_tj() + op.n1 * (
         op.spre + carried_bytes
     ) / env.bw
     return (

@@ -99,10 +99,12 @@ class EFindRunner:
         variance_threshold: float = DEFAULT_VARIANCE_THRESHOLD,
         plan_change_overhead: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        batch_size: int = 1,
     ):
         self.cluster = cluster
         self.dfs = dfs
         self.fault_plan = fault_plan
+        self.batch_size = max(1, int(batch_size))
         self.job_runner = JobRunner(cluster, dfs, fault_plan=fault_plan)
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.cache_capacity = cache_capacity
@@ -254,6 +256,7 @@ class EFindRunner:
             op_stats,
             self.cache_capacity,
             boundary_override,
+            batch_size=self.batch_size,
         )
         self._assign_paths(iconf, stages, tag="a")
         stages[0].conf.input_paths = list(iconf.input_paths)
@@ -320,7 +323,7 @@ class EFindRunner:
         new_plan = decision.new_plan
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
-            self.cache_capacity,
+            self.cache_capacity, batch_size=self.batch_size,
         )
         self._assign_paths(iconf, stages, tag="b")
 
@@ -359,7 +362,7 @@ class EFindRunner:
         new_plan = decision.new_plan
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
-            self.cache_capacity, start_at="reduce",
+            self.cache_capacity, start_at="reduce", batch_size=self.batch_size,
         )
         self._assign_paths(iconf, stages, tag="c")
 

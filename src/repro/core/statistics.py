@@ -100,6 +100,10 @@ class TaskSample:
     tj_samples: Dict[int, int] = field(default_factory=dict)
     cache_probes: Dict[int, int] = field(default_factory=dict)
     cache_misses: Dict[int, int] = field(default_factory=dict)
+    batches: Dict[int, int] = field(default_factory=dict)
+    batch_keys: Dict[int, int] = field(default_factory=dict)
+    c_req_total: Dict[int, float] = field(default_factory=dict)
+    c_key_total: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -115,6 +119,30 @@ class IndexStats:
     distinct: float = 0.0  # FM-estimated distinct lookup keys
     lookups_observed: int = 0
     probes_observed: int = 0
+    c_req: float = 0.0  # sampled fixed per-multiget overhead
+    c_key: float = 0.0  # sampled per-key marginal multiget cost
+    batch_fill: float = 1.0  # observed mean keys per multiget
+    batches_observed: int = 0
+
+    def effective_tj(self) -> float:
+        """Per-lookup service time the cost model should charge.
+
+        With no batches observed this is the plain sampled ``tj``
+        (Equations 1-4 unchanged). Once the runtime has seen batched
+        lookups it is the amortised ``C_req / fill + C_key``: the
+        fixed request overhead spread over the observed mean batch
+        fill.
+        """
+        if self.batches_observed <= 0 or self.batch_fill <= 0:
+            return self.tj
+        return self.c_req / self.batch_fill + self.c_key
+
+    def effective_latency(self, latency: float) -> float:
+        """Per-lookup share of the network round-trip latency: one
+        message per batch, so amortised by the observed fill."""
+        if self.batches_observed <= 0 or self.batch_fill <= 0:
+            return latency
+        return latency / self.batch_fill
 
     def capacity_bounded_miss_ratio(
         self, n1: float, cache_capacity: int
@@ -237,6 +265,19 @@ class OperatorStatsAccumulator:
             tj_samples = sum(s.tj_samples.get(j, 0) for s in self.samples)
             if tj_samples:
                 idx.tj = sum(s.tj_total.get(j, 0.0) for s in self.samples) / tj_samples
+            batches = sum(s.batches.get(j, 0) for s in self.samples)
+            idx.batches_observed = batches
+            if batches:
+                batch_keys = sum(s.batch_keys.get(j, 0) for s in self.samples)
+                idx.batch_fill = max(1.0, batch_keys / batches)
+                idx.c_req = (
+                    sum(s.c_req_total.get(j, 0.0) for s in self.samples) / batches
+                )
+                if batch_keys:
+                    idx.c_key = (
+                        sum(s.c_key_total.get(j, 0.0) for s in self.samples)
+                        / batch_keys
+                    )
             probes = sum(s.cache_probes.get(j, 0) for s in self.samples)
             idx.probes_observed = probes
             if probes:
@@ -368,6 +409,10 @@ class StatisticsCatalog:
                         "distinct": idx.distinct,
                         "lookups_observed": idx.lookups_observed,
                         "probes_observed": idx.probes_observed,
+                        "c_req": idx.c_req,
+                        "c_key": idx.c_key,
+                        "batch_fill": idx.batch_fill,
+                        "batches_observed": idx.batches_observed,
                     }
                     for j, idx in stats.per_index.items()
                 },

@@ -114,6 +114,11 @@ class LookupFn(ChainedFunction):
       duplicates the shuffle created.
     * ``assume_local=True``: index-locality -- the task runs on a node
       hosting the key's partition, so lookups cost ``T_j`` only.
+    * ``batch_size > 1``: accumulate records whose keys miss the cache
+      (hits are still served and emitted immediately) and resolve the
+      pending keys with one :meth:`IndexAccessor.lookup_batch` per
+      ``batch_size`` records, amortising the per-request lookup cost.
+      ``batch_size=1`` (the default) takes the exact unbatched path.
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class LookupFn(ChainedFunction):
         dedup_adjacent: bool = False,
         assume_local: bool = False,
         record_sidx: bool = False,
+        batch_size: int = 1,
     ):
         self.operator = operator
         self.operator_id = operator_id
@@ -138,19 +144,60 @@ class LookupFn(ChainedFunction):
         self.dedup_adjacent = dedup_adjacent
         self.assume_local = assume_local
         self.record_sidx = record_sidx
+        self.batch_size = max(1, int(batch_size))
         self._node_caches: dict = {}
         self._node_shadows: dict = {}
         self._memo_key: Any = _NO_MEMO
         self._memo_values: Tuple[Any, ...] = ()
+        self._pending_records: list = []
+        self._pending_keys: list = []
+        self._pending_key_set: set = set()
 
     def start(self, ctx):
         self._memo_key = _NO_MEMO
         self._memo_values = ()
+        self._pending_records = []
+        self._pending_keys = []
+        self._pending_key_set = set()
 
     def process(self, key, value, collector, ctx):
+        if self.batch_size == 1:
+            v1, ikl, ivl = open_carrier(value)
+            keys = ikl[self.index_id]
+            results = tuple(tuple(self._lookup(ik, ctx)) for ik in keys)
+            self._emit(key, v1, ikl, ivl, results, collector, ctx)
+            return
+
         v1, ikl, ivl = open_carrier(value)
         keys = ikl[self.index_id]
-        results = tuple(tuple(self._lookup(ik, ctx)) for ik in keys)
+        slots = []
+        needs_fetch = False
+        for ik in keys:
+            resolved = self._probe_without_fetch(ik, ctx)
+            if resolved is None:
+                slots.append(("fetch", ik))
+                needs_fetch = True
+                if ik not in self._pending_key_set:
+                    self._pending_key_set.add(ik)
+                    self._pending_keys.append(ik)
+            else:
+                slots.append(("hit", resolved))
+        if not needs_fetch:
+            # Every key was served from the cache / dedup memo (or the
+            # record has none): emit right away, no batching delay.
+            results = tuple(s[1] for s in slots)
+            self._emit(key, v1, ikl, ivl, results, collector, ctx)
+            return
+        self._pending_records.append((key, v1, ikl, ivl, slots))
+        if len(self._pending_records) >= self.batch_size:
+            self._flush(collector, ctx)
+
+    def finish(self, collector, ctx):
+        if self.batch_size > 1 and self._pending_records:
+            ctx.counters.increment("batch", "flushes_on_finish")
+            self._flush(collector, ctx)
+
+    def _emit(self, key, v1, ikl, ivl, results, collector, ctx):
         new_ivl = tuple(
             results if j == self.index_id else ivl[j] for j in range(len(ivl))
         )
@@ -199,10 +246,7 @@ class LookupFn(ChainedFunction):
             self._memo_values = tuple(values)
         return values
 
-    def _fetch(self, ik: Any, ctx: TaskContext) -> List[Any]:
-        tm = ctx.time_model
-        values = self.accessor.lookup(ik, ctx)
-        tj = self.accessor.service_time()
+    def _is_local(self, ik: Any, ctx: TaskContext) -> bool:
         local = self.assume_local or (
             ctx.node.hostname in self.accessor.hosts_for_key(ik)
         )
@@ -217,7 +261,13 @@ class LookupFn(ChainedFunction):
                 if hosts and ctx.node.hostname not in hosts:
                     local = False
                     ctx.counters.increment("fault", "locality_fallbacks")
-        if local:
+        return local
+
+    def _fetch(self, ik: Any, ctx: TaskContext) -> List[Any]:
+        tm = ctx.time_model
+        values = self.accessor.lookup(ik, ctx)
+        tj = self.accessor.service_time()
+        if self._is_local(ik, ctx):
             ctx.charge(tm.local_lookup_time(tj))
         else:
             ctx.charge(
@@ -242,6 +292,130 @@ class LookupFn(ChainedFunction):
         sample.cache_probes[j] = sample.cache_probes.get(j, 0) + 1
         if not hit:
             sample.cache_misses[j] = sample.cache_misses.get(j, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Batched path (batch_size > 1)
+    # ------------------------------------------------------------------
+    def _probe_without_fetch(self, ik: Any, ctx: TaskContext):
+        """The cache/shadow/memo half of :meth:`_lookup`: returns the
+        resolved value tuple on a hit, None when the key must be
+        fetched. Probe charges and cache statistics are identical to
+        the unbatched path; only the fetch itself is deferred."""
+        tm = ctx.time_model
+        if self.dedup_adjacent and ik == self._memo_key:
+            return self._memo_values
+        if self.use_cache:
+            cache = self._node_caches.setdefault(
+                ctx.node.hostname, LRUCache(self.cache_capacity)
+            )
+            ctx.charge(tm.cache_probe_time)
+            hit, cached = cache.get(ik)
+            self._record_cache_stats(ctx, hit)
+            if hit:
+                return tuple(cached)
+            return None
+        if not self.dedup_adjacent:
+            shadow = self._node_shadows.setdefault(
+                ctx.node.hostname, ShadowCache(self.cache_capacity)
+            )
+            would_hit = shadow.probe(ik)
+            if shadow.warmed:
+                self._record_cache_stats(ctx, would_hit)
+        return None
+
+    def _flush(self, collector, ctx: TaskContext) -> None:
+        """Resolve all pending keys with one multiget and emit the
+        pending records, in arrival order.
+
+        Charging: local and remote keys are split exactly as in
+        :meth:`_fetch` (the re-partitioning and index-locality legs
+        batch within their local partition, so locality is never
+        broken). An index with a native multiget is charged the
+        amortised ``C_req + B*C_key`` per group and a single network
+        latency; the loop fallback pays the same per-key cost as
+        unbatched lookups.
+        """
+        if not self._pending_records:
+            return
+        tm = ctx.time_model
+        keys = self._pending_keys
+        records = self._pending_records
+        self._pending_records = []
+        self._pending_keys = []
+        self._pending_key_set = set()
+
+        value_lists = self.accessor.lookup_batch(keys, ctx)
+        results = {ik: tuple(vs) for ik, vs in zip(keys, value_lists)}
+        tj = self.accessor.service_time()
+
+        local_keys: List[Any] = []
+        remote_keys: List[Any] = []
+        for ik in keys:
+            (local_keys if self._is_local(ik, ctx) else remote_keys).append(ik)
+
+        ctx.counters.increment("batch", "batches_issued")
+        ctx.counters.increment("batch", "keys_batched", len(keys))
+
+        if self.accessor.supports_batch:
+            if local_keys:
+                ctx.charge(
+                    tm.local_batch_lookup_time(
+                        self.accessor.batch_service_time(len(local_keys))
+                    )
+                )
+            if remote_keys:
+                ctx.charge(
+                    tm.remote_batch_lookup_time(
+                        sum(sizeof(ik) for ik in remote_keys),
+                        sum(sizeof(results[ik]) for ik in remote_keys),
+                        self.accessor.batch_service_time(len(remote_keys)),
+                    )
+                )
+        else:
+            # No native multiget: the fallback is a loop, charged
+            # exactly like the equivalent sequence of single lookups.
+            for ik in local_keys:
+                ctx.charge(tm.local_lookup_time(tj))
+            for ik in remote_keys:
+                ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
+
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            j = self.index_id
+            sample.lookups[j] = sample.lookups.get(j, 0) + len(keys)
+            sample.tj_total[j] = sample.tj_total.get(j, 0.0) + tj * len(keys)
+            sample.tj_samples[j] = sample.tj_samples.get(j, 0) + len(keys)
+            sample.siv_bytes[j] = sample.siv_bytes.get(j, 0.0) + sum(
+                sizeof(results[ik]) for ik in keys
+            )
+            if self.accessor.supports_batch:
+                groups = (1 if local_keys else 0) + (1 if remote_keys else 0)
+                sample.batches[j] = sample.batches.get(j, 0) + groups
+                sample.batch_keys[j] = sample.batch_keys.get(j, 0) + len(keys)
+                sample.c_req_total[j] = (
+                    sample.c_req_total.get(j, 0.0)
+                    + groups * self.accessor.batch_request_overhead()
+                )
+                sample.c_key_total[j] = (
+                    sample.c_key_total.get(j, 0.0)
+                    + len(keys) * self.accessor.batch_key_time()
+                )
+
+        if self.use_cache:
+            cache = self._node_caches.setdefault(
+                ctx.node.hostname, LRUCache(self.cache_capacity)
+            )
+            for ik in keys:
+                cache.put(ik, results[ik])
+        if self.dedup_adjacent and keys:
+            self._memo_key = keys[-1]
+            self._memo_values = results[keys[-1]]
+
+        for out_key, v1, ikl, ivl, slots in records:
+            rec_results = tuple(
+                s[1] if s[0] == "hit" else results[s[1]] for s in slots
+            )
+            self._emit(out_key, v1, ikl, ivl, rec_results, collector, ctx)
 
     @property
     def name(self) -> str:
@@ -316,7 +490,13 @@ class KeyByIkFn(ChainedFunction):
 class GroupLookupReducer(Reducer):
     """Reduce side of a shuffle job with the boundary *after* the
     lookup: one lookup per distinct key, results fanned back out to
-    every carrier of the group."""
+    every carrier of the group.
+
+    With ``batch_size > 1``, consecutive reduce groups accumulate and
+    their (distinct, co-partitioned) keys are resolved with one
+    multiget per ``batch_size`` groups; ``batch_size=1`` is the exact
+    unbatched path.
+    """
 
     def __init__(
         self,
@@ -324,19 +504,42 @@ class GroupLookupReducer(Reducer):
         operator_id: str,
         index_id: int,
         stats: Optional[OperatorStatsAccumulator] = None,
+        batch_size: int = 1,
     ):
         self.operator = operator
         self.operator_id = operator_id
         self.index_id = index_id
         self.accessor = operator.accessors[index_id]
         self.stats = stats
+        self.batch_size = max(1, int(batch_size))
+        self._pending_groups: list = []
+
+    def start(self, ctx):
+        self._pending_groups = []
 
     def reduce(self, ik, carriers, collector, ctx):
+        if self.batch_size == 1:
+            if ik is None:
+                results: Tuple[Any, ...] = ()
+            else:
+                values = self._fetch(ik, ctx)
+                results = (tuple(values),)
+            self._emit_group(ik, carriers, results, collector)
+            return
         if ik is None:
-            results: Tuple[Any, ...] = ()
-        else:
-            values = self._fetch(ik, ctx)
-            results = (tuple(values),)
+            # Keyless records need no lookup: emit straight through.
+            self._emit_group(ik, carriers, (), collector)
+            return
+        self._pending_groups.append((ik, list(carriers)))
+        if len(self._pending_groups) >= self.batch_size:
+            self._flush(collector, ctx)
+
+    def finish(self, collector, ctx):
+        if self.batch_size > 1 and self._pending_groups:
+            ctx.counters.increment("batch", "flushes_on_finish")
+            self._flush(collector, ctx)
+
+    def _emit_group(self, ik, carriers, results, collector):
         for original_key, value in carriers:
             v1, ikl, ivl = open_carrier(value)
             per_record = results if ikl[self.index_id] else ()
@@ -345,6 +548,80 @@ class GroupLookupReducer(Reducer):
                 for j in range(len(ivl))
             )
             collector.collect(original_key, make_carrier(v1, ikl, new_ivl))
+
+    def _flush(self, collector, ctx) -> None:
+        if not self._pending_groups:
+            return
+        tm = ctx.time_model
+        groups = self._pending_groups
+        self._pending_groups = []
+
+        keys: List[Any] = []
+        seen: set = set()
+        for ik, _ in groups:
+            if ik not in seen:
+                seen.add(ik)
+                keys.append(ik)
+        value_lists = self.accessor.lookup_batch(keys, ctx)
+        results = {ik: tuple(vs) for ik, vs in zip(keys, value_lists)}
+        tj = self.accessor.service_time()
+
+        local_keys: List[Any] = []
+        remote_keys: List[Any] = []
+        for ik in keys:
+            if ctx.node.hostname in self.accessor.hosts_for_key(ik):
+                local_keys.append(ik)
+            else:
+                remote_keys.append(ik)
+
+        ctx.counters.increment("batch", "batches_issued")
+        ctx.counters.increment("batch", "keys_batched", len(keys))
+
+        if self.accessor.supports_batch:
+            if local_keys:
+                ctx.charge(
+                    tm.local_batch_lookup_time(
+                        self.accessor.batch_service_time(len(local_keys))
+                    )
+                )
+            if remote_keys:
+                ctx.charge(
+                    tm.remote_batch_lookup_time(
+                        sum(sizeof(ik) for ik in remote_keys),
+                        sum(sizeof(results[ik]) for ik in remote_keys),
+                        self.accessor.batch_service_time(len(remote_keys)),
+                    )
+                )
+        else:
+            for ik in local_keys:
+                ctx.charge(tm.local_lookup_time(tj))
+            for ik in remote_keys:
+                ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
+
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            j = self.index_id
+            sample.lookups[j] = sample.lookups.get(j, 0) + len(keys)
+            sample.tj_total[j] = sample.tj_total.get(j, 0.0) + tj * len(keys)
+            sample.tj_samples[j] = sample.tj_samples.get(j, 0) + len(keys)
+            sample.siv_bytes[j] = sample.siv_bytes.get(j, 0.0) + sum(
+                sizeof(results[ik]) for ik in keys
+            )
+            if self.accessor.supports_batch:
+                ngroups = (1 if local_keys else 0) + (1 if remote_keys else 0)
+                sample.batches[j] = sample.batches.get(j, 0) + ngroups
+                sample.batch_keys[j] = sample.batch_keys.get(j, 0) + len(keys)
+                sample.c_req_total[j] = (
+                    sample.c_req_total.get(j, 0.0)
+                    + ngroups * self.accessor.batch_request_overhead()
+                )
+                sample.c_key_total[j] = (
+                    sample.c_key_total.get(j, 0.0)
+                    + len(keys) * self.accessor.batch_key_time()
+                )
+
+        for ik, carriers in groups:
+            self._emit_group(ik, carriers, (results[ik],), collector)
 
     def _fetch(self, ik, ctx) -> List[Any]:
         tm = ctx.time_model

@@ -16,6 +16,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.common.errors import DataFlowError
 from repro.common.sizing import sizeof_pair
 from repro.common.units import MB
+from repro.mapreduce.api import stable_hash
 from repro.simcluster.cluster import Cluster
 
 Record = Tuple[Any, Any]
@@ -100,10 +101,12 @@ class DistributedFileSystem:
         replication: int,
     ) -> None:
         index = len(meta.blocks)
+        # stable_hash, not hash(): block placement must not depend on
+        # the process's string-hash seed or runs stop being replayable.
         hosts = [
             n.hostname
             for n in self.cluster.replica_nodes(
-                hash((meta.path, index)) % self.cluster.num_nodes + index, replication
+                stable_hash(meta.path) % self.cluster.num_nodes + index, replication
             )
         ]
         meta.blocks.append(

@@ -27,6 +27,19 @@ class IndexService:
     #: set per instance. Roughly a Cassandra read on the paper's cluster.
     DEFAULT_SERVICE_TIME = 0.5e-3
 
+    #: Fraction of ``T_j`` that is per-key marginal work in a batched
+    #: request. A multiget of B keys is served in
+    #: ``C_req + B * C_key`` where ``C_req = (1 - frac) * T_j`` and
+    #: ``C_key = frac * T_j``, so a batch of one costs exactly ``T_j``
+    #: and larger batches amortise the fixed request overhead.
+    BATCH_MARGINAL_FRACTION = 0.25
+
+    #: True for indices with a native multiget; the strategy layer only
+    #: charges the amortised batch cost (``C_req + B*C_key``) when this
+    #: is set. Indices relying on the loop fallback keep paying the full
+    #: per-key ``T_j``.
+    supports_batch = False
+
     def __init__(self, name: str, service_time: Optional[float] = None):
         self.name = name
         self._service_time = (
@@ -36,6 +49,10 @@ class IndexService:
         self.lookups_retried = 0
         self.lookups_failed = 0
         self.failovers = 0
+        self.batches_served = 0
+        self.keys_batched = 0
+        self._batch_request_overhead: Optional[float] = None
+        self._batch_key_time: Optional[float] = None
         self._fault_plan: Optional[FaultPlan] = None
         self._retry_policy = RetryPolicy()
 
@@ -55,6 +72,15 @@ class IndexService:
         before the fault layer existed.
         """
         self.lookups_served += 1
+        return self._serve_with_retries(key, ctx)
+
+    def _serve_with_retries(self, key: Any, ctx=None) -> List[Any]:
+        """The retry loop behind :meth:`lookup`, minus the serve count.
+
+        Batched serves reuse this so a multiget makes exactly the same
+        per-key fault/retry/failover decisions (and charges the same
+        backoff and timeout waits) as a loop of single lookups would.
+        """
         plan = self._fault_plan
         if plan is None:
             return self._attempt(key, ctx)
@@ -104,6 +130,60 @@ class IndexService:
 
     def _lookup(self, key: Any) -> List[Any]:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batched lookup
+    # ------------------------------------------------------------------
+    def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        """Return the value lists for ``keys``, in order.
+
+        The base implementation is a plain loop over :meth:`lookup` --
+        correct for any index, with no amortisation: results, retries,
+        fault decisions, and accounting are exactly those of the
+        equivalent sequence of single-key calls. Indices with a real
+        multiget (``supports_batch = True``) override this via
+        :meth:`_native_lookup_batch`.
+        """
+        return [self.lookup(key, ctx) for key in keys]
+
+    def _native_lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        """Shared body for native multiget overrides: serve every key
+        through the same per-key fault/retry path as :meth:`lookup`,
+        but account the request as one batch. The amortised *time* of a
+        native batch is charged by the caller (the strategy layer) via
+        :meth:`batch_service_time`."""
+        self.lookups_served += len(keys)
+        self.batches_served += 1
+        self.keys_batched += len(keys)
+        return [self._serve_with_retries(key, ctx) for key in keys]
+
+    def batch_request_overhead(self) -> float:
+        """``C_req``: the fixed per-request cost of a multiget."""
+        if self._batch_request_overhead is not None:
+            return self._batch_request_overhead
+        return self._service_time * (1.0 - self.BATCH_MARGINAL_FRACTION)
+
+    def batch_key_time(self) -> float:
+        """``C_key``: the marginal cost of one extra key in a multiget."""
+        if self._batch_key_time is not None:
+            return self._batch_key_time
+        return self._service_time * self.BATCH_MARGINAL_FRACTION
+
+    def set_batch_costs(self, c_req: float, c_key: float) -> None:
+        """Pin the batch cost model instead of deriving it from ``T_j``."""
+        if c_req < 0 or c_key < 0:
+            raise ValueError("batch costs cannot be negative")
+        self._batch_request_overhead = c_req
+        self._batch_key_time = c_key
+
+    def batch_service_time(self, batch_size: int) -> float:
+        """Service time of one multiget of ``batch_size`` keys:
+        ``C_req + B * C_key``. With the default cost split a batch of
+        one costs exactly ``T_j``, so batching never changes the
+        ``batch_size=1`` timing."""
+        if batch_size <= 0:
+            return 0.0
+        return self.batch_request_overhead() + batch_size * self.batch_key_time()
 
     # ------------------------------------------------------------------
     # Fault model
@@ -179,6 +259,8 @@ class IndexService:
         self.lookups_retried = 0
         self.lookups_failed = 0
         self.failovers = 0
+        self.batches_served = 0
+        self.keys_batched = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r})"
@@ -186,6 +268,8 @@ class IndexService:
 
 class MappingIndex(IndexService):
     """Convenience base for indices backed by a key -> [values] mapping."""
+
+    supports_batch = True
 
     def __init__(
         self,
@@ -210,6 +294,11 @@ class MappingIndex(IndexService):
         if isinstance(values, list):
             return list(values)
         return [values]
+
+    def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        if not keys:
+            return []
+        return self._native_lookup_batch(keys, ctx)
 
     def __len__(self) -> int:
         return len(self._mapping)

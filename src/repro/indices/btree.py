@@ -321,6 +321,8 @@ class DistributedBTree(IndexService):
     :class:`RangePartitionScheme` EFind uses for co-partitioning.
     """
 
+    supports_batch = True
+
     def __init__(
         self,
         name: str,
@@ -355,6 +357,13 @@ class DistributedBTree(IndexService):
 
     def _lookup(self, key: Any) -> List[Any]:
         return self._trees[self._scheme.partition_of(key)].search(key)
+
+    def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        """Native multiget: one descent batch against the root table.
+        Per-key serves still run the fault/retry path individually."""
+        if not keys:
+            return []
+        return self._native_lookup_batch(keys, ctx)
 
     def range_scan(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
         first = self._scheme.partition_of(low)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Union
 
 from repro.indices.base import IndexService
+from repro.mapreduce.api import stable_hash
 
 
 class CloudServiceIndex(IndexService):
@@ -66,5 +67,5 @@ class CloudServiceIndex(IndexService):
 
     def fingerprint(self) -> int:
         if callable(self._backend):
-            return hash(self.name) & 0x7FFFFFFF
+            return stable_hash(self.name)
         return len(self._backend)

@@ -25,6 +25,8 @@ class InvertedIndex(IndexService):
     Lookup key: a term. Result: the postings list, most-frequent first.
     """
 
+    supports_batch = True
+
     def __init__(self, name: str, service_time: Optional[float] = None):
         super().__init__(name, service_time)
         self._postings: Dict[str, Dict[Any, int]] = {}
@@ -47,6 +49,13 @@ class InvertedIndex(IndexService):
             return []
         ranked = sorted(postings.items(), key=lambda kv: (-kv[1], str(kv[0])))
         return [(doc_id, tf) for doc_id, tf in ranked]
+
+    def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        """Native multi-term lookup: the postings store serves the whole
+        term list in one request."""
+        if not keys:
+            return []
+        return self._native_lookup_batch(keys, ctx)
 
     def document_frequency(self, term: str) -> int:
         return len(self._postings.get(term.lower(), {}))

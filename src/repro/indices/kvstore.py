@@ -25,6 +25,8 @@ from repro.simcluster.cluster import Cluster
 class DistributedKVStore(IndexService):
     """Hash-partitioned, replicated key -> [values] store."""
 
+    supports_batch = True
+
     def __init__(
         self,
         name: str,
@@ -124,6 +126,49 @@ class DistributedKVStore(IndexService):
                 )
             return []
         return list(values)
+
+    def multiget_plan(self, keys: List[Any]) -> Dict[str, List[Any]]:
+        """Group ``keys`` by the replica host each multiget sub-request
+        goes to: every key's partition picks its first *live* replica
+        (falling back to the first replica when none is known live, so
+        the retry layer still sees the failure). Preserves first-seen
+        key order within each host group."""
+        plan = self.fault_plan
+        groups: Dict[str, List[Any]] = {}
+        for key in keys:
+            replicas = self._scheme.locations(self._scheme.partition_of(key))
+            host = replicas[0]
+            if plan is not None:
+                live = [h for h in replicas if not plan.host_down(h)]
+                if live:
+                    host = live[0]
+            groups.setdefault(host, []).append(key)
+        return groups
+
+    def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
+        """Native multiget: one request per replica host, each key still
+        served through the per-key fault/retry path (so failover,
+        outage, and injected-error decisions match single lookups
+        exactly); ``batches_served`` counts the host sub-requests."""
+        if not keys:
+            return []
+        results: Dict[int, List[Any]] = {}
+        order: Dict[str, List[int]] = {}
+        for i, key in enumerate(keys):
+            replicas = self._scheme.locations(self._scheme.partition_of(key))
+            host = replicas[0]
+            if self.fault_plan is not None:
+                live = [h for h in replicas if not self.fault_plan.host_down(h)]
+                if live:
+                    host = live[0]
+            order.setdefault(host, []).append(i)
+        self.lookups_served += len(keys)
+        self.keys_batched += len(keys)
+        self.batches_served += len(order)
+        for indices in order.values():
+            for i in indices:
+                results[i] = self._serve_with_retries(keys[i], ctx)
+        return [results[i] for i in range(len(keys))]
 
     @property
     def partition_scheme(self) -> PartitionScheme:

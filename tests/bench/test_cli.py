@@ -20,7 +20,7 @@ class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
-            "fig11f", "fig12", "fig13", "sec53", "faults",
+            "fig11f", "fig12", "fig13", "sec53", "batching", "faults",
         }
         for title, run, fmt in EXPERIMENTS.values():
             assert callable(run) and callable(fmt) and title

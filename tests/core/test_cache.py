@@ -146,3 +146,57 @@ class TestShadowCache:
         assert s.warmed
         assert s.counted_probes == 1
         assert s.miss_ratio == 1.0
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            ShadowCache(16, warmup=-1)
+
+    def test_miss_ratio_is_prior_at_zero_counted_probes(self):
+        # Warmed flag alone must not flip the estimate off the
+        # pessimistic prior -- only counted probes may.
+        s = ShadowCache(16, warmup=0)
+        assert s.miss_ratio == 1.0
+
+    def test_clear_resets_estimate_and_warmup(self):
+        s = ShadowCache(16, warmup=2)
+        for _ in range(5):
+            s.probe("k")
+        assert s.warmed and s.counted_probes == 3
+        assert s.miss_ratio == 0.0
+        s.clear()
+        # Back to the cold state: pessimistic prior, not warmed, no
+        # counted probes, and the keys themselves are gone.
+        assert not s.warmed
+        assert (s.counted_probes, s.counted_hits) == (0, 0)
+        assert s.miss_ratio == 1.0
+        assert s.probes == 0
+        assert not s.probe("k")  # the old window's keys were dropped
+
+    def test_clear_mid_window_requires_rewarm(self):
+        # A clear in the middle of the warm-up window must restart the
+        # window from zero, not resume it partway through: otherwise
+        # the fresh cache's compulsory misses leak into the estimate.
+        s = ShadowCache(16, warmup=4)
+        s.probe("a")
+        s.probe("b")
+        s.clear()
+        for i in range(4):
+            s.probe(i)
+            assert not s.warmed
+            assert s.counted_probes == 0
+        s.probe(0)
+        assert s.warmed
+        assert s.counted_probes == 1
+
+    def test_probe_streams_identical_after_clear(self):
+        # clear() must be indistinguishable from a newly built shadow.
+        fresh = ShadowCache(8, warmup=3)
+        cleared = ShadowCache(8, warmup=3)
+        for i in range(20):
+            cleared.probe(i % 5)
+        cleared.clear()
+        stream = [("x", i % 3) for i in range(12)]
+        for key in stream:
+            assert fresh.probe(key) == cleared.probe(key)
+        assert fresh.miss_ratio == cleared.miss_ratio
+        assert fresh.counted_probes == cleared.counted_probes

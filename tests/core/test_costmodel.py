@@ -188,3 +188,112 @@ class TestDispatch:
         assert env.bw == 125 * 1024 * 1024
         assert env.t_cache == pytest.approx(2e-6)
         assert env.extra_job_overhead > 0
+
+
+class TestBatchTerms:
+    """The batch extension of Equations 1-4: with observed batches the
+    per-lookup service time becomes ``C_req / fill + C_key`` and the
+    per-lookup latency share ``latency / fill``. Values are pinned
+    against a hand-computed worked example so plan choices can't drift.
+    """
+
+    @pytest.fixture
+    def batched_idx(self):
+        # Worked example: T_j = 1 ms split 0.75 ms fixed + 0.25 ms
+        # marginal, observed mean fill of 8 keys per multiget.
+        return IndexStats(
+            nik=1.0,
+            sik=8,
+            siv=64,
+            tj=1e-3,
+            miss_ratio=0.5,
+            theta=4.0,
+            c_req=0.75e-3,
+            c_key=0.25e-3,
+            batch_fill=8.0,
+            batches_observed=10,
+        )
+
+    @pytest.fixture
+    def lat_env(self):
+        return CostEnv(
+            bw=125e6,
+            f=3e-8,
+            t_cache=2e-6,
+            extra_job_overhead=0.0,
+            latency=1e-4,
+            lookup_bw=125e6,
+        )
+
+    def test_effective_tj_hand_computed(self, batched_idx):
+        # 0.75e-3 / 8 + 0.25e-3 = 9.375e-5 + 2.5e-4
+        assert batched_idx.effective_tj() == pytest.approx(3.4375e-4)
+
+    def test_effective_latency_hand_computed(self, batched_idx):
+        assert batched_idx.effective_latency(1e-4) == pytest.approx(1.25e-5)
+
+    def test_no_batches_means_plain_terms(self, op):
+        idx = op.index(0)
+        assert idx.batches_observed == 0
+        assert idx.effective_tj() == idx.tj
+        assert idx.effective_latency(1e-4) == 1e-4
+
+    def test_fill_of_one_costs_full_request(self):
+        # A batch of one pays C_req + C_key -- with the default split
+        # that is exactly T_j, so batching never looks free.
+        idx = IndexStats(
+            tj=1e-3,
+            c_req=0.75e-3,
+            c_key=0.25e-3,
+            batch_fill=1.0,
+            batches_observed=5,
+        )
+        assert idx.effective_tj() == pytest.approx(1e-3)
+
+    def test_eq1_baseline_with_batch_terms(self, lat_env, op, batched_idx):
+        expected = 10_000 * 1.0 * ((8 + 64) / 125e6 + 1.25e-5 + 3.4375e-4)
+        assert cost_baseline(lat_env, op, batched_idx) == pytest.approx(expected)
+
+    def test_eq2_cache_with_batch_terms(self, lat_env, op, batched_idx):
+        expected = 10_000 * (
+            2e-6 + 0.5 * ((8 + 64) / 125e6 + 1.25e-5 + 3.4375e-4)
+        )
+        assert cost_cache(lat_env, op, batched_idx) == pytest.approx(expected)
+
+    def test_eq3_repart_with_batch_terms(self, lat_env, op, batched_idx):
+        lookup = (10_000 / 4.0) * ((8 + 64) / 125e6 + 1.25e-5 + 3.4375e-4)
+        expected = (
+            cost_shuffle(lat_env, op)
+            + cost_result(lat_env, op, Placement.BEFORE_MAP)
+            + lookup
+        )
+        assert cost_repart(
+            lat_env, op, batched_idx, Placement.BEFORE_MAP
+        ) == pytest.approx(expected)
+
+    def test_eq4_idxloc_with_batch_terms(self, lat_env, op, batched_idx):
+        # Index locality's lookup term uses the effective T_j but never
+        # pays the per-message latency (lookups are node-local).
+        lookup = (10_000 / 4.0) * 3.4375e-4 + 10_000 * 120 / 125e6
+        expected = (
+            cost_shuffle(lat_env, op)
+            + cost_result(lat_env, op, Placement.BEFORE_MAP)
+            + lookup
+        )
+        assert cost_idxloc(
+            lat_env, op, batched_idx, Placement.BEFORE_MAP
+        ) == pytest.approx(expected)
+
+    def test_batching_monotone_in_fill(self, lat_env, op, batched_idx):
+        costs = []
+        for fill in (1.0, 2.0, 8.0, 64.0, 256.0):
+            batched_idx.batch_fill = fill
+            costs.append(cost_baseline(lat_env, op, batched_idx))
+        assert costs == sorted(costs, reverse=True)
+
+    def test_batching_never_beats_marginal_cost(self, lat_env, batched_idx):
+        # The amortised service time approaches C_key from above as the
+        # fill grows: the fixed overhead vanishes, the marginal never.
+        batched_idx.batch_fill = 1e9
+        assert batched_idx.effective_tj() == pytest.approx(2.5e-4, rel=1e-3)
+        assert batched_idx.effective_tj() > batched_idx.c_key
