@@ -43,6 +43,16 @@ EXPERIMENTS = {
             x_label="extra delay",
         ),
     ),
+    "fig11a-small": (
+        "LOG: single delay point (CI smoke / tracing)",
+        lambda: figures.run_fig11a(delays=(1.0,)),
+        lambda rows: format_table(
+            "Figure 11(a) [small]  LOG: runtime at +1ms lookup delay",
+            rows,
+            modes=figures.FIG11A_MODES,
+            x_label="extra delay",
+        ),
+    ),
     "fig11b": (
         "TPC-H Q3",
         figures.run_fig11b,
@@ -162,14 +172,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "re-run every variant with observability attached and write "
+            "Chrome trace / audit / metrics artifacts under DIR (the "
+            "reported times stay those of the untraced runs)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for name, (title, _run, _fmt) in EXPERIMENTS.items():
-            print(f"  {name:8s} {title}")
+            print(f"  {name:12s} {title}")
         return 0
 
-    names = args.names or list(EXPERIMENTS)
+    if args.trace is not None:
+        from repro.obs.config import set_trace_dir
+
+        set_trace_dir(args.trace)
+
+    # The small smoke variants exist for CI/tracing; a bare
+    # ``python -m repro.bench`` still runs each figure exactly once.
+    default_names = [n for n in EXPERIMENTS if not n.endswith("-small")]
+    names = args.names or default_names
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
@@ -182,6 +210,14 @@ def main(argv=None) -> int:
         started = time.time()
         rows = run()
         print(fmt(rows))
+        if args.trace is not None:
+            for row in rows:
+                for mode, wall in getattr(row, "trace_wall", {}).items():
+                    print(
+                        f"  traced {row.label}/{mode}: "
+                        f"off {wall['off']:.2f}s wall, on {wall['on']:.2f}s "
+                        f"({wall['overhead']:+.2f}s)"
+                    )
         print(f"({time.time() - started:.1f}s wall)")
     return 0
 

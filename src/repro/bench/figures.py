@@ -32,7 +32,9 @@ FIG11A_DELAYS_MS = (0.0, 1.0, 3.0, 5.0)
 FIG11A_MODES = ("Base", "Cache", "Repart", "Optimized", "Dynamic")
 
 
-def run_fig11a() -> List[ExperimentRow]:
+def run_fig11a(delays: Tuple[float, ...] = FIG11A_DELAYS_MS) -> List[ExperimentRow]:
+    """``delays`` selects the x-axis points; the CI smoke run traces a
+    single point (``fig11a-small``) instead of the full sweep."""
     cluster = bench_cluster()
     # ~70 splits over 24 map slots: three map waves, as the adaptive
     # optimizer's first-round statistics collection requires.
@@ -43,7 +45,7 @@ def run_fig11a() -> List[ExperimentRow]:
     cfg = weblog.LogConfig(num_events=24_000, num_ips=3_000, num_urls=1_200)
     paths = weblog.generate(dfs, "/in/log", cfg)
     rows = []
-    for delay_ms in FIG11A_DELAYS_MS:
+    for delay_ms in delays:
         geo = weblog.build_geo_service(cfg, extra_delay=delay_ms * 1e-3)
 
         def job_factory(name, geo=geo):

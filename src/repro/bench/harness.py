@@ -19,6 +19,8 @@ and verifies every variant produces the same output.
 
 from __future__ import annotations
 
+import re
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -72,6 +74,13 @@ class ExperimentRow:
     batches: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant ``batch.*`` counter totals, with the derived
     ``mean_fill`` (empty on unbatched runs)."""
+    trace_wall: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant wall-clock seconds of the untraced (``off``) and
+    traced (``on``) executions plus the derived ``overhead`` delta.
+    Only populated when a trace directory is set (``--trace``)."""
+    trace_paths: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    """Per-variant exported artifact paths (``trace`` / ``audit`` /
+    ``metrics``), keyed like :attr:`trace_wall`."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -101,13 +110,27 @@ def run_all_modes(
     scale it with their key domains). ``fault_plan`` (optional) runs
     every variant under the same injected faults; the per-variant
     ``fault.*`` counter totals land in ``row.faults``.
+
+    When a trace directory is set (``repro.obs.config.set_trace_dir``,
+    i.e. ``python -m repro.bench --trace <dir>``), every variant runs
+    twice: once untraced (the authoritative, timed execution -- tracing
+    off must leave benches byte-identical) and once with an
+    :class:`repro.obs.Observability` attached, under the *same* job
+    name so injected faults replay identically. The traced re-run's
+    simulated time is asserted equal to the untraced run's (the
+    observer-effect guarantee), its artifacts are exported under the
+    trace directory, and the wall-clock delta lands in
+    ``row.trace_wall``.
     """
+    from repro.obs.config import get_trace_dir
+
     row = ExperimentRow(label=label)
     reference: Optional[list] = None
+    trace_dir = get_trace_dir()
 
-    for mode in modes:
-        if mode in skip:
-            continue
+    def execute(mode: str, obs=None) -> EFindJobResult:
+        """Run one variant on fresh runners (operators and catalogs are
+        per-run state, so repeated executions are independent)."""
         job = job_factory(f"{label or 'job'}-{mode.lower()}")
         if mode == "Optimized":
             # Profiling run with the baseline collects "sufficient
@@ -118,6 +141,7 @@ def run_all_modes(
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                obs=obs,
             )
             profiler.run(
                 job_factory(f"{label or 'job'}-profile"),
@@ -131,44 +155,55 @@ def run_all_modes(
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                obs=obs,
             )
-            result = runner.run(job, mode="static")
-        elif mode == "Dynamic":
+            return runner.run(job, mode="static")
+        if mode == "Dynamic":
             runner = EFindRunner(
                 cluster,
                 dfs,
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                obs=obs,
             )
-            result = runner.run(job, mode="dynamic")
-        else:
-            runner = EFindRunner(
-                cluster,
-                dfs,
-                cache_capacity=cache_capacity,
-                fault_plan=fault_plan,
-                batch_size=batch_size,
-            )
-            strategy = {
-                "Base": Strategy.BASELINE,
-                "Cache": Strategy.CACHE,
-                "Repart": Strategy.REPART,
-                "Idxloc": Strategy.IDXLOC,
-            }[mode]
-            # Forced runs have no statistics to choose a job boundary
-            # from; ``forced_boundary`` supplies the sensible one.
-            result = runner.run(
-                job,
-                mode="forced",
-                forced_strategy=strategy,
-                extra_job_targets=list(extra_job_targets),
-                boundary_override=forced_boundary,
-            )
+            return runner.run(job, mode="dynamic")
+        runner = EFindRunner(
+            cluster,
+            dfs,
+            cache_capacity=cache_capacity,
+            fault_plan=fault_plan,
+            batch_size=batch_size,
+            obs=obs,
+        )
+        strategy = {
+            "Base": Strategy.BASELINE,
+            "Cache": Strategy.CACHE,
+            "Repart": Strategy.REPART,
+            "Idxloc": Strategy.IDXLOC,
+        }[mode]
+        # Forced runs have no statistics to choose a job boundary
+        # from; ``forced_boundary`` supplies the sensible one.
+        return runner.run(
+            job,
+            mode="forced",
+            forced_strategy=strategy,
+            extra_job_targets=list(extra_job_targets),
+            boundary_override=forced_boundary,
+        )
+
+    for mode in modes:
+        if mode in skip:
+            continue
+        started = time.perf_counter()
+        result = execute(mode)
+        wall_off = time.perf_counter() - started
         row.times[mode] = result.sim_time
         row.details[mode] = result
         row.faults[mode] = result.counters.group("fault")
         row.batches[mode] = batch_totals(result.counters)
+        if trace_dir is not None:
+            _traced_rerun(row, mode, execute, result, wall_off, trace_dir, label)
         if verify_outputs:
             output = sorted(result.output, key=repr)
             if reference is None:
@@ -178,6 +213,45 @@ def run_all_modes(
                     f"{mode} produced different output than the first variant"
                 )
     return row
+
+
+def _traced_rerun(
+    row: ExperimentRow,
+    mode: str,
+    execute: Callable,
+    untraced: EFindJobResult,
+    wall_off: float,
+    trace_dir: str,
+    label: str,
+) -> None:
+    """Re-run ``mode`` with an :class:`Observability` attached and
+    export its artifacts.
+
+    The untraced result stays authoritative; this run only exists to
+    produce the trace. Tracing must not perturb the simulation, so any
+    divergence in simulated time or counters is a bug (the
+    observer-effect guarantee) and raises here.
+    """
+    from repro.obs import Observability
+
+    obs = Observability()
+    started = time.perf_counter()
+    traced = execute(mode, obs=obs)
+    wall_on = time.perf_counter() - started
+    if traced.sim_time != untraced.sim_time:
+        raise AssertionError(
+            f"{mode}: tracing changed the simulated time "
+            f"({traced.sim_time!r} != {untraced.sim_time!r})"
+        )
+    if traced.counters.to_dict() != untraced.counters.to_dict():
+        raise AssertionError(f"{mode}: tracing changed the job counters")
+    base = re.sub(r"[^A-Za-z0-9._+-]+", "_", f"{label or 'job'}-{mode.lower()}")
+    row.trace_paths[mode] = obs.export(trace_dir, base)
+    row.trace_wall[mode] = {
+        "off": wall_off,
+        "on": wall_on,
+        "overhead": wall_on - wall_off,
+    }
 
 
 def batch_totals(counters) -> Dict[str, float]:

@@ -5,18 +5,33 @@ A running job is re-optimized at most once, when the first wave of map
 gate. Only the operators whose statistics are fresh are reconsidered:
 operators *before* Reduce during the map phase, operators *after*
 Reduce during the reduce phase.
+
+When an :class:`repro.obs.audit.AdaptiveAuditLog` is supplied, every
+evaluation -- including the ones that decide *not* to re-plan -- is
+recorded with its gate inputs, fresh Θ/R/T_j samples, and the
+Equation 1-4 cost of every strategy, so a surprising plan (or a
+surprising refusal to change plans) can be audited after the run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 from repro.core.costmodel import CostEnv, Placement
 from repro.core.ejobconf import IndexJobConf
 from repro.core.optimizer import optimize_operator, plan_cost
 from repro.core.plan import AccessPlan, OperatorPlan
 from repro.core.statistics import OperatorStats, OperatorStatsAccumulator
+from repro.obs.audit import (
+    VERDICT_NO_IMPROVEMENT,
+    VERDICT_NO_OPERATORS,
+    VERDICT_REPLAN,
+    VERDICT_SAME_STRATEGIES,
+    VERDICT_VARIANCE_GATE,
+    index_samples,
+    strategy_cost_table,
+)
 
 #: The paper suggests a variance gate of stddev/mean <= 0.05 on large
 #: clusters; at simulation scale task samples are smaller and noisier,
@@ -32,6 +47,9 @@ class ReplanDecision:
     fresh_stats: Dict[str, OperatorStats]
     current_cost: float
     new_cost: float
+    #: The AuditRecord of this evaluation (None when no audit log was
+    #: supplied); the runner marks it applied with the reuse outcome.
+    audit_record: Optional[Any] = None
 
     @property
     def improvement(self) -> float:
@@ -61,6 +79,8 @@ def evaluate_replan(
     plan_change_cost: float = 0.0,
     scale: float = 1.0,
     cache_capacity: int = 1024,
+    audit=None,
+    now: float = 0.0,
 ) -> Optional[ReplanDecision]:
     """Algorithm 1: return a better plan, or None to keep running.
 
@@ -72,26 +92,67 @@ def evaluate_replan(
     are the conservative estimates (the miss ratio is additionally
     tightened by the compulsory-miss capacity bound).
 
+    ``audit`` (an ``AdaptiveAuditLog``) records the evaluation -- its
+    inputs and verdict -- stamped at simulated time ``now``; both are
+    optional and change nothing about the decision itself.
+
     Returns None when (a) there is nothing to reconsider, (b) any
     relevant operator's statistics fail the variance gate, or (c) the
     re-optimized plan does not beat the current one by more than the
     plan-change overhead.
     """
+
+    def record(verdict, **kw):
+        if audit is None:
+            return None
+        return audit.record_evaluation(
+            job=iconf.name,
+            phase=phase,
+            sim_time=now,
+            verdict=verdict,
+            variance_threshold=variance_threshold,
+            plan_change_cost=plan_change_cost,
+            scale=scale,
+            current_plan=current_plan.describe(),
+            **kw,
+        )
+
     op_ids = relevant_operator_ids(iconf, phase)
     if not op_ids:
+        record(VERDICT_NO_OPERATORS, gate=[])
         return None
 
     # Variance gate (Algorithm 1 lines 1-3 / Equation 5). An operator
     # with unstable statistics keeps its current strategies; it does not
     # veto re-optimizing the operators whose statistics *are* stable.
+    gate: List[Dict[str, Any]] = []
     stable_ids = []
     for op_id in op_ids:
         acc = registry.get(op_id)
         if acc is None or acc.num_samples < 2:
+            gate.append(
+                {
+                    "operator": op_id,
+                    "num_samples": 0 if acc is None else acc.num_samples,
+                    "relative_deviation": None,
+                    "stable": False,
+                }
+            )
             continue
-        if acc.relative_deviation() <= variance_threshold:
+        rdev = acc.relative_deviation()
+        stable = rdev <= variance_threshold
+        gate.append(
+            {
+                "operator": op_id,
+                "num_samples": acc.num_samples,
+                "relative_deviation": rdev,
+                "stable": stable,
+            }
+        )
+        if stable:
             stable_ids.append(op_id)
     if not stable_ids:
+        record(VERDICT_VARIANCE_GATE, gate=gate)
         return None
 
     fresh: Dict[str, OperatorStats] = {}
@@ -108,6 +169,7 @@ def evaluate_replan(
     current_cost = 0.0
     new_plan = AccessPlan(operators=dict(current_plan.operators))
     new_cost = 0.0
+    operators_detail: List[Dict[str, Any]] = []
     for op_id in stable_ids:
         op = iconf.operator_by_id(op_id)
         stats = fresh[op_id]
@@ -120,6 +182,30 @@ def evaluate_replan(
         )
         new_plan.operators[op_id] = op_plan
         new_cost += op_plan.estimated_cost
+        if audit is not None:
+            placement = current_plan.operators[op_id].placement
+            operators_detail.append(
+                {
+                    "operator": op_id,
+                    "placement": placement.value,
+                    "n1": stats.n1,
+                    "samples": index_samples(stats),
+                    "strategies": strategy_cost_table(
+                        env, stats, placement, locality, idempotent
+                    ),
+                    "current": {
+                        str(j): s.value
+                        for j, s in current_plan.operators[
+                            op_id
+                        ].strategies.items()
+                    },
+                    "chosen": {
+                        str(j): s.value for j, s in op_plan.strategies.items()
+                    },
+                    "chosen_order": list(op_plan.order),
+                    "chosen_cost": op_plan.estimated_cost,
+                }
+            )
 
     decision = ReplanDecision(
         new_plan=new_plan,
@@ -127,8 +213,18 @@ def evaluate_replan(
         current_cost=current_cost,
         new_cost=new_cost,
     )
+    verdict_kw = dict(
+        gate=gate,
+        operators=operators_detail,
+        current_cost=current_cost,
+        new_cost=new_cost,
+        new_plan=new_plan.describe(),
+    )
     if decision.improvement <= plan_change_cost:
+        record(VERDICT_NO_IMPROVEMENT, **verdict_kw)
         return None
     if new_plan.same_strategies(current_plan):
+        record(VERDICT_SAME_STRATEGIES, **verdict_kw)
         return None
+    decision.audit_record = record(VERDICT_REPLAN, **verdict_kw)
     return decision

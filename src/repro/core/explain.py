@@ -38,9 +38,15 @@ def explain(
     runner=None,
     cluster: Optional[Cluster] = None,
     op_stats: Optional[Dict[str, OperatorStats]] = None,
+    result=None,
 ) -> str:
     """Render ``plan`` (or the plan ``runner`` would choose statically)
-    as a human-readable physical plan."""
+    as a human-readable physical plan.
+
+    ``result`` (an :class:`repro.core.runner.EFindJobResult`, optional)
+    appends what actually happened at runtime: the ``fault.*`` and
+    ``batch.*`` counter groups and the adaptive audit-log summary --
+    EXPLAIN ANALYZE to the plan's EXPLAIN."""
     if plan is None:
         if runner is None:
             raise ValueError("explain() needs either a plan or a runner")
@@ -115,4 +121,38 @@ def explain(
             )
         if conf.output_per_partition:
             lines.append("    output: one file per index partition")
+
+    # --- runtime view (EXPLAIN ANALYZE) -------------------------------
+    if result is not None:
+        lines.extend(_runtime_lines(result))
     return "\n".join(lines)
+
+
+def _runtime_lines(result) -> list:
+    """The post-run section: fault/batch counter groups and the
+    adaptive audit records collected during the run."""
+    lines = ["runtime:"]
+    for group in ("fault", "batch"):
+        totals = result.counters.group(group)
+        if group == "batch" and totals.get("batches_issued"):
+            # Counters merge additively across tasks; the mean batch
+            # fill is derived here, as in the bench tables.
+            totals["mean_fill"] = (
+                totals.get("keys_batched", 0.0) / totals["batches_issued"]
+            )
+        if totals:
+            pairs = ", ".join(f"{k}={v:g}" for k, v in sorted(totals.items()))
+            lines.append(f"  {group}.*: {pairs}")
+        else:
+            lines.append(f"  {group}.*: none")
+    audit = getattr(result, "audit", None) or []
+    if audit:
+        from repro.obs.audit import AdaptiveAuditLog
+
+        log = AdaptiveAuditLog()
+        log.records = list(audit)
+        lines.append("  adaptive audit:")
+        lines.extend(f"    {line}" for line in log.summary_lines())
+    else:
+        lines.append("  adaptive audit: no evaluations recorded")
+    return lines

@@ -33,6 +33,7 @@ from repro.dfs.filesystem import DistributedFileSystem
 from repro.dfs.splits import InputSplit
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.obs.trace import DEPTH_JOB, DRIVER_TRACK
 from repro.simcluster.cluster import Cluster
 from repro.simcluster.faults import FaultPlan
 
@@ -54,6 +55,9 @@ class EFindJobResult:
     replan_phase: Optional[str] = None
     stats: Dict[str, OperatorStats] = field(default_factory=dict)
     counters: Counters = field(default_factory=Counters)
+    #: AuditRecords of this job's Algorithm-1 evaluations (empty unless
+    #: the runner was built with an Observability instance).
+    audit: List[Any] = field(default_factory=list)
 
     @property
     def sim_time(self) -> float:
@@ -100,12 +104,17 @@ class EFindRunner:
         plan_change_overhead: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         batch_size: int = 1,
+        obs=None,
     ):
         self.cluster = cluster
         self.dfs = dfs
         self.fault_plan = fault_plan
         self.batch_size = max(1, int(batch_size))
-        self.job_runner = JobRunner(cluster, dfs, fault_plan=fault_plan)
+        # repro.obs.Observability (or None): tracing + metrics + the
+        # adaptive audit log. Purely passive -- simulated results are
+        # identical with or without it.
+        self.obs = obs
+        self.job_runner = JobRunner(cluster, dfs, fault_plan=fault_plan, obs=obs)
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.cache_capacity = cache_capacity
         self.variance_threshold = variance_threshold
@@ -174,6 +183,9 @@ class EFindRunner:
         else:
             raise PlanningError(f"unknown run mode: {mode!r}")
 
+        audit_start = (
+            len(self.obs.audit.records) if self.obs is not None else 0
+        )
         result = self._execute(
             iconf,
             the_plan,
@@ -185,6 +197,24 @@ class EFindRunner:
         )
         if update_catalog:
             self._update_catalog(iconf, registry, result)
+        if self.obs is not None:
+            result.audit = self.obs.audit.records[audit_start:]
+            self.obs.metrics.absorb_counters(
+                result.counters, prefix=f"job.{iconf.name}"
+            )
+            if self.obs.tracer.enabled:
+                self.obs.tracer.span(
+                    f"efind:{iconf.name}",
+                    "job",
+                    DRIVER_TRACK,
+                    result.start_time,
+                    result.end_time,
+                    DEPTH_JOB,
+                    job=iconf.name,
+                    mode=mode,
+                    stages=result.num_stages,
+                    replanned=result.replanned,
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -270,6 +300,7 @@ class EFindRunner:
 
         env = CostEnv.from_time_model(self.cluster.time_model)
         cell: Dict[str, Any] = {}
+        audit = self.obs.audit if self.obs is not None else None
 
         def check_map(runs, total_tasks) -> bool:
             decision = evaluate_replan(
@@ -277,6 +308,7 @@ class EFindRunner:
                 self.variance_threshold, self.plan_change_overhead,
                 scale=(total_tasks - len(runs)) / max(1, len(runs)),
                 cache_capacity=self.cache_capacity,
+                audit=audit, now=max(r.end for r in runs),
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "map"
@@ -289,6 +321,7 @@ class EFindRunner:
                 self.variance_threshold, self.plan_change_overhead,
                 scale=(total_tasks - len(runs)) / max(1, len(runs)),
                 cache_capacity=self.cache_capacity,
+                audit=audit, now=max(r.end for r in runs),
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "reduce"
@@ -351,6 +384,15 @@ class EFindRunner:
         packaged.output = output
         packaged.replanned = True
         packaged.replan_phase = "map"
+        if self.obs is not None and decision.audit_record is not None:
+            self.obs.audit.mark_applied(
+                decision.audit_record,
+                applied_at=first.end_time,
+                cutover="mid-map",
+                map_tasks_reused=len(first.map_runs),
+                splits_rerun=len(first.remaining_splits),
+                resume_stages=len(results),
+            )
         return packaged
 
     def _resume_after_reduce_abort(
@@ -382,6 +424,16 @@ class EFindRunner:
         packaged.output = output
         packaged.replanned = True
         packaged.replan_phase = "reduce"
+        if self.obs is not None and decision.audit_record is not None:
+            self.obs.audit.mark_applied(
+                decision.audit_record,
+                applied_at=first.end_time,
+                cutover="mid-reduce",
+                map_tasks_reused=len(first.map_runs),
+                reduce_tasks_reused=len(first.reduce_runs),
+                partitions_rerun=len(first.remaining_partitions),
+                resume_stages=len(results),
+            )
         return packaged
 
     # ------------------------------------------------------------------

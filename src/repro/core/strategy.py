@@ -33,6 +33,7 @@ from repro.mapreduce.api import (
     Reducer,
     TaskContext,
 )
+from repro.obs.trace import DEPTH_DETAIL, DEPTH_OP
 
 _CARRIER_TAG = "EFc"
 
@@ -208,6 +209,22 @@ class LookupFn(ChainedFunction):
 
     # ------------------------------------------------------------------
     def _lookup(self, ik: Any, ctx: TaskContext) -> List[Any]:
+        if ctx.trace is None:
+            return self._lookup_impl(ik, ctx)
+        t0 = ctx.charged_time
+        values = self._lookup_impl(ik, ctx)
+        ctx.trace.charged_span(
+            "lookup",
+            "op",
+            t0,
+            ctx.charged_time,
+            DEPTH_OP,
+            op=self.operator_id,
+            index=self.index_id,
+        )
+        return values
+
+    def _lookup_impl(self, ik: Any, ctx: TaskContext) -> List[Any]:
         tm = ctx.time_model
         if self.dedup_adjacent:
             if ik == self._memo_key:
@@ -220,6 +237,15 @@ class LookupFn(ChainedFunction):
             ctx.charge(tm.cache_probe_time)
             hit, cached = cache.get(ik)
             self._record_cache_stats(ctx, hit)
+            if ctx.trace is not None:
+                ctx.trace.charged_span(
+                    "cache.probe",
+                    "cache",
+                    ctx.charged_time - tm.cache_probe_time,
+                    ctx.charged_time,
+                    DEPTH_DETAIL,
+                    hit=hit,
+                )
             if hit:
                 return list(cached)
             # Insert only after a *successful* fetch: a terminal lookup
@@ -265,13 +291,25 @@ class LookupFn(ChainedFunction):
 
     def _fetch(self, ik: Any, ctx: TaskContext) -> List[Any]:
         tm = ctx.time_model
+        t0 = ctx.charged_time
         values = self.accessor.lookup(ik, ctx)
         tj = self.accessor.service_time()
-        if self._is_local(ik, ctx):
+        local = self._is_local(ik, ctx)
+        if local:
             ctx.charge(tm.local_lookup_time(tj))
         else:
             ctx.charge(
                 tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj)
+            )
+        if ctx.trace is not None:
+            ctx.trace.charged_span(
+                "index.fetch",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_DETAIL,
+                index=self.index_id,
+                local=local,
             )
         if self.stats is not None:
             sample = self.stats.sample_for(ctx.task_id)
@@ -311,6 +349,15 @@ class LookupFn(ChainedFunction):
             ctx.charge(tm.cache_probe_time)
             hit, cached = cache.get(ik)
             self._record_cache_stats(ctx, hit)
+            if ctx.trace is not None:
+                ctx.trace.charged_span(
+                    "cache.probe",
+                    "cache",
+                    ctx.charged_time - tm.cache_probe_time,
+                    ctx.charged_time,
+                    DEPTH_DETAIL,
+                    hit=hit,
+                )
             if hit:
                 return tuple(cached)
             return None
@@ -338,6 +385,7 @@ class LookupFn(ChainedFunction):
         if not self._pending_records:
             return
         tm = ctx.time_model
+        t0 = ctx.charged_time
         keys = self._pending_keys
         records = self._pending_records
         self._pending_records = []
@@ -378,6 +426,20 @@ class LookupFn(ChainedFunction):
                 ctx.charge(tm.local_lookup_time(tj))
             for ik in remote_keys:
                 ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
+
+        if ctx.trace is not None:
+            ctx.trace.charged_span(
+                "lookup.batch",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_OP,
+                op=self.operator_id,
+                index=self.index_id,
+                keys=len(keys),
+                records=len(records),
+                native=self.accessor.supports_batch,
+            )
 
         if self.stats is not None:
             sample = self.stats.sample_for(ctx.task_id)
@@ -553,6 +615,7 @@ class GroupLookupReducer(Reducer):
         if not self._pending_groups:
             return
         tm = ctx.time_model
+        t0 = ctx.charged_time
         groups = self._pending_groups
         self._pending_groups = []
 
@@ -598,6 +661,20 @@ class GroupLookupReducer(Reducer):
             for ik in remote_keys:
                 ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
 
+        if ctx.trace is not None:
+            ctx.trace.charged_span(
+                "lookup.batch",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_OP,
+                op=self.operator_id,
+                index=self.index_id,
+                keys=len(keys),
+                records=len(groups),
+                native=self.accessor.supports_batch,
+            )
+
         if self.stats is not None:
             sample = self.stats.sample_for(ctx.task_id)
             j = self.index_id
@@ -625,6 +702,7 @@ class GroupLookupReducer(Reducer):
 
     def _fetch(self, ik, ctx) -> List[Any]:
         tm = ctx.time_model
+        t0 = ctx.charged_time
         values = self.accessor.lookup(ik, ctx)
         tj = self.accessor.service_time()
         local = ctx.node.hostname in self.accessor.hosts_for_key(ik)
@@ -632,6 +710,26 @@ class GroupLookupReducer(Reducer):
             ctx.charge(tm.local_lookup_time(tj))
         else:
             ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj))
+        if ctx.trace is not None:
+            ctx.trace.charged_span(
+                "lookup",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_OP,
+                op=self.operator_id,
+                index=self.index_id,
+                local=local,
+            )
+            ctx.trace.charged_span(
+                "index.fetch",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_DETAIL,
+                index=self.index_id,
+                local=local,
+            )
         if self.stats is not None:
             sample = self.stats.sample_for(ctx.task_id)
             j = self.index_id

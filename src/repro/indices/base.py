@@ -17,6 +17,7 @@ from typing import Any, List, Optional
 
 from repro.common.errors import IndexLookupError, TransientLookupError
 from repro.indices.partitioning import PartitionScheme
+from repro.obs.trace import DEPTH_DETAIL
 from repro.simcluster.faults import FaultPlan, RetryPolicy
 
 
@@ -85,6 +86,7 @@ class IndexService:
         if plan is None:
             return self._attempt(key, ctx)
         policy = self._retry_policy
+        trace = getattr(ctx, "trace", None)
         last_error: Optional[Exception] = None
         for attempt in range(policy.max_attempts):
             if attempt:
@@ -92,6 +94,15 @@ class IndexService:
                 if ctx is not None:
                     ctx.charge(plan.backoff_time(policy, self.name, key, attempt))
                     ctx.counters.increment("fault", "lookups_retried")
+                    if trace is not None:
+                        trace.charged_instant(
+                            "lookup.retry",
+                            "fault",
+                            ctx.charged_time,
+                            DEPTH_DETAIL,
+                            index=self.name,
+                            attempt=attempt,
+                        )
             fault = plan.lookup_fault(self.name, key, attempt)
             if fault is not None:
                 # A timed-out attempt blocks for the full per-attempt
@@ -117,6 +128,15 @@ class IndexService:
         self.lookups_failed += 1
         if ctx is not None:
             ctx.counters.increment("fault", "lookups_failed")
+            if trace is not None:
+                trace.charged_instant(
+                    "lookup.failed",
+                    "fault",
+                    ctx.charged_time,
+                    DEPTH_DETAIL,
+                    index=self.name,
+                    attempts=policy.max_attempts,
+                )
         raise IndexLookupError(
             f"lookup of {key!r} on index {self.name!r} failed after "
             f"{policy.max_attempts} attempts"

@@ -114,6 +114,18 @@ class DistributedKVStore(IndexService):
                 self.failovers += 1
                 if ctx is not None:
                     ctx.counters.increment("fault", "failovers")
+                    trace = getattr(ctx, "trace", None)
+                    if trace is not None:
+                        from repro.obs.trace import DEPTH_DETAIL
+
+                        trace.charged_instant(
+                            "lookup.failover",
+                            "fault",
+                            ctx.charged_time,
+                            DEPTH_DETAIL,
+                            index=self.name,
+                            partition=partition,
+                        )
         return self._lookup(key)
 
     def _lookup(self, key: Any) -> List[Any]:

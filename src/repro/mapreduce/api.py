@@ -53,6 +53,10 @@ class TaskContext:
         self.counters = Counters()
         self.charged_time: float = 0.0
         self.state: dict = {}
+        # Per-task trace buffer (repro.obs.trace.TaskTraceBuffer), set by
+        # the runtime only when tracing is on; chain stages must guard
+        # with `if ctx.trace is not None` so the default path stays free.
+        self.trace = None
 
     def charge(self, seconds: float) -> None:
         """Add ``seconds`` of simulated time to this task."""

@@ -4,12 +4,18 @@ Counters are the statistics channel EFind relies on (Section 4.2): each
 task increments local counters, the runtime aggregates them globally,
 and the adaptive optimizer reads per-task values to compute sample
 variance.
+
+Most counters are *additive* (``increment``): merging task-local
+counters into a global total sums them. A key written with ``set`` is a
+*gauge* -- a point-in-time value such as a high-water mark or a derived
+ratio -- and summing gauges across tasks is meaningless, so ``merge``
+takes the last writer's value for gauge keys instead of adding.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Set, Tuple
 
 
 class Counters:
@@ -17,13 +23,26 @@ class Counters:
 
     def __init__(self) -> None:
         self._data: Dict[str, Dict[str, float]] = defaultdict(dict)
+        self._gauges: Set[Tuple[str, str]] = set()
 
     def increment(self, group: str, name: str, amount: float = 1.0) -> None:
         bucket = self._data[group]
         bucket[name] = bucket.get(name, 0.0) + amount
+        # Incrementing converts the key back to an additive counter:
+        # mixed set-then-increment sequences behave like the pre-gauge
+        # counters did, and only pure gauges get last-writer merges.
+        self._gauges.discard((group, name))
 
     def set(self, group: str, name: str, value: float) -> None:
+        """Write ``value``, marking the key as a gauge: a later
+        :meth:`merge` overwrites it with the source's value rather than
+        adding (a plain ``set`` followed by ``merge`` used to silently
+        sum the two values)."""
         self._data[group][name] = value
+        self._gauges.add((group, name))
+
+    def is_gauge(self, group: str, name: str) -> bool:
+        return (group, name) in self._gauges
 
     def get(self, group: str, name: str, default: float = 0.0) -> float:
         return self._data.get(group, {}).get(name, default)
@@ -32,10 +51,19 @@ class Counters:
         return dict(self._data.get(group, {}))
 
     def merge(self, other: "Counters") -> None:
-        """Fold ``other`` into this instance (used for global totals)."""
+        """Fold ``other`` into this instance (used for global totals):
+        additive keys sum, keys ``other`` wrote with :meth:`set` take
+        the last writer's value (and stay gauges here)."""
         for group, names in other._data.items():
             for name, value in names.items():
-                self.increment(group, name, value)
+                if (group, name) in other._gauges:
+                    self.set(group, name, value)
+                else:
+                    self.increment(group, name, value)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """A plain nested-dict snapshot of every group (deep copy)."""
+        return {group: dict(names) for group, names in self._data.items()}
 
     def items(self) -> Iterator[Tuple[str, str, float]]:
         for group, names in self._data.items():

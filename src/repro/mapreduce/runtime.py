@@ -32,6 +32,16 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.jobconf import JobConf
 from repro.mapreduce.scheduler import SlotScheduler
 from repro.mapreduce.shuffle import bucket_bytes, group_by_key, partition_records
+from repro.obs.trace import (
+    DEPTH_OP,
+    DEPTH_PHASE,
+    DEPTH_STAGE,
+    DEPTH_TASK,
+    DEPTH_WAVE,
+    DRIVER_TRACK,
+    WAVE_TRACK,
+    slot_track,
+)
 from repro.simcluster.cluster import Cluster
 from repro.simcluster.faults import FaultPlan
 
@@ -61,6 +71,9 @@ class TaskRun:
     partition: int = -1
     output: List[Record] = field(default_factory=list)
     buckets: List[List[Record]] = field(default_factory=list)
+    # Pending TaskTraceBuffer; consumed (and cleared) once the scheduler
+    # commit reveals the attempt's absolute start time.
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -106,6 +119,7 @@ class JobRunner:
         dfs: DistributedFileSystem,
         fault_plan: Optional[FaultPlan] = None,
         max_task_attempts: int = 4,
+        obs=None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -113,6 +127,13 @@ class JobRunner:
         if max_task_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
         self.max_task_attempts = max_task_attempts
+        # repro.obs.Observability (or None). The tracer is only consulted
+        # when enabled, so obs=None and a disabled obs both take the
+        # exact pre-observability code paths.
+        self.obs = obs
+        self._tracer = (
+            obs.tracer if obs is not None and obs.tracer.enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Fault-model helpers
@@ -120,7 +141,11 @@ class JobRunner:
     def _scheduler(self, kind: str, start_time: float) -> SlotScheduler:
         down = self.fault_plan.dead_hosts if self.fault_plan is not None else ()
         return SlotScheduler(
-            self.cluster, kind, start_time=start_time, down_hosts=down
+            self.cluster,
+            kind,
+            start_time=start_time,
+            down_hosts=down,
+            tracer=self._tracer,
         )
 
     def _straggled(self, duration: float, host: str) -> float:
@@ -155,7 +180,22 @@ class JobRunner:
             try:
                 run = execute(slot.node, attempt)
             except TaskCrashError as crash:
-                scheduler.commit(slot, self._straggled(crash.duration, slot.host))
+                cstart, cend, cwave = scheduler.commit(
+                    slot, self._straggled(crash.duration, slot.host)
+                )
+                if self._tracer is not None:
+                    self._tracer.span(
+                        "task.crash",
+                        "fault",
+                        slot_track(slot.host, scheduler.kind, slot.slot_index),
+                        cstart,
+                        cend,
+                        DEPTH_TASK,
+                        task=crash.task_id,
+                        kind=scheduler.kind,
+                        wave=cwave,
+                        attempt=attempt,
+                    )
                 failed_hosts.append(slot.host)
                 last_crash = crash
                 continue
@@ -164,6 +204,25 @@ class JobRunner:
             run.start, run.end, run.wave = start, end, wave
             if attempt:
                 run.counters.increment("fault", "tasks_retried", attempt)
+            if self._tracer is not None:
+                track = slot_track(slot.host, scheduler.kind, slot.slot_index)
+                self._tracer.span(
+                    "task",
+                    "task",
+                    track,
+                    start,
+                    end,
+                    DEPTH_TASK,
+                    task=run.task_id,
+                    kind=run.kind,
+                    wave=wave,
+                    attempt=attempt,
+                    dropped_detail=(
+                        run.trace.dropped if run.trace is not None else 0
+                    ),
+                )
+                self._tracer.absorb_task(run.trace, start, track)
+                run.trace = None
             return run
         raise DataFlowError(
             f"task {last_crash.task_id if last_crash else '?'} failed "
@@ -187,6 +246,21 @@ class JobRunner:
         phase completes; returning True stops the phase and surfaces the
         un-started work in the result.
         """
+        result = self._run_inner(
+            conf, start_time, splits, abort_check_map, abort_check_reduce
+        )
+        if self._tracer is not None:
+            self._emit_job_spans(result)
+        return result
+
+    def _run_inner(
+        self,
+        conf: JobConf,
+        start_time: float,
+        splits: Optional[List[InputSplit]],
+        abort_check_map: Optional[AbortCheck],
+        abort_check_reduce: Optional[AbortCheck],
+    ) -> JobResult:
         conf.validate()
         tm = self.cluster.time_model
         if splits is None:
@@ -284,6 +358,68 @@ class JobRunner:
         return f"{output_path}/part-{partition:05d}"
 
     # ------------------------------------------------------------------
+    # Tracing (driver-side; reads a finished JobResult, charges nothing)
+    # ------------------------------------------------------------------
+    def _emit_job_spans(self, result: JobResult) -> None:
+        tm = self.cluster.time_model
+        job = result.job_name
+        self._tracer.span(
+            job,
+            "stage",
+            DRIVER_TRACK,
+            result.start_time,
+            result.end_time,
+            DEPTH_STAGE,
+            job=job,
+            aborted=result.aborted_phase or "",
+        )
+        if result.map_runs:
+            self._tracer.span(
+                "map",
+                "phase",
+                DRIVER_TRACK,
+                result.start_time + tm.job_startup_time,
+                result.map_phase_end,
+                DEPTH_PHASE,
+                kind="map",
+                job=job,
+                tasks=len(result.map_runs),
+            )
+            self._emit_wave_spans(result.map_runs, "map", job)
+        if result.reduce_runs:
+            self._tracer.span(
+                "reduce",
+                "phase",
+                DRIVER_TRACK,
+                result.map_phase_end,
+                result.end_time,
+                DEPTH_PHASE,
+                kind="reduce",
+                job=job,
+                tasks=len(result.reduce_runs),
+            )
+            self._emit_wave_spans(result.reduce_runs, "reduce", job)
+
+    def _emit_wave_spans(self, runs: List[TaskRun], kind: str, job: str) -> None:
+        by_wave: Dict[int, List[TaskRun]] = {}
+        for run in runs:
+            by_wave.setdefault(run.wave, []).append(run)
+        for wave in sorted(by_wave):
+            batch = by_wave[wave]
+            self._tracer.span(
+                f"{kind}.wave{wave}",
+                "wave",
+                WAVE_TRACK,
+                min(r.start for r in batch),
+                max(r.end for r in batch),
+                DEPTH_WAVE,
+                kind=kind,
+                wave=wave,
+                job=job,
+                tasks=len(batch),
+            )
+
+    # ------------------------------------------------------------------
     # Map phase
     # ------------------------------------------------------------------
     def _run_map_phase(
@@ -339,6 +475,23 @@ class JobRunner:
                     read_time + tm.cpu_time(len(split.records), split.size_bytes)
                 )
                 raise TaskCrashError(ctx.task_id, wasted)
+        buffer = (
+            self._tracer.task_buffer(ctx.task_id)
+            if self._tracer is not None
+            else None
+        )
+        if buffer is not None:
+            buffer.base_offset = tm.task_startup_time + read_time
+            buffer.rel_span(
+                "dfs.read",
+                "io",
+                tm.task_startup_time,
+                buffer.base_offset,
+                DEPTH_OP,
+                bytes=split.size_bytes,
+                local=local,
+            )
+            ctx.trace = buffer
         output = run_chain(conf.map_chain, split.records, ctx)
         out_bytes = sizeof_records(output)
         cpu = tm.cpu_time(len(split.records), split.size_bytes)
@@ -356,6 +509,16 @@ class JobRunner:
             spill = 0.0
 
         duration = tm.task_startup_time + read_time + cpu + ctx.charged_time + spill
+        if buffer is not None and spill > 0:
+            spill_start = buffer.base_offset + ctx.charged_time + cpu
+            buffer.rel_span(
+                "map.spill",
+                "io",
+                spill_start,
+                spill_start + spill,
+                DEPTH_OP,
+                bytes=out_bytes,
+            )
         ctx.counters.increment("task", "map_input_records", len(split.records))
         ctx.counters.increment("task", "map_input_bytes", split.size_bytes)
         ctx.counters.increment("task", "map_output_records", len(output))
@@ -376,6 +539,7 @@ class JobRunner:
             split_index=split.index,
             output=output,
             buckets=buckets,
+            trace=buffer,
         )
 
     def _combine_buckets(self, conf, buckets, ctx, tm):
@@ -484,6 +648,33 @@ class JobRunner:
                     transfer + merge + tm.cpu_time(len(records), in_bytes)
                 )
                 raise TaskCrashError(ctx.task_id, wasted)
+        buffer = (
+            self._tracer.task_buffer(ctx.task_id)
+            if self._tracer is not None
+            else None
+        )
+        if buffer is not None:
+            fetch_end = tm.task_startup_time + transfer
+            buffer.base_offset = fetch_end + merge
+            buffer.rel_span(
+                "shuffle.fetch",
+                "shuffle",
+                tm.task_startup_time,
+                fetch_end,
+                DEPTH_OP,
+                bytes=in_bytes,
+                remote_fraction=remote_fraction,
+            )
+            if merge > 0:
+                buffer.rel_span(
+                    "shuffle.merge",
+                    "shuffle",
+                    fetch_end,
+                    buffer.base_offset,
+                    DEPTH_OP,
+                    records=len(records),
+                )
+            ctx.trace = buffer
 
         groups = group_by_key(records)
         collector = OutputCollector()
@@ -502,6 +693,16 @@ class JobRunner:
         duration = (
             tm.task_startup_time + transfer + merge + cpu + ctx.charged_time + store
         )
+        if buffer is not None and store > 0:
+            store_start = buffer.base_offset + ctx.charged_time + cpu
+            buffer.rel_span(
+                "dfs.store",
+                "io",
+                store_start,
+                store_start + store,
+                DEPTH_OP,
+                bytes=out_bytes,
+            )
         ctx.counters.increment("task", "reduce_input_records", len(records))
         ctx.counters.increment("task", "reduce_input_bytes", in_bytes)
         ctx.counters.increment("task", "reduce_output_records", len(output))
@@ -521,4 +722,5 @@ class JobRunner:
             output_bytes=out_bytes,
             partition=partition,
             output=output,
+            trace=buffer,
         )

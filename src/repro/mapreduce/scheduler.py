@@ -54,10 +54,12 @@ class SlotScheduler:
         kind: str,
         start_time: float = 0.0,
         down_hosts: Iterable[str] = (),
+        tracer=None,
     ):
         if kind not in ("map", "reduce"):
             raise ValueError(f"unknown slot kind: {kind!r}")
         self.kind = kind
+        self.tracer = tracer
         self.down_hosts = frozenset(down_hosts)
         self.slots: List[Slot] = []
         for node in cluster.nodes:
@@ -129,6 +131,18 @@ class SlotScheduler:
         wave = slot.tasks_run
         slot.available = end
         slot.tasks_run += 1
+        if self.tracer is not None:
+            from repro.obs.trace import DEPTH_TASK, slot_track
+
+            self.tracer.instant(
+                "slot.commit",
+                "sched",
+                slot_track(slot.host, self.kind, slot.slot_index),
+                start,
+                DEPTH_TASK,
+                wave=wave,
+                duration=duration,
+            )
         return start, end, wave
 
     def makespan(self, floor: float = 0.0) -> float:

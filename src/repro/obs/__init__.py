@@ -1,0 +1,81 @@
+"""Observability: simulated-time tracing, metrics, and the adaptive
+audit log.
+
+The subsystem is strictly *passive*: it reads simulated times and
+statistics that the runtime computes anyway and never calls
+``ctx.charge``, so attaching it cannot change a job's simulated
+behavior (tests pin this down). With no :class:`Observability` attached
+the runtime takes the exact pre-observability code paths.
+
+Layout:
+
+* :mod:`repro.obs.trace`   -- :class:`Tracer` (nested spans + point
+  events stamped in simulated cluster time) and the per-task buffer.
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms) that snapshots from the Hadoop-style
+  ``Counters``.
+* :mod:`repro.obs.audit`   -- :class:`AdaptiveAuditLog`: one record per
+  Algorithm-1 evaluation (cost estimates, samples, gate verdict, plan
+  change).
+* :mod:`repro.obs.export`  -- Chrome ``trace_event`` JSON + JSONL
+  exporters and the trace validator.
+* :mod:`repro.obs.report`  -- the ``python -m repro.obs report``
+  summarizer (critical path, slowest lookups, re-plan timeline).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.audit import AdaptiveAuditLog, AuditRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, TaskTraceBuffer, Tracer
+
+__all__ = [
+    "AdaptiveAuditLog",
+    "AuditRecord",
+    "MetricsRegistry",
+    "Observability",
+    "TaskTraceBuffer",
+    "Tracer",
+    "NULL_TRACER",
+]
+
+
+class Observability:
+    """One trace session: a tracer, a metrics registry, and an audit
+    log wired together. Pass an instance to :class:`EFindRunner` (or
+    :class:`JobRunner`) to record; pass None (the default everywhere)
+    for the zero-cost path."""
+
+    def __init__(self, enabled: bool = True, max_task_detail: int = 256):
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer = (
+            Tracer(metrics=self.metrics, max_task_detail=max_task_detail)
+            if enabled
+            else NULL_TRACER
+        )
+        self.audit = AdaptiveAuditLog()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    # ------------------------------------------------------------------
+    def export(self, directory: str, base: str) -> dict:
+        """Write ``<base>.trace.json`` (Chrome ``trace_event``),
+        ``<base>.audit.jsonl``, and ``<base>.metrics.json`` under
+        ``directory``; returns the paths keyed by kind."""
+        from repro.obs.export import write_chrome_trace, write_json, write_jsonl
+
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "trace": os.path.join(directory, f"{base}.trace.json"),
+            "audit": os.path.join(directory, f"{base}.audit.jsonl"),
+            "metrics": os.path.join(directory, f"{base}.metrics.json"),
+        }
+        write_chrome_trace(self.tracer, paths["trace"])
+        write_jsonl(self.audit.to_dicts(), paths["audit"])
+        write_json(self.metrics.to_dict(), paths["metrics"])
+        return paths

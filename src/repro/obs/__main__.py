@@ -1,0 +1,73 @@
+"""CLI: ``python -m repro.obs {report,validate} <trace-file-or-dir>``.
+
+``report`` prints the per-phase critical path, slowest lookups, and
+re-plan timeline of each exported trace; ``validate`` structurally
+checks traces (exit 1 on problems) and is what the CI traced-bench
+step runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import max_event_depth, validate_chrome_trace
+from repro.obs.report import build_report, find_trace_files, load_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="summarize exported traces")
+    p_report.add_argument("path", help="a *.trace.json file or a directory")
+    p_report.add_argument("--top-k", type=int, default=10)
+
+    p_validate = sub.add_parser(
+        "validate", help="structurally validate exported traces"
+    )
+    p_validate.add_argument("path", help="a *.trace.json file or a directory")
+    p_validate.add_argument(
+        "--min-depth",
+        type=int,
+        default=None,
+        help="also require at least this max span nesting depth",
+    )
+
+    args = parser.parse_args(argv)
+    files = find_trace_files(args.path)
+    if not files:
+        print(f"no *.trace.json files under {args.path}", file=sys.stderr)
+        return 1
+
+    if args.command == "report":
+        for path in files:
+            print(build_report(path, top_k=args.top_k))
+            print()
+        return 0
+
+    # validate
+    status = 0
+    for path in files:
+        payload = load_trace(path)
+        problems = validate_chrome_trace(payload)
+        depth = max_event_depth(payload)
+        if args.min_depth is not None and depth < args.min_depth:
+            problems.append(
+                f"max depth {depth} below required {args.min_depth}"
+            )
+        if problems:
+            status = 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            events = len(payload.get("traceEvents", []))
+            print(f"{path}: ok ({events} events, max depth {depth})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

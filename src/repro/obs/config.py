@@ -1,0 +1,24 @@
+"""Process-wide trace destination for the bench harness.
+
+``python -m repro.bench --trace <dir>`` cannot thread a parameter
+through the zero-argument ``run_fig*`` entry points, so the trace
+directory lives here as module state; ``run_all_modes`` reads it and,
+when set, performs the traced double-run (see
+:mod:`repro.bench.harness`). ``None`` (the default) means tracing is
+fully disabled and benches take the pre-observability code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_trace_dir: Optional[str] = None
+
+
+def set_trace_dir(directory: Optional[str]) -> None:
+    global _trace_dir
+    _trace_dir = directory
+
+
+def get_trace_dir() -> Optional[str]:
+    return _trace_dir

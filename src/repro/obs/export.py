@@ -1,0 +1,199 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL, and the validator.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) wants
+events keyed by process/thread ids with microsecond timestamps. We map
+tracks onto that as:
+
+* process = the part of the track name before the first ``/`` (a host,
+  or ``driver``), thread = the full track name (one per task slot);
+* spans become ``"X"`` complete events with ``ts``/``dur`` in
+  microseconds of *simulated* time; instants become ``"i"`` events;
+* ``"M"`` metadata events name every process/thread, and
+  ``thread_sort_index`` keeps slot order stable in the UI;
+* every event carries ``args.depth`` (the explicit nesting level, see
+  :mod:`repro.obs.trace`), so tools need no containment inference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.obs.trace import Tracer
+
+_US = 1_000_000  # simulated seconds -> trace microseconds
+
+
+def _track_ids(tracks: Iterable[str]) -> Dict[str, Tuple[int, int]]:
+    """Deterministic (pid, tid) per track: processes sorted by name
+    (driver first), threads sorted within each process."""
+    by_process: Dict[str, List[str]] = {}
+    for track in tracks:
+        process = track.split("/", 1)[0]
+        by_process.setdefault(process, []).append(track)
+    processes = sorted(by_process, key=lambda p: (p != "driver", p))
+    ids: Dict[str, Tuple[int, int]] = {}
+    for pid, process in enumerate(processes, start=1):
+        for tid, track in enumerate(sorted(set(by_process[process])), start=1):
+            ids[track] = (pid, tid)
+    return ids
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert a tracer's spans/instants to a Chrome trace dict."""
+    tracks = {s.track for s in tracer.spans} | {i.track for i in tracer.instants}
+    ids = _track_ids(tracks)
+
+    events: List[dict] = []
+    seen_pids: Dict[int, str] = {}
+    for track, (pid, tid) in sorted(ids.items(), key=lambda kv: kv[1]):
+        process = track.split("/", 1)[0]
+        if pid not in seen_pids:
+            seen_pids[pid] = process
+            events.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    for span in tracer.spans:
+        pid, tid = ids[span.track]
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat,
+                "pid": pid,
+                "tid": tid,
+                "ts": round(span.start * _US, 3),
+                "dur": round(max(0.0, span.duration) * _US, 3),
+                "args": dict(span.args, depth=span.depth),
+            }
+        )
+    for inst in tracer.instants:
+        pid, tid = ids[inst.track]
+        events.append(
+            {
+                "ph": "i",
+                "name": inst.name,
+                "cat": inst.cat,
+                "pid": pid,
+                "tid": tid,
+                "ts": round(inst.ts * _US, 3),
+                "s": "t",
+                "args": dict(inst.args, depth=inst.depth),
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated",
+            "dropped_detail": tracer.dropped_detail,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    write_json(to_chrome_trace(tracer), path)
+
+
+def write_json(payload: Any, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def write_jsonl(rows: Iterable[dict], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Validation (used by tests and the CI traced-bench step)
+# ----------------------------------------------------------------------
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid", "args"),
+    "i": ("name", "ts", "pid", "tid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_chrome_trace(payload: dict) -> List[str]:
+    """Structural checks on an exported trace; returns a list of
+    problems (empty = valid).
+
+    Checks: top-level shape, per-phase required fields, non-negative
+    timestamps/durations, ``args.depth`` on every X/i event, named
+    processes and threads for every (pid, tid) used by events.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("trace contains no events")
+
+    named_processes = set()
+    named_threads = set()
+    used_threads = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_BY_PHASE:
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        for key in _REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                problems.append(f"event {i} ({ph}): missing {key!r}")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_processes.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                named_threads.add((ev.get("pid"), ev.get("tid")))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+        depth = ev.get("args", {}).get("depth")
+        if not isinstance(depth, int) or depth < 0:
+            problems.append(f"event {i}: missing args.depth")
+        used_threads.add((ev.get("pid"), ev.get("tid")))
+
+    for pid, tid in sorted(used_threads):
+        if pid not in named_processes:
+            problems.append(f"pid {pid} has no process_name metadata")
+        if (pid, tid) not in named_threads:
+            problems.append(f"thread ({pid}, {tid}) has no thread_name metadata")
+    return problems
+
+
+def max_event_depth(payload: dict) -> int:
+    """Deepest ``args.depth`` over X/i events (-1 when none)."""
+    depths = [
+        ev["args"]["depth"]
+        for ev in payload.get("traceEvents", [])
+        if ev.get("ph") in ("X", "i") and isinstance(
+            ev.get("args", {}).get("depth"), int
+        )
+    ]
+    return max(depths) if depths else -1

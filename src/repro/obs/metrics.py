@@ -1,0 +1,159 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Complements the Hadoop-style :class:`repro.mapreduce.counters.Counters`
+rather than replacing it: task code keeps incrementing Counters (the
+statistics channel Algorithm 1 depends on), and the registry *snapshots*
+their merged totals at job end (:meth:`MetricsRegistry.absorb_counters`)
+next to the trace-derived latency histograms. Everything here is
+process-level observability state -- none of it feeds back into
+simulated time or plan choice.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+#: Default histogram buckets (seconds): spans sub-100us cache probes up
+#: to multi-second stragglers; the last bucket is the +Inf overflow.
+DEFAULT_LATENCY_BUCKETS_S = (
+    1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A last-writer-wins value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative-style buckets).
+
+    ``buckets`` are the finite upper bounds; an implicit +Inf bucket
+    catches overflow. ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` (non-cumulative storage; exporters derive
+    whatever shape they need from ``counts`` + ``overflow``).
+    """
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty list")
+        self.name = name
+        self.buckets: List[float] = list(buckets)
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        i = bisect_left(self.buckets, value)
+        if i == len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the q-th observation (+Inf overflow reports the largest finite
+        bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_S
+            )
+        return h
+
+    # ------------------------------------------------------------------
+    def absorb_counters(self, counters, prefix: str = "counters") -> None:
+        """Snapshot a merged Hadoop-style ``Counters`` into gauges named
+        ``<prefix>.<group>.<name>`` (gauges, not counters: the snapshot
+        is a level, and re-absorbing a newer total must overwrite)."""
+        for group, name, value in counters.items():
+            self.gauge(f"{prefix}.{group}.{name}").set(value)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "buckets": h.buckets,
+                    "counts": h.counts,
+                    "overflow": h.overflow,
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "p50": h.quantile(0.5),
+                    "p99": h.quantile(0.99),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,191 @@
+"""The trace summarizer behind ``python -m repro.obs report``.
+
+Consumes the exported artifacts (Chrome trace JSON + audit JSONL) --
+not live tracer objects -- so it works on anything downloaded from CI.
+Three sections per trace:
+
+* **per-phase critical path**: for each map/reduce phase span, the
+  wave-by-wave chain of slowest task attempts that bounds the phase's
+  simulated duration;
+* **slowest lookups**: top-k ``lookup`` / ``lookup.batch`` spans by
+  simulated duration (subject to the per-task detail cap);
+* **re-plan timeline**: every Algorithm-1 evaluation from the audit
+  log, with verdicts and applied plan changes.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import DEPTH_PHASE, DEPTH_TASK
+
+_US = 1_000_000.0
+
+
+def load_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def load_jsonl(path: str) -> List[dict]:
+    rows: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def find_trace_files(path: str) -> List[str]:
+    """Accept one ``*.trace.json`` file or a directory of them."""
+    if os.path.isdir(path):
+        return sorted(glob.glob(os.path.join(path, "*.trace.json")))
+    return [path]
+
+
+def _spans(payload: dict) -> List[dict]:
+    """X events with seconds-domain ``start``/``dur`` and track names
+    resolved from the thread_name metadata."""
+    thread_names: Dict[Tuple[int, int], str] = {}
+    for ev in payload.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    out = []
+    for ev in payload.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        out.append(
+            {
+                "name": ev["name"],
+                "cat": ev.get("cat", ""),
+                "track": thread_names.get((ev["pid"], ev["tid"]), "?"),
+                "start": ev["ts"] / _US,
+                "dur": ev["dur"] / _US,
+                "depth": ev.get("args", {}).get("depth", 0),
+                "args": ev.get("args", {}),
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+def phase_critical_paths(spans: List[dict]) -> List[str]:
+    """Per phase span: the chain of slowest task attempts per wave.
+
+    In the simulated cluster a phase ends when its last wave's slowest
+    task ends, so the max-duration task of each wave is the critical
+    chain; the report shows each link and the slack (phase duration
+    minus chain sum, i.e. scheduling gaps / startup).
+    """
+    lines: List[str] = []
+    phases = [s for s in spans if s["depth"] == DEPTH_PHASE]
+    tasks = [s for s in spans if s["depth"] == DEPTH_TASK]
+    for phase in sorted(phases, key=lambda s: s["start"]):
+        inside = [
+            t
+            for t in tasks
+            if t["start"] >= phase["start"] - 1e-9
+            and t["start"] + t["dur"] <= phase["start"] + phase["dur"] + 1e-9
+            and t["args"].get("kind", t["name"]) == phase["args"].get(
+                "kind", phase["name"]
+            )
+        ]
+        lines.append(
+            f"phase {phase['args'].get('job', '')}/{phase['name']}"
+            f" @ t={phase['start']:.3f}s dur={phase['dur']:.3f}s"
+            f" ({len(inside)} task attempt(s))"
+        )
+        by_wave: Dict[Any, List[dict]] = {}
+        for t in inside:
+            by_wave.setdefault(t["args"].get("wave", 0), []).append(t)
+        chain = 0.0
+        for wave in sorted(by_wave):
+            slowest = max(by_wave[wave], key=lambda t: t["dur"])
+            chain += slowest["dur"]
+            lines.append(
+                f"  wave {wave}: slowest {slowest['args'].get('task', '?')}"
+                f" on {slowest['track']} dur={slowest['dur']:.3f}s"
+                f" ({len(by_wave[wave])} task(s))"
+            )
+        lines.append(
+            f"  critical chain {chain:.3f}s, slack {phase['dur'] - chain:.3f}s"
+        )
+    if not phases:
+        lines.append("no phase spans in trace")
+    return lines
+
+
+def slowest_lookups(spans: List[dict], top_k: int = 10) -> List[str]:
+    lookups = [
+        s for s in spans if s["name"] in ("lookup", "lookup.batch", "index.fetch")
+    ]
+    if not lookups:
+        return ["no lookup spans in trace (detail may be capped or untraced)"]
+    lookups.sort(key=lambda s: s["dur"], reverse=True)
+    lines = [f"top {min(top_k, len(lookups))} of {len(lookups)} lookup span(s):"]
+    for s in lookups[:top_k]:
+        extras = ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(s["args"].items())
+            if k not in ("depth",)
+        )
+        lines.append(
+            f"  {s['name']} {s['dur'] * 1e3:.3f}ms @ t={s['start']:.3f}s"
+            f" on {s['track']}" + (f" ({extras})" if extras else "")
+        )
+    return lines
+
+
+def replan_timeline(audit_rows: List[dict]) -> List[str]:
+    if not audit_rows:
+        return ["no adaptive evaluations in audit log"]
+    lines = [f"{len(audit_rows)} adaptive evaluation(s):"]
+    for row in audit_rows:
+        imp = row.get("improvement")
+        detail = f" gain={imp:.3f}s" if isinstance(imp, (int, float)) else ""
+        applied = " [applied]" if row.get("applied") else ""
+        lines.append(
+            f"  #{row.get('seq')} {row.get('job')} {row.get('phase')}"
+            f"@t={row.get('sim_time', 0.0):.3f}s: {row.get('verdict')}"
+            f"{detail}{applied}"
+        )
+        if row.get("verdict") == "replan" and row.get("new_plan"):
+            lines.append(
+                f"      {row.get('current_plan')} -> {row.get('new_plan')}"
+            )
+        reuse = row.get("reuse") or {}
+        if reuse:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(reuse.items()))
+            lines.append(f"      reuse: {pairs}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+def build_report(trace_path: str, top_k: int = 10) -> str:
+    """The full text report for one exported trace file (the audit
+    JSONL is found by naming convention next to it)."""
+    payload = load_trace(trace_path)
+    spans = _spans(payload)
+    audit_path = trace_path.replace(".trace.json", ".audit.jsonl")
+    audit_rows = load_jsonl(audit_path) if os.path.exists(audit_path) else []
+
+    sections = [
+        f"=== {os.path.basename(trace_path)} ===",
+        f"{len(spans)} span(s), max depth "
+        f"{max((s['depth'] for s in spans), default=-1)}, dropped detail "
+        f"{payload.get('otherData', {}).get('dropped_detail', 0)}",
+        "",
+        "--- per-phase critical path ---",
+        *phase_critical_paths(spans),
+        "",
+        "--- slowest lookups ---",
+        *slowest_lookups(spans, top_k),
+        "",
+        "--- re-plan timeline ---",
+        *replan_timeline(audit_rows),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,292 @@
+"""Span/event tracing in simulated cluster time.
+
+A :class:`Tracer` records *spans* (named intervals) and *instant
+events*, each stamped with simulated seconds and placed on a *track*
+(the driver, or one ``host/slotN`` task slot). Nesting is explicit via
+``depth`` so exporters and the report tool need no containment
+inference:
+
+====== =======================================================
+depth   span
+====== =======================================================
+0       EFind job
+1       physical MapReduce stage
+2       map / reduce phase
+3       task wave
+4       task attempt (including crashed attempts)
+5       in-task operation (dfs read, shuffle fetch, lookup,
+        lookup batch)
+6       cache probe / index fetch / retry detail
+====== =======================================================
+
+Task internals are first recorded into a :class:`TaskTraceBuffer` in
+*task-relative* time (a task's absolute start is only known once the
+scheduler commits it), then re-based onto the absolute timeline.
+
+The tracer is read-only with respect to the simulation: it never
+charges time, so an attached tracer cannot perturb simulated results.
+:data:`NULL_TRACER` is the shared no-op instance; hot paths additionally
+guard on ``ctx.trace is None`` so the disabled mode costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Canonical depths (see module docstring).
+DEPTH_JOB = 0
+DEPTH_STAGE = 1
+DEPTH_PHASE = 2
+DEPTH_WAVE = 3
+DEPTH_TASK = 4
+DEPTH_OP = 5
+DEPTH_DETAIL = 6
+
+#: The driver (job-control) track.
+DRIVER_TRACK = "driver"
+#: Wave spans live on their own track: waves overlap task spans across
+#: slots, so putting them on the driver track would fake containment.
+WAVE_TRACK = "driver/waves"
+
+
+def slot_track(host: str, kind: str, slot_index: int) -> str:
+    """Track name of one task slot (shared by runtime and scheduler)."""
+    return f"{host}/{kind}{slot_index}"
+
+
+@dataclass
+class Span:
+    """One named interval on a track, in simulated seconds."""
+
+    name: str
+    cat: str
+    track: str
+    start: float
+    end: float
+    depth: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Instant:
+    """One point event on a track."""
+
+    name: str
+    cat: str
+    track: str
+    ts: float
+    depth: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans and instant events in simulated time."""
+
+    enabled = True
+
+    def __init__(self, metrics=None, max_task_detail: int = 256):
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.metrics = metrics
+        self.max_task_detail = max_task_detail
+        self.dropped_detail = 0
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        start: float,
+        end: float,
+        depth: int,
+        **args: Any,
+    ) -> None:
+        self.spans.append(Span(name, cat, track, start, end, depth, args))
+
+    def instant(
+        self, name: str, cat: str, track: str, ts: float, depth: int, **args: Any
+    ) -> None:
+        self.instants.append(Instant(name, cat, track, ts, depth, args))
+
+    # ------------------------------------------------------------------
+    def task_buffer(self, task_id: str) -> "TaskTraceBuffer":
+        """A fresh relative-time buffer for one task attempt."""
+        return TaskTraceBuffer(task_id, max_detail=self.max_task_detail)
+
+    def absorb_task(
+        self,
+        buffer: Optional["TaskTraceBuffer"],
+        task_start: float,
+        track: str,
+    ) -> None:
+        """Re-base one task's buffered spans/events onto the absolute
+        timeline at ``task_start`` and fold histogram-worthy durations
+        into the metrics registry."""
+        if buffer is None:
+            return
+        for name, cat, rel_start, rel_end, depth, args in buffer.rel_spans:
+            self.spans.append(
+                Span(name, cat, track, task_start + rel_start,
+                     task_start + rel_end, depth, args)
+            )
+        for name, cat, rel_ts, depth, args in buffer.rel_instants:
+            self.instants.append(
+                Instant(name, cat, track, task_start + rel_ts, depth, args)
+            )
+        self.dropped_detail += buffer.dropped
+        if self.metrics is not None:
+            for name, (count, total) in sorted(buffer.totals.items()):
+                self.metrics.counter(f"trace.{name}.count").inc(count)
+                self.metrics.counter(f"trace.{name}.seconds").inc(total)
+            for name, durations in sorted(buffer.observations.items()):
+                hist = self.metrics.histogram(f"trace.{name}.latency_s")
+                for d in durations:
+                    hist.observe(d)
+
+    # ------------------------------------------------------------------
+    def max_depth(self) -> int:
+        """Deepest recorded nesting level (-1 when empty)."""
+        depths = [s.depth for s in self.spans] + [i.depth for i in self.instants]
+        return max(depths) if depths else -1
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def spans_in_cat(self, cat: str) -> List[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every recording call is a no-op, and task
+    buffers do not exist (``ctx.trace`` stays None), so the hot-path
+    guards short-circuit to exactly the untraced code."""
+
+    enabled = False
+
+    def __init__(self):  # no storage at all
+        self.spans = []
+        self.instants = []
+        self.metrics = None
+        self.max_task_detail = 0
+        self.dropped_detail = 0
+
+    def span(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def instant(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def task_buffer(self, task_id: str) -> None:  # type: ignore[override]
+        return None
+
+    def absorb_task(self, *a: Any, **kw: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+#: Span names whose durations feed a latency histogram on absorb.
+_HISTOGRAM_NAMES = frozenset({"lookup", "lookup.batch", "index.fetch"})
+
+
+class TaskTraceBuffer:
+    """Relative-time span/event storage for one task attempt.
+
+    Two relative coordinate systems:
+
+    * :meth:`rel_span` / :meth:`rel_instant` -- seconds after *task
+      start* (used by the runtime, which knows its own offsets);
+    * :meth:`charged_span` / :meth:`charged_instant` -- positions on the
+      task's *charged-time* cursor (``ctx.charged_time`` snapshots; used
+      by the strategy and index layers whose costs all flow through
+      ``ctx.charge``). These are shifted by :attr:`base_offset`, which
+      the runtime sets to the simulated time consumed before the chain
+      runs (task startup + input read, or + shuffle fetch), so charged
+      events land inside the task span.
+
+    Detail is capped at ``max_detail`` recorded items per task to bound
+    trace size on large runs; every item still lands in the per-name
+    aggregate ``totals`` (and latency ``observations``), and the number
+    of dropped detail items is reported on the task span.
+    """
+
+    def __init__(self, task_id: str, max_detail: int = 256):
+        self.task_id = task_id
+        self.max_detail = max_detail
+        self.base_offset = 0.0
+        self.rel_spans: List[tuple] = []
+        self.rel_instants: List[tuple] = []
+        self.totals: Dict[str, List[float]] = {}
+        self.observations: Dict[str, List[float]] = {}
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def rel_span(
+        self,
+        name: str,
+        cat: str,
+        rel_start: float,
+        rel_end: float,
+        depth: int,
+        **args: Any,
+    ) -> None:
+        self._count(name, rel_end - rel_start)
+        if len(self.rel_spans) >= self.max_detail:
+            self.dropped += 1
+            return
+        self.rel_spans.append((name, cat, rel_start, rel_end, depth, args))
+
+    def rel_instant(
+        self, name: str, cat: str, rel_ts: float, depth: int, **args: Any
+    ) -> None:
+        self._count(name, 0.0)
+        if len(self.rel_instants) >= self.max_detail:
+            self.dropped += 1
+            return
+        self.rel_instants.append((name, cat, rel_ts, depth, args))
+
+    def charged_span(
+        self,
+        name: str,
+        cat: str,
+        charged_start: float,
+        charged_end: float,
+        depth: int,
+        **args: Any,
+    ) -> None:
+        self.rel_span(
+            name,
+            cat,
+            self.base_offset + charged_start,
+            self.base_offset + charged_end,
+            depth,
+            **args,
+        )
+
+    def charged_instant(
+        self, name: str, cat: str, charged_ts: float, depth: int, **args: Any
+    ) -> None:
+        self.rel_instant(name, cat, self.base_offset + charged_ts, depth, **args)
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, duration: float) -> None:
+        entry = self.totals.get(name)
+        if entry is None:
+            self.totals[name] = [1, duration]
+        else:
+            entry[0] += 1
+            entry[1] += duration
+        if name in _HISTOGRAM_NAMES:
+            self.observations.setdefault(name, []).append(duration)
+
+    def __len__(self) -> int:
+        return len(self.rel_spans) + len(self.rel_instants)

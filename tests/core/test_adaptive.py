@@ -1,11 +1,18 @@
 """Unit + integration tests for adaptive re-optimization (Algorithm 1)."""
 
+import math
+
 import pytest
 
 from repro.core.adaptive import evaluate_replan, relevant_operator_ids
 from repro.core.costmodel import CostEnv, Strategy
 from repro.core.optimizer import baseline_plan
 from repro.core.statistics import OperatorStatsAccumulator, TaskSample
+from repro.obs.audit import (
+    VERDICT_REPLAN,
+    VERDICT_VARIANCE_GATE,
+    AdaptiveAuditLog,
+)
 
 
 def make_registry(job, num_machines=12, samples=4, n1=500, tj=5e-3, miss=1.0):
@@ -132,6 +139,160 @@ class TestEvaluateReplan:
         small = evaluate_replan(job, plan, registry, env, "map", scale=1.0)
         big = evaluate_replan(job, plan, registry, env, "map", scale=10.0)
         assert big.improvement > small.improvement
+
+
+def perturbed_registry(job):
+    """A registry whose head0 statistics have a small but nonzero
+    relative deviation (one sample 20% heavier than the rest)."""
+    registry = make_registry(job, tj=5e-3, miss=0.05)
+    acc = registry["head0"]
+    acc.samples[0].n1 = int(acc.samples[0].n1 * 1.2)
+    return registry
+
+
+class TestVarianceGateEdges:
+    def test_exactly_at_threshold_is_stable(self, efind_env, env):
+        """The gate is ``rdev <= threshold``: a deviation exactly equal
+        to the threshold still counts as stable."""
+        job = efind_env.make_job("vg1")
+        registry = perturbed_registry(job)
+        rdev = registry["head0"].relative_deviation()
+        assert 0.0 < rdev < math.inf
+        plan = baseline_plan(job.operator_specs())
+        at = evaluate_replan(
+            job, plan, registry, env, "map", variance_threshold=rdev
+        )
+        assert at is not None
+
+    def test_just_below_threshold_blocks(self, efind_env, env):
+        job = efind_env.make_job("vg2")
+        registry = perturbed_registry(job)
+        rdev = registry["head0"].relative_deviation()
+        plan = baseline_plan(job.operator_specs())
+        audit = AdaptiveAuditLog()
+        below = evaluate_replan(
+            job,
+            plan,
+            registry,
+            env,
+            "map",
+            variance_threshold=math.nextafter(rdev, 0.0),
+            audit=audit,
+        )
+        assert below is None
+        record = audit.records[-1]
+        assert record.verdict == VERDICT_VARIANCE_GATE
+        entry = next(g for g in record.gate if g["operator"] == "head0")
+        assert entry["relative_deviation"] == pytest.approx(rdev)
+        assert not entry["stable"]
+
+    def test_single_sample_is_unstable(self, efind_env, env):
+        """One task sample has no variance estimate at all: the gate
+        must treat it as unstable, not as perfectly stable."""
+        job = efind_env.make_job("vg3")
+        registry = make_registry(job, samples=1)
+        assert registry["head0"].relative_deviation() == math.inf
+        audit = AdaptiveAuditLog()
+        decision = evaluate_replan(
+            job,
+            baseline_plan(job.operator_specs()),
+            registry,
+            env,
+            "map",
+            audit=audit,
+        )
+        assert decision is None
+        entry = next(g for g in audit.records[-1].gate if g["operator"] == "head0")
+        assert entry["num_samples"] == 1
+        assert entry["relative_deviation"] is None
+        assert not entry["stable"]
+
+    def test_zero_mean_statistic_is_skipped_not_divided(self, efind_env, env):
+        """All-zero byte statistics (mean 0) must not divide by zero;
+        with identical n1 samples the deviation is exactly 0.0 and the
+        gate passes."""
+        job = efind_env.make_job("vg4")
+        registry = {}
+        for op_id, (_pl, m) in job.operator_specs().items():
+            acc = OperatorStatsAccumulator(op_id, m, 12)
+            for t in range(3):
+                s = TaskSample(task_id=f"z{t}")
+                s.n1 = 100  # identical across samples; all bytes zero
+                acc.add_sample(s)
+            registry[op_id] = acc
+        assert registry["head0"].relative_deviation() == 0.0
+        audit = AdaptiveAuditLog()
+        evaluate_replan(
+            job,
+            baseline_plan(job.operator_specs()),
+            registry,
+            env,
+            "map",
+            audit=audit,
+        )
+        record = audit.records[-1]
+        assert record.verdict != VERDICT_VARIANCE_GATE
+        assert all(g["stable"] for g in record.gate)
+
+
+class TestAuditRecords:
+    def test_replan_record_is_complete(self, efind_env, env):
+        job = efind_env.make_job("ar1")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        audit = AdaptiveAuditLog()
+        decision = evaluate_replan(
+            job,
+            baseline_plan(job.operator_specs()),
+            registry,
+            env,
+            "map",
+            audit=audit,
+            now=1.5,
+        )
+        assert decision is not None
+        record = decision.audit_record
+        assert record is audit.records[-1]
+        assert record.verdict == VERDICT_REPLAN
+        assert record.sim_time == 1.5
+        assert record.new_cost < record.current_cost
+        detail = next(o for o in record.operators if o["operator"] == "head0")
+        # every strategy priced for every index, plus eligibility
+        for table in detail["strategies"].values():
+            assert set(table["costs"]) == {"base", "cache", "repart", "idxloc"}
+            assert set(table["eligible"]) <= set(table["costs"])
+        for sample in detail["samples"].values():
+            for field in ("theta", "miss_ratio", "tj", "nik"):
+                assert field in sample
+        assert detail["current"] != detail["chosen"]
+
+    def test_no_audit_log_records_nothing(self, efind_env, env):
+        job = efind_env.make_job("ar2")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        decision = evaluate_replan(
+            job, baseline_plan(job.operator_specs()), registry, env, "map"
+        )
+        assert decision is not None
+        assert decision.audit_record is None
+
+    def test_every_evaluation_is_recorded(self, efind_env, env):
+        """Negative verdicts are logged too -- the log explains refusals
+        to re-plan, not just plan changes."""
+        job = efind_env.make_job("ar3")
+        registry = make_registry(job, tj=5e-3, miss=0.05)
+        plan = baseline_plan(job.operator_specs())
+        audit = AdaptiveAuditLog()
+        evaluate_replan(
+            job,
+            plan,
+            registry,
+            env,
+            "map",
+            plan_change_cost=1e9,
+            audit=audit,
+        )
+        assert len(audit) == 1
+        assert audit.records[0].verdict == "improvement_below_threshold"
+        assert not audit.replans
 
 
 class TestAdaptiveEndToEnd:

@@ -82,9 +82,9 @@ def make_job(env, name):
     return job
 
 
-def dynamic_runner(env):
+def dynamic_runner(env, obs=None):
     cluster, dfs, *_ = env
-    return EFindRunner(cluster, dfs, plan_change_overhead=0.2)
+    return EFindRunner(cluster, dfs, plan_change_overhead=0.2, obs=obs)
 
 
 class TestMidReduceReplan:
@@ -132,6 +132,70 @@ class TestMidReduceReplan:
         done = sum(v for _k, v in aborted.output)
         resumed = sum(v for _k, v in res.stage_results[-1].output)
         assert done + resumed == num_records
+
+    def test_audit_log_captures_mid_reduce_replan(self, env):
+        """The audit record of the reduce-phase re-plan is complete: a
+        ``replan`` verdict with its gate, per-strategy costs, and the
+        Figure 10(b) mid-reduce reuse outcome."""
+        from repro.obs import Observability
+        from repro.obs.audit import VERDICT_REPLAN
+
+        obs = Observability()
+        res = dynamic_runner(env, obs=obs).run(
+            make_job(env, "rr-audit"), mode="dynamic"
+        )
+        assert res.replanned and res.replan_phase == "reduce"
+        # the result carries this run's records; the log holds them all
+        assert res.audit == obs.audit.for_job("rr-audit")
+        applied = [r for r in res.audit if r.applied]
+        assert len(applied) == 1
+        record = applied[0]
+        assert record.verdict == VERDICT_REPLAN
+        assert record.phase == "reduce"
+        assert record.job == "rr-audit"
+        assert record.sim_time > 0
+        assert record.applied_at >= record.sim_time
+        # gate: the tail operator passed with >= 2 reduce-task samples
+        entry = next(g for g in record.gate if g["operator"] == "tail0")
+        assert entry["stable"] and entry["num_samples"] >= 2
+        assert entry["relative_deviation"] <= record.variance_threshold
+        # all four Equation 1-4 costs priced for the tail index
+        detail = next(
+            o for o in record.operators if o["operator"] == "tail0"
+        )
+        costs = detail["strategies"]["0"]["costs"]
+        assert set(costs) == {"base", "cache", "repart", "idxloc"}
+        assert all(c >= 0.0 for c in costs.values())
+        samples = detail["samples"]["0"]
+        assert samples["theta"] > 1.0  # many groups share one city
+        assert samples["tj"] > 0.0
+        assert samples["lookups_observed"] > 0
+        # the applied change switched the tail strategy and recorded
+        # the mid-reduce cutover with completed-partition reuse
+        assert record.new_plan != record.current_plan
+        assert record.improvement > record.plan_change_cost
+        assert record.reuse["cutover"] == "mid-reduce"
+        assert record.reuse["reduce_tasks_reused"] > 0
+        assert record.reuse["partitions_rerun"] > 0
+        assert (
+            record.reuse["reduce_tasks_reused"]
+            + record.reuse["partitions_rerun"]
+            == 48
+        )
+
+    def test_audit_records_survive_json_export(self, env):
+        """Every record round-trips through the JSONL exporter (inf
+        from the <2-sample gate must have been scrubbed)."""
+        import json
+
+        from repro.obs import Observability
+
+        obs = Observability()
+        dynamic_runner(env, obs=obs).run(make_job(env, "rr-json"), mode="dynamic")
+        assert len(obs.audit) >= 1
+        for row in obs.audit.to_dicts():
+            parsed = json.loads(json.dumps(row, allow_nan=False))
+            assert parsed["job"] == "rr-json"
 
     def test_no_replan_when_tail_keys_unique(self, env):
         """Control: distinct tail keys per group -> nothing to save ->

@@ -59,6 +59,63 @@ class TestMerge:
         assert b.get("g", "n") == 2.0
 
 
+class TestGaugeMerge:
+    def test_merge_overwrites_set_keys(self):
+        # Regression: a key written with set() used to be *added* on
+        # merge, silently doubling gauges folded into global totals.
+        a, b = Counters(), Counters()
+        a.set("g", "hwm", 5)
+        b.set("g", "hwm", 7)
+        a.merge(b)
+        assert a.get("g", "hwm") == 7.0
+
+    def test_merge_gauge_into_empty(self):
+        a, b = Counters(), Counters()
+        b.set("g", "hwm", 3)
+        a.merge(b)
+        assert a.get("g", "hwm") == 3.0
+        assert a.is_gauge("g", "hwm")
+
+    def test_merge_still_adds_incremented_keys(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "n", 1)
+        b.increment("g", "n", 2)
+        a.merge(b)
+        assert a.get("g", "n") == 3.0
+        assert not a.is_gauge("g", "n")
+
+    def test_increment_clears_gauge(self):
+        c = Counters()
+        c.set("g", "n", 5)
+        c.increment("g", "n", 1)
+        assert c.get("g", "n") == 6.0
+        assert not c.is_gauge("g", "n")
+
+    def test_copy_preserves_gauge_values(self):
+        a = Counters()
+        a.set("g", "hwm", 4)
+        a.increment("g", "n", 2)
+        b = a.copy()
+        assert b.get("g", "hwm") == 4.0
+        assert b.get("g", "n") == 2.0
+        assert b.is_gauge("g", "hwm")
+
+    def test_chained_merge_of_gauges(self):
+        total = Counters()
+        for value in (1.0, 9.0, 4.0):
+            task = Counters()
+            task.set("mem", "peak", value)
+            total.merge(task)
+        assert total.get("mem", "peak") == 4.0  # last writer, not 14
+
+    def test_to_dict_snapshot_is_deep(self):
+        c = Counters()
+        c.increment("g", "n")
+        snap = c.to_dict()
+        snap["g"]["n"] = 99
+        assert c.get("g", "n") == 1.0
+
+
 class TestIntrospection:
     def test_items_iterates_all(self):
         c = Counters()

@@ -1,0 +1,119 @@
+"""Unit tests for the adaptive-decision audit log."""
+
+import json
+import math
+
+from repro.obs.audit import (
+    VERDICT_REPLAN,
+    VERDICT_VARIANCE_GATE,
+    AdaptiveAuditLog,
+)
+
+
+def record_kwargs(**over):
+    kw = dict(
+        job="j",
+        phase="map",
+        sim_time=1.0,
+        verdict=VERDICT_VARIANCE_GATE,
+        variance_threshold=0.25,
+        plan_change_cost=0.1,
+        scale=2.0,
+        gate=[{"operator": "op", "num_samples": 1,
+               "relative_deviation": None, "stable": False}],
+    )
+    kw.update(over)
+    return kw
+
+
+class TestAuditLog:
+    def test_sequence_numbers_assigned_in_order(self):
+        log = AdaptiveAuditLog()
+        a = log.record_evaluation(**record_kwargs())
+        b = log.record_evaluation(**record_kwargs(phase="reduce"))
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(log) == 2
+
+    def test_replans_and_applied_views(self):
+        log = AdaptiveAuditLog()
+        log.record_evaluation(**record_kwargs())
+        replan = log.record_evaluation(
+            **record_kwargs(
+                verdict=VERDICT_REPLAN,
+                current_cost=2.0,
+                new_cost=1.0,
+                current_plan="a",
+                new_plan="b",
+            )
+        )
+        assert log.replans == [replan]
+        assert log.applied == []
+        log.mark_applied(replan, applied_at=3.0, cutover="mid-map",
+                         map_tasks_reused=24)
+        assert log.applied == [replan]
+        assert replan.applied_at == 3.0
+        assert replan.reuse == {"cutover": "mid-map", "map_tasks_reused": 24}
+
+    def test_for_job_filters(self):
+        log = AdaptiveAuditLog()
+        log.record_evaluation(**record_kwargs(job="a"))
+        log.record_evaluation(**record_kwargs(job="b"))
+        assert [r.job for r in log.for_job("b")] == ["b"]
+
+    def test_improvement_property(self):
+        log = AdaptiveAuditLog()
+        r = log.record_evaluation(
+            **record_kwargs(current_cost=2.0, new_cost=0.5)
+        )
+        assert r.improvement == 1.5
+        assert log.record_evaluation(**record_kwargs()).improvement is None
+
+
+class TestJsonSafety:
+    def test_inf_and_nan_become_none(self):
+        log = AdaptiveAuditLog()
+        log.record_evaluation(
+            **record_kwargs(
+                gate=[{"operator": "op", "num_samples": 1,
+                       "relative_deviation": math.inf, "stable": False}],
+                current_cost=math.nan,
+            )
+        )
+        (row,) = log.to_dicts()
+        assert row["gate"][0]["relative_deviation"] is None
+        assert row["current_cost"] is None
+        json.dumps(row, allow_nan=False)  # strict JSON round-trips
+
+    def test_to_dict_carries_all_inputs(self):
+        log = AdaptiveAuditLog()
+        log.record_evaluation(**record_kwargs())
+        (row,) = log.to_dicts()
+        for key in ("seq", "job", "phase", "sim_time", "verdict",
+                    "variance_threshold", "plan_change_cost", "scale",
+                    "gate", "operators", "applied", "reuse"):
+            assert key in row
+
+
+class TestSummaryLines:
+    def test_empty_log(self):
+        assert AdaptiveAuditLog().summary_lines() == [
+            "no adaptive evaluations recorded"
+        ]
+
+    def test_summary_mentions_verdict_and_reuse(self):
+        log = AdaptiveAuditLog()
+        r = log.record_evaluation(
+            **record_kwargs(
+                verdict=VERDICT_REPLAN,
+                current_cost=2.0,
+                new_cost=1.0,
+                current_plan="p0",
+                new_plan="p1",
+            )
+        )
+        log.mark_applied(r, applied_at=2.5, cutover="mid-reduce")
+        text = "\n".join(log.summary_lines())
+        assert "replan" in text
+        assert "[applied]" in text
+        assert "p0 -> p1" in text
+        assert "cutover=mid-reduce" in text

@@ -1,0 +1,52 @@
+"""The bench harness's ``--trace`` double-run path."""
+
+import json
+import os
+
+from repro.bench.harness import run_all_modes
+from repro.obs.config import get_trace_dir, set_trace_dir
+from repro.obs.export import validate_chrome_trace
+
+
+class TestHarnessTracing:
+    def test_no_trace_dir_means_no_rerun_and_no_artifacts(self, efind_env):
+        assert get_trace_dir() is None
+        row = run_all_modes(
+            efind_env.cluster,
+            efind_env.dfs,
+            lambda name: efind_env.make_job(name),
+            modes=("Base",),
+            label="ht-off",
+        )
+        assert row.trace_wall == {}
+        assert row.trace_paths == {}
+
+    def test_trace_dir_triggers_double_run_and_export(
+        self, efind_env, tmp_path
+    ):
+        set_trace_dir(str(tmp_path))
+        try:
+            row = run_all_modes(
+                efind_env.cluster,
+                efind_env.dfs,
+                lambda name: efind_env.make_job(name),
+                modes=("Base", "Dynamic"),
+                label="ht-on",
+            )
+        finally:
+            set_trace_dir(None)
+        assert set(row.trace_wall) == {"Base", "Dynamic"}
+        for mode in ("Base", "Dynamic"):
+            wall = row.trace_wall[mode]
+            assert wall["off"] > 0 and wall["on"] > 0
+            assert wall["overhead"] == wall["on"] - wall["off"]
+            paths = row.trace_paths[mode]
+            assert set(paths) == {"trace", "audit", "metrics"}
+            for path in paths.values():
+                assert os.path.exists(path)
+        with open(row.trace_paths["Dynamic"]["trace"], encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert validate_chrome_trace(payload) == []
+        # the untraced run stays authoritative; the traced re-run used
+        # the same job name, so its artifacts carry that name
+        assert "ht-on-dynamic" in row.trace_paths["Dynamic"]["trace"]

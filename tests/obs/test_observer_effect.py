@@ -1,0 +1,174 @@
+"""The observer-effect guarantee and end-to-end trace acceptance.
+
+Tracing must be purely passive: attaching an :class:`Observability` to
+a runner cannot change simulated times, counters, or outputs, and with
+tracing disabled the runtime takes the exact pre-observability code
+paths (``ctx.trace`` stays None).
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import (
+    max_event_depth,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.trace import DEPTH_OP, DEPTH_TASK
+
+
+class TestObserverEffect:
+    def test_tracing_changes_nothing_simulated(self, efind_env):
+        plain = efind_env.runner().run(
+            efind_env.make_job("oe-plain"), mode="dynamic"
+        )
+        obs = Observability()
+        traced = efind_env.runner(obs=obs).run(
+            efind_env.make_job("oe-traced"), mode="dynamic"
+        )
+        assert traced.sim_time == plain.sim_time
+        assert traced.counters.to_dict() == plain.counters.to_dict()
+        assert sorted(traced.output) == sorted(plain.output)
+        assert len(obs.tracer) > 0  # and yet the trace is rich
+
+    def test_disabled_observability_keeps_null_trace(self, efind_env):
+        obs = Observability(enabled=False)
+        plain = efind_env.runner().run(
+            efind_env.make_job("oe-off-ref"), mode="dynamic"
+        )
+        res = efind_env.runner(obs=obs).run(
+            efind_env.make_job("oe-off"), mode="dynamic"
+        )
+        assert len(obs.tracer) == 0
+        assert res.sim_time == plain.sim_time
+        # the driver-side audit log still works without tracing
+        assert len(obs.audit) >= 1
+
+    def test_forced_mode_tracing_is_also_passive(self, efind_env):
+        from repro.core.costmodel import Strategy
+
+        plain = efind_env.runner().run(
+            efind_env.make_job("oe-f"),
+            mode="forced",
+            forced_strategy=Strategy.CACHE,
+        )
+        obs = Observability()
+        traced = efind_env.runner(obs=obs).run(
+            efind_env.make_job("oe-f2"),
+            mode="forced",
+            forced_strategy=Strategy.CACHE,
+        )
+        assert traced.sim_time == plain.sim_time
+
+
+class TestTraceStructure:
+    def test_spans_cover_all_levels(self, efind_env):
+        obs = Observability()
+        res = efind_env.runner(obs=obs).run(
+            efind_env.make_job("ts-levels"), mode="dynamic"
+        )
+        t = obs.tracer
+        cats = {s.cat for s in t.spans}
+        assert {"job", "stage", "phase", "wave", "task", "op"} <= cats
+        assert t.max_depth() >= DEPTH_OP
+        (job_span,) = t.spans_named("efind:ts-levels")
+        assert job_span.start == res.start_time
+        assert job_span.end == res.end_time
+
+    def test_every_task_attempt_has_a_span(self, efind_env):
+        obs = Observability()
+        res = efind_env.runner(obs=obs).run(
+            efind_env.make_job("ts-tasks"), mode="dynamic"
+        )
+        task_spans = obs.tracer.spans_named("task")
+        attempts = sum(
+            len(sr.map_runs) + len(sr.reduce_runs)
+            for sr in res.stage_results
+        )
+        assert len(task_spans) == attempts
+        for s in task_spans:
+            assert s.depth == DEPTH_TASK
+            assert s.args["kind"] in ("map", "reduce")
+            # tasks nest inside their job span
+            assert res.start_time <= s.start <= s.end <= res.end_time
+
+    def test_metrics_fold_lookup_latencies(self, efind_env):
+        obs = Observability()
+        efind_env.runner(obs=obs).run(
+            efind_env.make_job("ts-metrics"), mode="dynamic"
+        )
+        snap = obs.metrics.to_dict()
+        assert snap["counters"]["trace.lookup.count"] > 0
+        hist = snap["histograms"]["trace.lookup.latency_s"]
+        assert hist["count"] == snap["counters"]["trace.lookup.count"]
+        # job counters snapshotted next to trace metrics
+        assert any(k.startswith("job.ts-metrics.") for k in snap["gauges"])
+
+
+@pytest.fixture(scope="module")
+def q3_traced():
+    """One dynamic TPC-H Q3 run (the Figure 11(b) workload) with full
+    observability attached."""
+    from repro.bench.harness import bench_cluster
+    from repro.core.runner import EFindRunner
+    from repro.dfs.filesystem import DistributedFileSystem
+    from repro.workloads import tpch
+
+    cluster = bench_cluster()
+    dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.002))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+    obs = Observability()
+    runner = EFindRunner(cluster, dfs, obs=obs)
+    result = runner.run(
+        tpch.make_q3_job("q3-traced", "/in/lineitem", "/out/q3-traced", indexes),
+        mode="dynamic",
+    )
+    return obs, result
+
+
+class TestTpchQ3Acceptance:
+    """The PR's acceptance criterion: the exported Chrome trace for a
+    TPC-H Q3 run loads with >= 4 span nesting levels and a complete
+    Algorithm-1 audit record for every re-optimization point."""
+
+    def test_chrome_trace_validates_with_deep_nesting(self, q3_traced):
+        obs, _result = q3_traced
+        payload = to_chrome_trace(obs.tracer)
+        assert validate_chrome_trace(payload) == []
+        assert max_event_depth(payload) >= 4
+
+    def test_audit_complete_for_every_evaluation(self, q3_traced):
+        obs, result = q3_traced
+        assert len(obs.audit) >= 1
+        for record in obs.audit.records:
+            assert record.verdict in (
+                "no_relevant_operators",
+                "variance_gate_failed",
+                "improvement_below_threshold",
+                "same_strategies",
+                "replan",
+            )
+            assert record.gate or record.verdict == "no_relevant_operators"
+            if record.verdict == "replan":
+                assert record.operators, "replan without cost detail"
+                for op in record.operators:
+                    for table in op["strategies"].values():
+                        assert set(table["costs"]) == {
+                            "base", "cache", "repart", "idxloc",
+                        }
+        if result.replanned:
+            assert obs.audit.applied, "applied replan missing from audit"
+            assert obs.audit.applied[0].reuse.get("cutover") in (
+                "mid-map", "mid-reduce",
+            )
+
+    def test_export_round_trips(self, q3_traced, tmp_path):
+        obs, _result = q3_traced
+        paths = obs.export(str(tmp_path), "q3")
+        from repro.obs.report import build_report
+
+        report = build_report(paths["trace"])
+        assert "per-phase critical path" in report
+        assert "adaptive evaluation" in report
