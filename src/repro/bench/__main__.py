@@ -60,6 +60,16 @@ EXPERIMENTS = {
             "Figure 11(b)  TPC-H Q3", rows, modes=figures.SIX_MODES, x_label="query"
         ),
     ),
+    "fig11b-small": (
+        "TPC-H Q3 (already single-row; alias for CI smoke / baselines)",
+        figures.run_fig11b,
+        lambda rows: format_table(
+            "Figure 11(b) [small]  TPC-H Q3",
+            rows,
+            modes=figures.SIX_MODES,
+            x_label="query",
+        ),
+    ),
     "fig11c": (
         "TPC-H Q9",
         figures.run_fig11c,
@@ -92,6 +102,16 @@ EXPERIMENTS = {
         figures.run_fig11f,
         lambda rows: format_table(
             "Figure 11(f)  Synthetic: runtime vs lookup result size",
+            rows,
+            modes=figures.SIX_MODES,
+            x_label="result size",
+        ),
+    ),
+    "fig11f-small": (
+        "Synthetic: single result-size point (CI smoke / baselines)",
+        lambda: figures.run_fig11f(sizes=(1024,)),
+        lambda rows: format_table(
+            "Figure 11(f) [small]  Synthetic: runtime at 1KB results",
             rows,
             modes=figures.SIX_MODES,
             x_label="result size",
@@ -182,6 +202,21 @@ def main(argv=None) -> int:
             "reported times stay those of the untraced runs)"
         ),
     )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help=(
+            "run the perf-baseline suites and write BENCH_<suite>.json "
+            "files (deterministic simulated times; compare two with "
+            "'python -m repro.obs.analysis regress OLD NEW')"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=".",
+        help="directory to write BENCH_*.json into (default: .)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -193,6 +228,23 @@ def main(argv=None) -> int:
         from repro.obs.config import set_trace_dir
 
         set_trace_dir(args.trace)
+
+    if args.baseline:
+        from repro.bench import baseline
+
+        suites = args.names or sorted(baseline.SUITES)
+        unknown = [n for n in suites if n not in baseline.SUITES]
+        if unknown:
+            print(f"unknown baseline suite(s): {', '.join(unknown)}", file=sys.stderr)
+            print(
+                f"available: {', '.join(sorted(baseline.SUITES))}", file=sys.stderr
+            )
+            return 2
+        started = time.time()
+        for path in baseline.write_baselines(args.baseline_dir, suites):
+            print(f"wrote {path}")
+        print(f"({time.time() - started:.1f}s wall)")
+        return 0
 
     # The small smoke variants exist for CI/tracing; a bare
     # ``python -m repro.bench`` still runs each figure exactly once.

@@ -182,11 +182,15 @@ def run_fig11e() -> List[ExperimentRow]:
 FIG11F_RESULT_SIZES = (10, 1024, 8192, 30720)
 
 
-def run_fig11f() -> List[ExperimentRow]:
+def run_fig11f(
+    sizes: Tuple[int, ...] = FIG11F_RESULT_SIZES
+) -> List[ExperimentRow]:
+    """``sizes`` selects the x-axis points; the CI smoke / baseline run
+    uses a single point (``fig11f-small``) instead of the full sweep."""
     cluster = bench_cluster()
     dfs = DistributedFileSystem(cluster, block_size=24 * 1024)
     rows = []
-    for result_size in FIG11F_RESULT_SIZES:
+    for result_size in sizes:
         cfg = synthetic.SyntheticConfig(
             num_records=24_000,
             num_distinct_keys=8_000,

@@ -29,7 +29,9 @@ from repro.obs.audit import (
     VERDICT_REPLAN,
     VERDICT_SAME_STRATEGIES,
     VERDICT_VARIANCE_GATE,
+    env_constants,
     index_samples,
+    operator_sizes,
     strategy_cost_table,
 )
 
@@ -113,6 +115,7 @@ def evaluate_replan(
             variance_threshold=variance_threshold,
             plan_change_cost=plan_change_cost,
             scale=scale,
+            env=env_constants(env),
             current_plan=current_plan.describe(),
             **kw,
         )
@@ -189,6 +192,7 @@ def evaluate_replan(
                     "operator": op_id,
                     "placement": placement.value,
                     "n1": stats.n1,
+                    "sizes": operator_sizes(stats),
                     "samples": index_samples(stats),
                     "strategies": strategy_cost_table(
                         env, stats, placement, locality, idempotent

@@ -39,6 +39,7 @@ def explain(
     cluster: Optional[Cluster] = None,
     op_stats: Optional[Dict[str, OperatorStats]] = None,
     result=None,
+    trace_dir: Optional[str] = None,
 ) -> str:
     """Render ``plan`` (or the plan ``runner`` would choose statically)
     as a human-readable physical plan.
@@ -46,7 +47,14 @@ def explain(
     ``result`` (an :class:`repro.core.runner.EFindJobResult`, optional)
     appends what actually happened at runtime: the ``fault.*`` and
     ``batch.*`` counter groups and the adaptive audit-log summary --
-    EXPLAIN ANALYZE to the plan's EXPLAIN."""
+    EXPLAIN ANALYZE to the plan's EXPLAIN.
+
+    ``trace_dir`` (optional) points at exported observability artifacts
+    (``python -m repro.bench --trace DIR``, or
+    :meth:`repro.obs.Observability.export`); every traced job whose
+    name starts with this conf's name gets a one-line critical-path
+    summary and a one-line cost-model drift summary from the offline
+    analysis layer."""
     if plan is None:
         if runner is None:
             raise ValueError("explain() needs either a plan or a runner")
@@ -125,6 +133,8 @@ def explain(
     # --- runtime view (EXPLAIN ANALYZE) -------------------------------
     if result is not None:
         lines.extend(_runtime_lines(result))
+    if trace_dir is not None:
+        lines.extend(_trace_lines(iconf.name, trace_dir))
     return "\n".join(lines)
 
 
@@ -155,4 +165,55 @@ def _runtime_lines(result) -> list:
         lines.extend(f"    {line}" for line in log.summary_lines())
     else:
         lines.append("  adaptive audit: no evaluations recorded")
+    return lines
+
+
+def _trace_lines(job_name: str, trace_dir: str) -> list:
+    """One critical-path line and one drift line per traced job whose
+    name starts with ``job_name`` (the bench harness exports variants
+    as ``<name>-<mode>``)."""
+    from repro.obs.analysis import critical_path as cp
+    from repro.obs.analysis import drift as dr
+    from repro.obs.analysis.loader import TraceArtifactError, load_artifacts
+
+    lines = ["trace analysis:"]
+    try:
+        artifacts = load_artifacts(trace_dir)
+    except TraceArtifactError as exc:
+        lines.append(f"  unavailable: {exc}")
+        return lines
+    matched = False
+    for artifact in artifacts:
+        for path in cp.critical_paths(artifact.spans):
+            if path.job != job_name and not path.job.startswith(job_name):
+                continue
+            matched = True
+            attribution = path.attribution()
+            top = sorted(attribution.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+            top_txt = ", ".join(f"{k} {v:.3f}s" for k, v in top)
+            lines.append(
+                f"  {path.job}: critical path {path.duration:.3f}s over "
+                f"{len(path.segments)} segment(s); top: {top_txt}"
+            )
+        for d in dr.job_drift(artifact):
+            if d.job != job_name and not d.job.startswith(job_name):
+                continue
+            err = d.recompute_max_abs_error
+            err_txt = f"{err:.2e}s" if err is not None else "n/a"
+            measured = [t for t in d.terms if t.measured is not None]
+            worst = (
+                max(measured, key=lambda t: t.rel_error) if measured else None
+            )
+            worst_txt = (
+                f"; worst term {worst.operator}/idx{worst.index} "
+                f"{worst.term} off {worst.rel_error:.1%}"
+                if worst
+                else ""
+            )
+            lines.append(
+                f"  {d.job}: drift over {d.evaluations} evaluation(s), "
+                f"max recompute error {err_txt}{worst_txt}"
+            )
+    if not matched:
+        lines.append(f"  no traced jobs matching {job_name!r} under {trace_dir}")
     return lines

@@ -220,6 +220,18 @@ class JobRunner:
                     dropped_detail=(
                         run.trace.dropped if run.trace is not None else 0
                     ),
+                    # Exact per-op-name [count, seconds] aggregates from
+                    # the task buffer: unlike the detail spans these are
+                    # never capped, so offline attribution stays exact
+                    # on lookup-heavy tasks.
+                    op_totals=(
+                        {
+                            name: list(entry)
+                            for name, entry in sorted(run.trace.totals.items())
+                        }
+                        if run.trace is not None
+                        else {}
+                    ),
                 )
                 self._tracer.absorb_task(run.trace, start, track)
                 run.trace = None

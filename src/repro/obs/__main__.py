@@ -4,15 +4,40 @@
 re-plan timeline of each exported trace; ``validate`` structurally
 checks traces (exit 1 on problems) and is what the CI traced-bench
 step runs.
+
+Artifact problems -- a missing or empty trace directory, a truncated
+or partially written export -- exit 2 with a one-line reason instead
+of a Python traceback (``validate`` instead folds per-file load
+failures into its INVALID verdicts).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.obs.analysis.loader import (
+    TraceArtifactError,
+    find_trace_files,
+    load_json_file,
+)
 from repro.obs.export import max_event_depth, validate_chrome_trace
-from repro.obs.report import build_report, find_trace_files, load_trace
+from repro.obs.report import build_report
+
+
+def _trace_files(path: str) -> list:
+    """The files to process, or :class:`TraceArtifactError` with an
+    actionable reason when there is nothing to process."""
+    if not os.path.exists(path):
+        raise TraceArtifactError(f"{path}: no such file or directory")
+    files = find_trace_files(path)
+    if not files:
+        raise TraceArtifactError(
+            f"{path}: no *.trace.json files found (did the traced bench "
+            f"run, and with --trace pointing here?)"
+        )
+    return files
 
 
 def main(argv=None) -> int:
@@ -37,21 +62,38 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
-    files = find_trace_files(args.path)
-    if not files:
-        print(f"no *.trace.json files under {args.path}", file=sys.stderr)
-        return 1
 
     if args.command == "report":
-        for path in files:
-            print(build_report(path, top_k=args.top_k))
-            print()
+        try:
+            files = _trace_files(args.path)
+            for path in files:
+                print(build_report(path, top_k=args.top_k))
+                print()
+        except TraceArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     # validate
+    try:
+        files = _trace_files(args.path)
+    except TraceArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     status = 0
     for path in files:
-        payload = load_trace(path)
+        try:
+            payload = load_json_file(path, "trace")
+        except TraceArtifactError as exc:
+            status = 1
+            print(f"{path}: INVALID")
+            print(f"  {exc}")
+            continue
+        if not isinstance(payload, dict):
+            status = 1
+            print(f"{path}: INVALID")
+            print(f"  trace is {type(payload).__name__}, not an object")
+            continue
         problems = validate_chrome_trace(payload)
         depth = max_event_depth(payload)
         if args.min_depth is not None and depth < args.min_depth:

@@ -1,0 +1,211 @@
+"""Trace analytics CLI: ``python -m repro.obs.analysis <cmd>``.
+
+Subcommands::
+
+    report        TRACE [--json]   critical path + stragglers + drift
+    critical-path TRACE [--json]   per-job critical path only
+    stragglers    TRACE [--json]   per-phase straggler/skew profile only
+    drift         TRACE [--json]   cost-model drift only
+    regress OLD NEW [--tolerance-config FILE | --rel-tol X --abs-tol Y]
+
+``TRACE`` is one ``*.trace.json`` export or a directory of them (as
+written by ``python -m repro.bench --trace DIR``). Artifact problems --
+missing directory, truncated export, wrong format -- exit 2 with a
+one-line reason instead of a traceback. ``regress`` exits 1 when the
+new baseline regresses past tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.obs.analysis import critical_path as cp
+from repro.obs.analysis import drift as dr
+from repro.obs.analysis import regress as rg
+from repro.obs.analysis import stragglers as st
+from repro.obs.analysis.loader import (
+    TraceArtifactError,
+    TraceArtifacts,
+    load_artifacts,
+)
+
+
+def _analyze(artifact: TraceArtifacts) -> dict:
+    """Everything the full report knows about one artifact, as JSON."""
+    return {
+        "base": artifact.base,
+        "trace": artifact.trace_path,
+        "dropped_detail": artifact.dropped_detail,
+        "critical_paths": [p.to_dict() for p in cp.critical_paths(artifact.spans)],
+        "stragglers": [p.to_dict() for p in st.phase_profiles(artifact.spans)],
+        "drift": [d.to_dict() for d in dr.job_drift(artifact)],
+    }
+
+
+def _print_critical_path(artifact: TraceArtifacts) -> None:
+    for path in cp.critical_paths(artifact.spans):
+        for line in cp.render(path):
+            print(line)
+
+
+def _print_stragglers(artifact: TraceArtifacts) -> None:
+    for line in st.render(st.phase_profiles(artifact.spans)):
+        print(line)
+
+
+def _print_drift(artifacts: List[TraceArtifacts]) -> None:
+    equivalence = dr.executed_equivalence(artifacts)
+    for artifact in artifacts:
+        print(f"--- {artifact.base} ---")
+        for line in dr.render(dr.job_drift(artifact)):
+            print(line)
+    if equivalence:
+        for line in dr.render([], equivalence):
+            print(line)
+
+
+def cmd_report(args) -> int:
+    artifacts = load_artifacts(args.trace)
+    if args.json:
+        doc = {
+            "artifacts": [_analyze(a) for a in artifacts],
+            "executed_equivalence": [
+                e.to_dict() for e in dr.executed_equivalence(artifacts)
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for artifact in artifacts:
+        print(f"=== {artifact.base} ===")
+        _print_critical_path(artifact)
+        _print_stragglers(artifact)
+        print("cost-model drift:")
+        for line in dr.render(dr.job_drift(artifact)):
+            print(f"  {line}")
+    equivalence = dr.executed_equivalence(artifacts)
+    if equivalence:
+        for line in dr.render([], equivalence):
+            print(line)
+    return 0
+
+
+def cmd_critical_path(args) -> int:
+    artifacts = load_artifacts(args.trace)
+    if args.json:
+        doc = {
+            a.base: [p.to_dict() for p in cp.critical_paths(a.spans)]
+            for a in artifacts
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for artifact in artifacts:
+        print(f"=== {artifact.base} ===")
+        _print_critical_path(artifact)
+    return 0
+
+
+def cmd_stragglers(args) -> int:
+    artifacts = load_artifacts(args.trace)
+    if args.json:
+        doc = {
+            a.base: [p.to_dict() for p in st.phase_profiles(a.spans)]
+            for a in artifacts
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for artifact in artifacts:
+        print(f"=== {artifact.base} ===")
+        _print_stragglers(artifact)
+    return 0
+
+
+def cmd_drift(args) -> int:
+    artifacts = load_artifacts(args.trace)
+    if args.json:
+        doc = {
+            "jobs": {
+                a.base: [d.to_dict() for d in dr.job_drift(a)] for a in artifacts
+            },
+            "executed_equivalence": [
+                e.to_dict() for e in dr.executed_equivalence(artifacts)
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    _print_drift(artifacts)
+    return 0
+
+
+def cmd_regress(args) -> int:
+    if args.tolerance_config:
+        tolerances = rg.Tolerances.load(args.tolerance_config)
+        if args.rel_tol is not None or args.abs_tol is not None:
+            print(
+                "--tolerance-config and --rel-tol/--abs-tol are exclusive",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        tolerances = rg.Tolerances(
+            rel_tol=args.rel_tol if args.rel_tol is not None else rg.DEFAULT_REL_TOL,
+            abs_tol=args.abs_tol if args.abs_tol is not None else rg.DEFAULT_ABS_TOL,
+        )
+    report = rg.compare_files(args.old, args.new, tolerances)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in rg.render(report, verbose=args.verbose):
+            print(line)
+    return 0 if report.ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analysis",
+        description="Offline analytics over exported observability artifacts.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    def trace_cmd(name, func, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("trace", help="a *.trace.json file or a directory of them")
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+        p.set_defaults(func=func)
+
+    trace_cmd("report", cmd_report, "critical path + stragglers + drift")
+    trace_cmd("critical-path", cmd_critical_path, "per-job critical path")
+    trace_cmd("stragglers", cmd_stragglers, "per-phase straggler/skew profile")
+    trace_cmd("drift", cmd_drift, "cost-model drift detection")
+
+    p = sub.add_parser(
+        "regress", help="compare two BENCH baseline files (exit 1 on regression)"
+    )
+    p.add_argument("old", help="committed baseline BENCH_*.json")
+    p.add_argument("new", help="freshly generated BENCH_*.json")
+    p.add_argument(
+        "--tolerance-config",
+        metavar="FILE",
+        default=None,
+        help="JSON file with rel_tol/abs_tol and per_experiment overrides",
+    )
+    p.add_argument("--rel-tol", type=float, default=None)
+    p.add_argument("--abs-tol", type=float, default=None)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--verbose", action="store_true", help="also list every in-tolerance delta"
+    )
+    p.set_defaults(func=cmd_regress)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TraceArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,492 @@
+"""Cost-model drift detection: did Equations 1-4 predict reality?
+
+Three independent checks over one traced run (or a directory of them):
+
+* **recompute** -- every audit record carries the exact inputs its
+  evaluation priced with (CostEnv constants, Table-1 samples, operator
+  sizes), so the detector re-runs Equations 1-4 offline and compares
+  against the recorded per-strategy costs. On an undisturbed run the
+  error is pure float noise; anything larger means the recorded inputs
+  no longer reproduce the recorded outputs -- the cost model and its
+  audit trail have drifted apart.
+* **term join** -- the sampled Table-1 terms (T_j, R) joined against
+  what the trace actually measured (mean ``index.fetch`` span duration,
+  fetches per lookup), plus first-vs-last sample evolution for the
+  terms only the statistics layer can see (Theta, Nik, S_ik, S_iv).
+  Measured values come from recorded op spans, which the per-task
+  detail cap can subsample; the report says so via ``basis``.
+* **executed equivalence** -- in a bench trace directory every variant
+  of one figure row ran the *same* workload, so the forced-strategy
+  runs are measured executions of the alternatives the optimizer
+  priced. A Dynamic/Optimized run measurably slower than the cheapest
+  forced variant is flagged: the chosen plan was not the cheapest
+  executed-equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costmodel import CostEnv, Placement, Strategy, strategy_cost
+from repro.core.statistics import IndexStats, OperatorStats
+from repro.obs.analysis.loader import TraceArtifacts
+from repro.obs.trace import DEPTH_DETAIL, DEPTH_JOB, DEPTH_OP
+
+#: Terms whose sampled value can be joined against a trace measurement.
+MEASURED_TERMS = ("tj", "miss_ratio")
+#: Terms reported as first-vs-last sample evolution instead.
+EVOLUTION_TERMS = ("theta", "nik", "sik", "siv", "tj", "miss_ratio")
+
+_CHOSEN_MODES = ("dynamic", "optimized")
+_FORCED_MODES = ("base", "cache", "repart", "idxloc")
+
+
+@dataclass
+class TermDrift:
+    operator: str
+    index: str
+    term: str
+    sampled: float
+    measured: Optional[float]
+    basis: str  # where the measured value came from
+
+    @property
+    def abs_error(self) -> Optional[float]:
+        if self.measured is None:
+            return None
+        return abs(self.sampled - self.measured)
+
+    @property
+    def rel_error(self) -> Optional[float]:
+        if self.measured is None:
+            return None
+        scale = max(abs(self.sampled), abs(self.measured))
+        return abs(self.sampled - self.measured) / scale if scale else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator, "index": self.index, "term": self.term,
+            "sampled": self.sampled, "measured": self.measured,
+            "abs_error": self.abs_error, "rel_error": self.rel_error,
+            "basis": self.basis,
+        }
+
+
+@dataclass
+class RecomputedCost:
+    seq: int
+    operator: str
+    index: str
+    strategy: str
+    recorded: float
+    recomputed: float
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.recorded - self.recomputed)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq, "operator": self.operator, "index": self.index,
+            "strategy": self.strategy, "recorded": self.recorded,
+            "recomputed": self.recomputed, "abs_error": self.abs_error,
+        }
+
+
+@dataclass
+class JobDrift:
+    """Drift findings for one job's audit trail within one trace."""
+
+    job: str
+    evaluations: int
+    recomputed: List[RecomputedCost] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)  # why a record was skipped
+    terms: List[TermDrift] = field(default_factory=list)
+    #: term -> (first sample, last sample) over the audit trail.
+    evolution: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def recompute_max_abs_error(self) -> Optional[float]:
+        if not self.recomputed:
+            return None
+        return max(r.abs_error for r in self.recomputed)
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job,
+            "evaluations": self.evaluations,
+            "recompute_max_abs_error": self.recompute_max_abs_error,
+            "recomputed": [r.to_dict() for r in self.recomputed],
+            "skipped": list(self.skipped),
+            "terms": [t.to_dict() for t in self.terms],
+            "evolution": {
+                k: {"first": a, "last": b}
+                for k, (a, b) in sorted(self.evolution.items())
+            },
+        }
+
+
+@dataclass
+class ExecutedEquivalence:
+    """One figure row's measured strategy comparison."""
+
+    row: str
+    times: Dict[str, float]  # mode -> measured simulated seconds
+    chosen_mode: str
+    cheapest_mode: str
+    flagged: bool
+    excess: float  # chosen time / cheapest time - 1
+
+    def to_dict(self) -> dict:
+        return {
+            "row": self.row, "times": dict(sorted(self.times.items())),
+            "chosen_mode": self.chosen_mode,
+            "cheapest_mode": self.cheapest_mode,
+            "flagged": self.flagged, "excess": self.excess,
+        }
+
+
+# ----------------------------------------------------------------------
+# Recompute Equations 1-4 from the audit record's own inputs
+# ----------------------------------------------------------------------
+def _stats_from_detail(detail: dict) -> OperatorStats:
+    sizes = detail.get("sizes") or {}
+    op = OperatorStats(n1=float(detail.get("n1", 0.0)))
+    for attr in ("s1", "spre", "sidx", "spost", "smap"):
+        if attr in sizes:
+            setattr(op, attr, float(sizes[attr]))
+    for j_str, s in sorted(detail.get("samples", {}).items()):
+        idx = IndexStats(
+            nik=float(s.get("nik", 1.0)),
+            sik=float(s.get("sik", 8.0)),
+            siv=float(s.get("siv", 64.0)),
+            tj=float(s.get("tj", 0.0)),
+            miss_ratio=float(s.get("miss_ratio", 1.0)),
+            theta=float(s.get("theta", 1.0)),
+            distinct=float(s.get("distinct", 0.0)),
+            batch_fill=float(s.get("batch_fill", 1.0)),
+            c_req=float(s.get("c_req", 0.0)),
+            c_key=float(s.get("c_key", 0.0)),
+            batches_observed=int(s.get("batches_observed", 0)),
+            lookups_observed=int(s.get("lookups_observed", 0)),
+            probes_observed=int(s.get("probes_observed", 0)),
+        )
+        op.per_index[int(j_str)] = idx
+    return op
+
+
+def recompute_record(row: dict) -> Tuple[List[RecomputedCost], List[str]]:
+    """Re-price every recorded strategy cost of one audit record.
+
+    Returns (recomputed costs, skip reasons). Records without operator
+    detail (gate refusals) have nothing to recompute and produce
+    neither.
+    """
+    out: List[RecomputedCost] = []
+    skipped: List[str] = []
+    operators = row.get("operators") or []
+    if not operators:
+        return out, skipped
+    env_dict = row.get("env") or {}
+    if not env_dict:
+        skipped.append(
+            f"seq {row.get('seq')}: no CostEnv recorded (pre-analysis log "
+            f"schema); cannot recompute"
+        )
+        return out, skipped
+    env = CostEnv(
+        bw=float(env_dict["bw"]),
+        f=float(env_dict["f"]),
+        t_cache=float(env_dict["t_cache"]),
+        extra_job_overhead=float(env_dict.get("extra_job_overhead", 0.0)),
+        latency=float(env_dict.get("latency", 0.0)),
+        lookup_bw=float(env_dict.get("lookup_bw", 20 * 1024 * 1024)),
+    )
+    for detail in operators:
+        op_id = str(detail.get("operator", "?"))
+        has_sizes = bool(detail.get("sizes"))
+        stats = _stats_from_detail(detail)
+        try:
+            placement = Placement(detail.get("placement"))
+        except ValueError:
+            skipped.append(f"seq {row.get('seq')} {op_id}: unknown placement")
+            continue
+        for j_str, table in sorted((detail.get("strategies") or {}).items()):
+            idx = stats.per_index.get(int(j_str))
+            if idx is None:
+                skipped.append(
+                    f"seq {row.get('seq')} {op_id}: strategy table for "
+                    f"index {j_str} has no matching samples"
+                )
+                continue
+            for strategy_value, recorded in sorted(
+                (table.get("costs") or {}).items()
+            ):
+                if recorded is None:
+                    continue  # was non-finite; nothing to compare
+                strategy = Strategy(strategy_value)
+                if not has_sizes and strategy in (
+                    Strategy.REPART, Strategy.IDXLOC
+                ):
+                    skipped.append(
+                        f"seq {row.get('seq')} {op_id}/{j_str}: operator "
+                        f"sizes not recorded; {strategy_value} not recomputed"
+                    )
+                    continue
+                recomputed = strategy_cost(strategy, env, stats, idx, placement)
+                out.append(
+                    RecomputedCost(
+                        seq=int(row.get("seq", -1)),
+                        operator=op_id,
+                        index=j_str,
+                        strategy=strategy_value,
+                        recorded=float(recorded),
+                        recomputed=recomputed,
+                    )
+                )
+    return out, skipped
+
+
+# ----------------------------------------------------------------------
+# Join sampled terms against trace measurements
+# ----------------------------------------------------------------------
+def _job_op_spans(artifact: TraceArtifacts, job: str) -> List[dict]:
+    """Op/detail spans of one EFind job: their ``args.task`` ids start
+    with the job's stage-name prefix ``<job>/``."""
+    prefix = job + "/"
+    return [
+        s
+        for s in artifact.spans
+        if s["depth"] in (DEPTH_OP, DEPTH_DETAIL)
+        and str(s["args"].get("task", "")).startswith(prefix)
+    ]
+
+
+def measured_terms(
+    artifact: TraceArtifacts, job: str, operator: str, samples: dict
+) -> List[TermDrift]:
+    """Per-index sampled-vs-measured rows for one operator's final
+    audit samples."""
+    spans = _job_op_spans(artifact, job)
+    out: List[TermDrift] = []
+    for j_str, s in sorted(samples.items()):
+        j = int(j_str)
+        fetches = [
+            sp
+            for sp in spans
+            if sp["name"] == "index.fetch" and sp["args"].get("index") == j
+        ]
+        lookups = [
+            sp
+            for sp in spans
+            if sp["name"] in ("lookup", "lookup.batch")
+            and sp["args"].get("index") == j
+        ]
+        measured_tj: Optional[float] = None
+        if fetches:
+            measured_tj = sum(f["dur"] for f in fetches) / len(fetches)
+        out.append(
+            TermDrift(
+                operator=operator,
+                index=j_str,
+                term="tj",
+                sampled=float(s.get("tj", 0.0)),
+                measured=measured_tj,
+                basis=(
+                    f"mean of {len(fetches)} index.fetch span(s)"
+                    if fetches
+                    else "no index.fetch spans recorded (detail capped or "
+                    "all cache hits)"
+                ),
+            )
+        )
+        measured_r: Optional[float] = None
+        lookup_keys = 0.0
+        for sp in lookups:
+            lookup_keys += float(sp["args"].get("keys", 1))
+        if lookup_keys > 0:
+            measured_r = len(fetches) / lookup_keys
+        out.append(
+            TermDrift(
+                operator=operator,
+                index=j_str,
+                term="miss_ratio",
+                sampled=float(s.get("miss_ratio", 1.0)),
+                measured=measured_r,
+                basis=(
+                    f"{len(fetches)} fetch(es) / {lookup_keys:g} looked-up "
+                    f"key(s) from spans"
+                    if lookup_keys
+                    else "no lookup spans recorded"
+                ),
+            )
+        )
+    return out
+
+
+def _sample_evolution(rows: List[dict]) -> Dict[str, Tuple[float, float]]:
+    """first-vs-last sampled value per (operator, index, term) across a
+    job's audit records with operator detail."""
+    seen: Dict[str, List[float]] = {}
+    for row in rows:
+        for detail in row.get("operators") or []:
+            op_id = str(detail.get("operator", "?"))
+            for j_str, s in sorted((detail.get("samples") or {}).items()):
+                for term in EVOLUTION_TERMS:
+                    if term in s and s[term] is not None:
+                        key = f"{op_id}/{j_str}/{term}"
+                        seen.setdefault(key, []).append(float(s[term]))
+    return {
+        key: (values[0], values[-1])
+        for key, values in sorted(seen.items())
+        if len(values) >= 2
+    }
+
+
+# ----------------------------------------------------------------------
+def job_drift(artifact: TraceArtifacts) -> List[JobDrift]:
+    """Drift findings per job with audit records in one artifact."""
+    by_job: Dict[str, List[dict]] = {}
+    for row in artifact.audit_rows:
+        by_job.setdefault(str(row.get("job", "?")), []).append(row)
+    out: List[JobDrift] = []
+    for job, rows in sorted(by_job.items()):
+        drift = JobDrift(job=job, evaluations=len(rows))
+        for row in rows:
+            recomputed, skipped = recompute_record(row)
+            drift.recomputed.extend(recomputed)
+            drift.skipped.extend(skipped)
+        # Join the trace against the freshest samples (the last record
+        # with operator detail).
+        for row in reversed(rows):
+            details = row.get("operators") or []
+            if details:
+                for detail in details:
+                    drift.terms.extend(
+                        measured_terms(
+                            artifact,
+                            job,
+                            str(detail.get("operator", "?")),
+                            detail.get("samples") or {},
+                        )
+                    )
+                break
+        drift.evolution = _sample_evolution(rows)
+        out.append(drift)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Executed-equivalence over a bench trace directory
+# ----------------------------------------------------------------------
+def _job_time(artifact: TraceArtifacts) -> Optional[float]:
+    """Simulated duration of the artifact's primary job: the depth-0
+    span whose job name matches the export base (the Optimized trace
+    also contains the profiling job), else the last-ending one."""
+    jobs = [s for s in artifact.spans if s["depth"] == DEPTH_JOB]
+    if not jobs:
+        return None
+    for s in jobs:
+        if str(s["args"].get("job", "")) == artifact.base:
+            return s["dur"]
+    return max(jobs, key=lambda s: s["start"] + s["dur"])["dur"]
+
+
+def split_row_mode(base: str) -> Optional[Tuple[str, str]]:
+    """``"Q3-dynamic" -> ("Q3", "dynamic")`` per the bench harness's
+    export naming; None when the base has no known mode suffix."""
+    for mode in _CHOSEN_MODES + _FORCED_MODES:
+        suffix = "-" + mode
+        if base.endswith(suffix) and len(base) > len(suffix):
+            return base[: -len(suffix)], mode
+    return None
+
+
+def executed_equivalence(
+    artifacts: List[TraceArtifacts], margin: float = 0.02
+) -> List[ExecutedEquivalence]:
+    """Compare each row's chosen-plan runs against its forced-strategy
+    runs by *measured* simulated time. ``margin`` is the excess
+    fraction above the cheapest forced variant tolerated before a
+    chosen plan is flagged."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for artifact in artifacts:
+        parsed = split_row_mode(artifact.base)
+        if parsed is None:
+            continue
+        row, mode = parsed
+        duration = _job_time(artifact)
+        if duration is not None:
+            rows.setdefault(row, {})[mode] = duration
+    out: List[ExecutedEquivalence] = []
+    for row, times in sorted(rows.items()):
+        forced = {m: t for m, t in times.items() if m in _FORCED_MODES}
+        if not forced:
+            continue
+        cheapest_mode = min(sorted(forced), key=lambda m: forced[m])
+        cheapest = forced[cheapest_mode]
+        for mode in _CHOSEN_MODES:
+            if mode not in times:
+                continue
+            excess = times[mode] / cheapest - 1.0 if cheapest > 0 else 0.0
+            out.append(
+                ExecutedEquivalence(
+                    row=row,
+                    times=times,
+                    chosen_mode=mode,
+                    cheapest_mode=cheapest_mode,
+                    flagged=excess > margin,
+                    excess=excess,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+def render(
+    drifts: List[JobDrift],
+    equivalence: Optional[List[ExecutedEquivalence]] = None,
+) -> List[str]:
+    lines: List[str] = []
+    if not drifts and not equivalence:
+        lines.append("no audit records in trace (statically planned run?)")
+    for d in drifts:
+        err = d.recompute_max_abs_error
+        err_txt = f"{err:.3e}s" if err is not None else "n/a (nothing priced)"
+        lines.append(
+            f"job {d.job}: {d.evaluations} evaluation(s), "
+            f"{len(d.recomputed)} cost(s) recomputed, "
+            f"max |recorded - recomputed| = {err_txt}"
+        )
+        for reason in d.skipped:
+            lines.append(f"  skipped: {reason}")
+        for t in d.terms:
+            if t.measured is None:
+                lines.append(
+                    f"  {t.operator}/idx{t.index} {t.term}: sampled "
+                    f"{t.sampled:.6g}, unmeasured ({t.basis})"
+                )
+            else:
+                lines.append(
+                    f"  {t.operator}/idx{t.index} {t.term}: sampled "
+                    f"{t.sampled:.6g} vs measured {t.measured:.6g} "
+                    f"(rel err {t.rel_error:.1%}; {t.basis})"
+                )
+        for key, (first, last) in d.evolution.items():
+            scale = max(abs(first), abs(last))
+            rel = abs(last - first) / scale if scale else 0.0
+            lines.append(
+                f"  {key}: first sample {first:.6g} -> last {last:.6g} "
+                f"(drift {rel:.1%})"
+            )
+    if equivalence:
+        lines.append("executed-equivalence (measured simulated seconds):")
+        for e in equivalence:
+            flag = "  [NOT CHEAPEST]" if e.flagged else ""
+            times = ", ".join(f"{m}={t:.3f}s" for m, t in sorted(e.times.items()))
+            lines.append(
+                f"  {e.row}: {e.chosen_mode} vs cheapest forced "
+                f"{e.cheapest_mode} ({e.excess:+.1%}){flag}  [{times}]"
+            )
+    return lines

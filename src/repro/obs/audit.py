@@ -41,6 +41,10 @@ class AuditRecord:
     variance_threshold: float
     plan_change_cost: float
     scale: float  # remaining-work extrapolation factor
+    #: The CostEnv constants the evaluation priced with, as a plain
+    #: dict. Recorded so offline tools (the drift detector) can re-run
+    #: Equations 1-4 from the log alone, with no cluster object.
+    env: Dict[str, float] = field(default_factory=dict)
     #: Per relevant operator: num_samples, relative_deviation, stable.
     gate: List[Dict[str, Any]] = field(default_factory=list)
     #: Per *stable* operator: per-index samples and per-strategy costs.
@@ -71,6 +75,7 @@ class AuditRecord:
             "variance_threshold": self.variance_threshold,
             "plan_change_cost": self.plan_change_cost,
             "scale": self.scale,
+            "env": _json_safe(self.env),
             "gate": [_json_safe(g) for g in self.gate],
             "operators": [_json_safe(o) for o in self.operators],
             "current_cost": _json_safe(self.current_cost),
@@ -97,6 +102,32 @@ def _json_safe(value: Any) -> Any:
     return value
 
 
+def env_constants(env) -> Dict[str, float]:
+    """A CostEnv as a plain dict (the drift detector rebuilds one from
+    this to re-price Equations 1-4 offline)."""
+    return {
+        "bw": env.bw,
+        "f": env.f,
+        "t_cache": env.t_cache,
+        "extra_job_overhead": env.extra_job_overhead,
+        "latency": env.latency,
+        "lookup_bw": env.lookup_bw,
+    }
+
+
+def operator_sizes(stats) -> Dict[str, float]:
+    """The operator-level Table-1 sizes (the S_* terms Equations 3-4
+    need beyond the per-index samples)."""
+    return {
+        "n1": stats.n1,
+        "s1": stats.s1,
+        "spre": stats.spre,
+        "sidx": stats.sidx,
+        "spost": stats.spost,
+        "smap": stats.smap,
+    }
+
+
 def index_samples(stats) -> Dict[str, Dict[str, float]]:
     """The Table-1 sample values per index of one OperatorStats."""
     out: Dict[str, Dict[str, float]] = {}
@@ -111,6 +142,9 @@ def index_samples(stats) -> Dict[str, Dict[str, float]]:
             "siv": idx.siv,
             "distinct": idx.distinct,
             "batch_fill": idx.batch_fill,
+            "c_req": idx.c_req,
+            "c_key": idx.c_key,
+            "batches_observed": idx.batches_observed,
             "lookups_observed": idx.lookups_observed,
             "probes_observed": idx.probes_observed,
         }
@@ -168,6 +202,7 @@ class AdaptiveAuditLog:
         plan_change_cost: float,
         scale: float,
         gate: List[Dict[str, Any]],
+        env: Optional[Dict[str, float]] = None,
         operators: Optional[List[Dict[str, Any]]] = None,
         current_cost: Optional[float] = None,
         new_cost: Optional[float] = None,
@@ -183,6 +218,7 @@ class AdaptiveAuditLog:
             variance_threshold=variance_threshold,
             plan_change_cost=plan_change_cost,
             scale=scale,
+            env=env or {},
             gate=gate,
             operators=operators or [],
             current_cost=current_cost,

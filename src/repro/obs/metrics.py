@@ -12,6 +12,7 @@ simulated time or plan choice.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 from typing import Dict, List, Optional, Sequence
 
 #: Default histogram buckets (seconds): spans sub-100us cache probes up
@@ -78,15 +79,27 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding
-        the q-th observation (+Inf overflow reports the largest finite
-        bound)."""
+        """Quantile via the nearest-rank rule: the upper bound of the
+        bucket holding the ``ceil(q * count)``-th observation (+Inf
+        overflow reports the largest finite bound).
+
+        The rank is clamped to ``[1, count]``, so the result is the
+        bucket of a *real* observation for every ``q``: ``q=0`` is the
+        first observation's bucket (not the lowest bucket bound, which
+        may be empty), a single-sample histogram answers that sample's
+        bucket for every ``q``, and a rank landing exactly on a
+        cumulative bucket boundary stays in that bucket rather than
+        spilling into the next. A tiny epsilon absorbs float noise in
+        ``q * count`` (e.g. ``0.07 * 100 == 7.000000000000001``) so
+        boundary ranks are exact.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return 0.0
-        rank = q * self.count
-        seen = 0.0
+        rank = ceil(q * self.count - 1e-9)
+        rank = max(1, min(rank, self.count))
+        seen = 0
         for bound, count in zip(self.buckets, self.counts):
             seen += count
             if seen >= rank:

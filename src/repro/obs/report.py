@@ -15,61 +15,34 @@ Three sections per trace:
 
 from __future__ import annotations
 
-import glob
-import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
+from repro.obs.analysis.loader import (
+    extract_spans,
+    find_trace_files,
+    load_json_file,
+    load_jsonl_file,
+)
 from repro.obs.trace import DEPTH_PHASE, DEPTH_TASK
 
-_US = 1_000_000.0
+__all__ = ["build_report", "find_trace_files", "load_trace", "load_jsonl"]
 
 
 def load_trace(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+    """Parse one trace file (:class:`TraceArtifactError` on problems)."""
+    return load_json_file(path, "trace")
 
 
 def load_jsonl(path: str) -> List[dict]:
-    rows: List[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line))
-    return rows
-
-
-def find_trace_files(path: str) -> List[str]:
-    """Accept one ``*.trace.json`` file or a directory of them."""
-    if os.path.isdir(path):
-        return sorted(glob.glob(os.path.join(path, "*.trace.json")))
-    return [path]
+    return load_jsonl_file(path, "audit")
 
 
 def _spans(payload: dict) -> List[dict]:
     """X events with seconds-domain ``start``/``dur`` and track names
     resolved from the thread_name metadata."""
-    thread_names: Dict[Tuple[int, int], str] = {}
-    for ev in payload.get("traceEvents", []):
-        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
-            thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
-    out = []
-    for ev in payload.get("traceEvents", []):
-        if ev.get("ph") != "X":
-            continue
-        out.append(
-            {
-                "name": ev["name"],
-                "cat": ev.get("cat", ""),
-                "track": thread_names.get((ev["pid"], ev["tid"]), "?"),
-                "start": ev["ts"] / _US,
-                "dur": ev["dur"] / _US,
-                "depth": ev.get("args", {}).get("depth", 0),
-                "args": ev.get("args", {}),
-            }
-        )
-    return out
+    spans, _instants = extract_spans(payload)
+    return spans
 
 
 # ----------------------------------------------------------------------
@@ -167,17 +140,20 @@ def replan_timeline(audit_rows: List[dict]) -> List[str]:
 # ----------------------------------------------------------------------
 def build_report(trace_path: str, top_k: int = 10) -> str:
     """The full text report for one exported trace file (the audit
-    JSONL is found by naming convention next to it)."""
-    payload = load_trace(trace_path)
-    spans = _spans(payload)
-    audit_path = trace_path.replace(".trace.json", ".audit.jsonl")
-    audit_rows = load_jsonl(audit_path) if os.path.exists(audit_path) else []
+    JSONL is found by naming convention next to it). Raises
+    :class:`repro.obs.analysis.loader.TraceArtifactError` on missing,
+    truncated, or structurally invalid artifacts."""
+    from repro.obs.analysis.loader import load_one
+
+    artifact = load_one(trace_path)
+    spans = artifact.spans
+    audit_rows = artifact.audit_rows
 
     sections = [
         f"=== {os.path.basename(trace_path)} ===",
         f"{len(spans)} span(s), max depth "
         f"{max((s['depth'] for s in spans), default=-1)}, dropped detail "
-        f"{payload.get('otherData', {}).get('dropped_detail', 0)}",
+        f"{artifact.dropped_detail}",
         "",
         "--- per-phase critical path ---",
         *phase_critical_paths(spans),

@@ -127,15 +127,24 @@ class Tracer:
     ) -> None:
         """Re-base one task's buffered spans/events onto the absolute
         timeline at ``task_start`` and fold histogram-worthy durations
-        into the metrics registry."""
+        into the metrics registry.
+
+        Every absorbed span/instant is stamped with ``args.task`` (the
+        owning task attempt): several jobs may share a tracer with
+        overlapping simulated timelines (e.g. a profiling run and the
+        optimized run both starting at t=0), so offline analysis cannot
+        attribute in-task ops by time containment alone.
+        """
         if buffer is None:
             return
         for name, cat, rel_start, rel_end, depth, args in buffer.rel_spans:
+            args.setdefault("task", buffer.task_id)
             self.spans.append(
                 Span(name, cat, track, task_start + rel_start,
                      task_start + rel_end, depth, args)
             )
         for name, cat, rel_ts, depth, args in buffer.rel_instants:
+            args.setdefault("task", buffer.task_id)
             self.instants.append(
                 Instant(name, cat, track, task_start + rel_ts, depth, args)
             )

@@ -1,0 +1,205 @@
+"""Critical-path invariants.
+
+The core guarantee: the per-job critical path *tiles* the job span --
+segments are contiguous (each starts where the previous ended), stay
+inside the job interval, and their durations sum to the job's simulated
+duration exactly (modulo the export's microsecond rounding). Checked on
+real EFind runs (including a replanned dynamic run, whose duplicate
+stage names are the hard case) and property-style on randomized
+synthetic trace trees over seeded workload shapes.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.analysis import load_artifacts
+from repro.obs.analysis.critical_path import critical_paths, render
+from repro.obs.export import to_chrome_trace
+from repro.obs.trace import (
+    DEPTH_JOB,
+    DEPTH_PHASE,
+    DEPTH_STAGE,
+    DEPTH_TASK,
+    DRIVER_TRACK,
+    Tracer,
+    slot_track,
+)
+
+#: Export rounds microseconds to 3 decimals => ~1e-9 s granularity;
+#: segment sums accumulate it across O(100) segments.
+TOL = 1e-6
+
+
+def assert_tiles(path):
+    assert path.segments, "empty critical path"
+    assert path.segments[0].start == pytest.approx(path.start, abs=TOL)
+    assert path.segments[-1].end == pytest.approx(path.end, abs=TOL)
+    for prev, cur in zip(path.segments, path.segments[1:]):
+        assert cur.start == pytest.approx(prev.end, abs=TOL), (
+            f"gap/overlap between {prev.kind} and {cur.kind}"
+        )
+    assert path.accounted == pytest.approx(path.duration, abs=TOL)
+
+
+def traced_run(env, name, mode="dynamic", **kwargs):
+    obs = Observability()
+    result = env.runner(obs=obs).run(env.make_job(name), mode=mode, **kwargs)
+    return obs, result
+
+
+class TestRealRuns:
+    def test_dynamic_run_accounts_100_percent(self, efind_env, tmp_path):
+        obs, result = traced_run(efind_env, "cp-dyn")
+        obs.export(str(tmp_path), "cp-dyn")
+        (artifact,) = load_artifacts(str(tmp_path))
+        paths = critical_paths(artifact.spans)
+        assert len(paths) == 1
+        (path,) = paths
+        assert path.job == "cp-dyn"
+        assert_tiles(path)
+        assert path.duration == pytest.approx(result.sim_time, abs=TOL)
+
+    def test_forced_run_accounts_100_percent(self, efind_env, tmp_path):
+        from repro.core.costmodel import Strategy
+
+        obs, result = traced_run(
+            efind_env, "cp-forced", mode="forced",
+            forced_strategy=Strategy.CACHE,
+        )
+        obs.export(str(tmp_path), "cp-forced")
+        (artifact,) = load_artifacts(str(tmp_path))
+        (path,) = critical_paths(artifact.spans)
+        assert_tiles(path)
+        assert path.duration == pytest.approx(result.sim_time, abs=TOL)
+
+    def test_phase_attribution_buckets(self, efind_env, tmp_path):
+        obs, _ = traced_run(efind_env, "cp-attr")
+        obs.export(str(tmp_path), "cp-attr")
+        (artifact,) = load_artifacts(str(tmp_path))
+        (path,) = critical_paths(artifact.spans)
+        attribution = path.attribution()
+        allowed = {
+            "io", "shuffle", "lookup", "compute", "task.crash", "slot.idle",
+            "startup", "driver.gap", "driver.tail", "stage", "stage.tail",
+            "phase.tail",
+        }
+        assert set(attribution) <= allowed
+        # the 20ms-per-lookup workload must show lookup time on the path
+        assert attribution.get("lookup", 0.0) > 0.0
+        # and attribution seconds re-sum to the whole job
+        assert sum(attribution.values()) == pytest.approx(
+            path.duration, abs=TOL
+        )
+
+    def test_deterministic_across_reruns(self, efind_env, tmp_path):
+        dicts = []
+        for i in range(2):
+            obs, _ = traced_run(efind_env, "cp-det")
+            obs.export(str(tmp_path / str(i)), "cp-det")
+            (artifact,) = load_artifacts(str(tmp_path / str(i)))
+            (path,) = critical_paths(artifact.spans)
+            dicts.append(path.to_dict())
+        assert dicts[0] == dicts[1]
+
+    def test_render_mentions_every_phase(self, efind_env, tmp_path):
+        obs, _ = traced_run(efind_env, "cp-render")
+        obs.export(str(tmp_path), "cp-render")
+        (artifact,) = load_artifacts(str(tmp_path))
+        (path,) = critical_paths(artifact.spans)
+        text = "\n".join(render(path))
+        assert "100.0%" in text
+        for phase in path.phases:
+            assert phase.kind in text
+
+
+def synthetic_tracer(seed: int) -> Tracer:
+    """A random-but-valid trace tree: jobs -> sequential stages ->
+    map (+ optional reduce) phases -> slot-packed task waves. Mirrors
+    the scheduler's invariants (tasks on one slot are back-to-back
+    within their phase; phase end == last task end or later)."""
+    rng = random.Random(seed)
+    t = Tracer()
+    cursor = 0.0
+    for j in range(rng.randint(1, 3)):
+        job = f"syn{j}"
+        job_start = cursor + rng.random() * 0.2
+        stage_cursor = job_start + 0.1  # driver gap / startup
+        for s in range(rng.randint(1, 3)):
+            stage_name = job if s == 0 else f"{job}/shuffle-x.{s}"
+            stage_start = stage_cursor
+            phase_cursor = stage_start + rng.random() * 0.05
+            for kind in ("map", "reduce")[: rng.randint(1, 2)]:
+                phase_start = phase_cursor
+                slots = [
+                    slot_track(f"node{n:02d}", kind, 0)
+                    for n in range(rng.randint(1, 4))
+                ]
+                slot_end = {}
+                task_index = 0
+                for wave in range(rng.randint(1, 3)):
+                    for track in slots:
+                        if rng.random() < 0.2:
+                            continue  # idle slot this wave
+                        start = max(
+                            slot_end.get(track, phase_start),
+                            phase_start + rng.random() * 0.01,
+                        )
+                        dur = 0.02 + rng.random() * 0.2
+                        marker = "m" if kind == "map" else "r"
+                        t.span(
+                            "task", "task", track, start, start + dur,
+                            DEPTH_TASK,
+                            task=f"{stage_name}-{marker}{task_index:04d}",
+                            kind=kind, wave=wave,
+                            op_totals={"lookup": [3, dur * rng.random() * 0.5]},
+                        )
+                        slot_end[track] = start + dur
+                        task_index += 1
+                phase_end = max(slot_end.values(), default=phase_start + 0.01)
+                t.span(
+                    kind, "phase", DRIVER_TRACK, phase_start, phase_end,
+                    DEPTH_PHASE, kind=kind, job=stage_name, tasks=task_index,
+                )
+                phase_cursor = phase_end
+            stage_end = phase_cursor + rng.random() * 0.02
+            t.span(
+                stage_name, "stage", DRIVER_TRACK, stage_start, stage_end,
+                DEPTH_STAGE, job=stage_name,
+            )
+            stage_cursor = stage_end
+        job_end = stage_cursor + rng.random() * 0.05
+        t.span(
+            f"efind:{job}", "job", DRIVER_TRACK, job_start, job_end,
+            DEPTH_JOB, job=job,
+        )
+        cursor = job_end
+    return t
+
+
+class TestSyntheticProperty:
+    """Tiling holds for every randomized workload shape."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_tiles_for_random_trees(self, seed, tmp_path):
+        from repro.obs.analysis.loader import extract_spans
+
+        tracer = synthetic_tracer(seed)
+        payload = to_chrome_trace(tracer)
+        spans, _ = extract_spans(payload)
+        paths = critical_paths(spans)
+        assert paths
+        for path in paths:
+            assert_tiles(path)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deterministic_per_seed(self, seed):
+        from repro.obs.analysis.loader import extract_spans
+
+        results = []
+        for _ in range(2):
+            payload = to_chrome_trace(synthetic_tracer(seed))
+            spans, _ = extract_spans(payload)
+            results.append([p.to_dict() for p in critical_paths(spans)])
+        assert results[0] == results[1]

@@ -1,0 +1,67 @@
+"""EXPLAIN integration: ``explain(..., trace_dir=...)`` appends one-line
+critical-path and drift summaries from the offline analysis layer."""
+
+from repro.core.explain import explain
+from repro.obs import Observability
+
+
+class TestExplainTraceDir:
+    def test_summary_lines_present(self, efind_env, tmp_path):
+        obs = Observability()
+        runner = efind_env.runner(obs=obs)
+        job = efind_env.make_job("xp-job")
+        runner.run(job, mode="dynamic")
+        obs.export(str(tmp_path), "xp-job")
+
+        text = explain(
+            efind_env.make_job("xp-job"),
+            runner=efind_env.runner(),
+            trace_dir=str(tmp_path),
+        )
+        assert "trace analysis:" in text
+        assert "critical path" in text
+        assert "drift over" in text
+        assert "max recompute error" in text
+
+    def test_matches_bench_variant_names(self, efind_env, tmp_path):
+        # bench exports use <name>-<mode>; a prefix match finds them
+        obs = Observability()
+        efind_env.runner(obs=obs).run(
+            efind_env.make_job("xp2-dynamic"), mode="dynamic"
+        )
+        obs.export(str(tmp_path), "xp2-dynamic")
+        text = explain(
+            efind_env.make_job("xp2"),
+            runner=efind_env.runner(),
+            trace_dir=str(tmp_path),
+        )
+        assert "xp2-dynamic: critical path" in text
+
+    def test_empty_trace_dir_degrades_gracefully(self, efind_env, tmp_path):
+        text = explain(
+            efind_env.make_job("xp-none"),
+            runner=efind_env.runner(),
+            trace_dir=str(tmp_path),
+        )
+        assert "trace analysis:" in text
+        assert "unavailable" in text
+        assert "Traceback" not in text
+
+    def test_no_matching_job_reported(self, efind_env, tmp_path):
+        obs = Observability()
+        efind_env.runner(obs=obs).run(
+            efind_env.make_job("other-job"), mode="dynamic"
+        )
+        obs.export(str(tmp_path), "other-job")
+        text = explain(
+            efind_env.make_job("xp-miss"),
+            runner=efind_env.runner(),
+            trace_dir=str(tmp_path),
+        )
+        assert "no traced jobs matching 'xp-miss'" in text
+
+    def test_without_trace_dir_unchanged(self, efind_env):
+        text = explain(
+            efind_env.make_job("xp-plain"), runner=efind_env.runner()
+        )
+        assert "trace analysis:" not in text

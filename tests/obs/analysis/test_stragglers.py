@@ -1,0 +1,171 @@
+"""Straggler & skew profiling: distribution math, cause attribution,
+and behavior on real traced runs."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.analysis import load_artifacts
+from repro.obs.analysis.stragglers import (
+    coefficient_of_variation,
+    gini,
+    phase_profiles,
+    render,
+)
+from repro.obs.trace import DEPTH_OP, DEPTH_TASK, slot_track
+
+
+class TestDistributionMath:
+    def test_gini_even(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_gini_concentrated(self):
+        # one task holds everything: G = (n-1)/n
+        assert gini([0.0, 0.0, 0.0, 12.0]) == pytest.approx(0.75)
+
+    def test_gini_degenerate(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([2.0, 2.0]) == 0.0
+        assert coefficient_of_variation([1.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+
+def _task(stage, idx, kind, wave, track, start, dur, op_totals=None, name="task"):
+    marker = "m" if kind == "map" else "r"
+    return {
+        "name": name, "cat": "task", "track": track, "start": start,
+        "dur": dur, "depth": DEPTH_TASK,
+        "args": {
+            "task": f"{stage}-{marker}{idx:04d}", "kind": kind, "wave": wave,
+            "op_totals": op_totals or {},
+        },
+    }
+
+
+class TestCauseAttribution:
+    def _wave(self, slow_totals, slow_dur=1.0):
+        spans = [
+            _task("j", i, "map", 0, slot_track(f"n{i}", "map", 0), 0.0, 0.2,
+                  op_totals={"lookup": [10, 0.05], "dfs.read": [1, 0.01]})
+            for i in range(4)
+        ]
+        spans.append(
+            _task("j", 9, "map", 0, slot_track("n9", "map", 0), 0.0, slow_dur,
+                  op_totals=slow_totals)
+        )
+        return spans
+
+    def _one_straggler(self, spans):
+        (profile,) = phase_profiles(spans)
+        assert len(profile.stragglers) == 1
+        return profile.stragglers[0]
+
+    def test_fault_retries_win_outright(self):
+        s = self._one_straggler(
+            self._wave({"lookup": [10, 0.9], "lookup.retry": [7, 0.0]})
+        )
+        assert s.cause == "fault-retries"
+        assert s.evidence["lookup.retry.count"][0] == 7
+
+    def test_slow_lookups(self):
+        s = self._one_straggler(
+            self._wave({"lookup": [10, 0.9], "index.fetch": [10, 0.8],
+                        "dfs.read": [1, 0.01]})
+        )
+        # peers have no index.fetch at all -> median 0 -> not a burst
+        assert s.cause == "slow-lookups"
+
+    def test_cache_miss_burst(self):
+        spans = [
+            _task("j", i, "map", 0, slot_track(f"n{i}", "map", 0), 0.0, 0.2,
+                  op_totals={"lookup": [10, 0.05], "index.fetch": [4, 0.04]})
+            for i in range(4)
+        ]
+        spans.append(
+            _task("j", 9, "map", 0, slot_track("n9", "map", 0), 0.0, 1.0,
+                  op_totals={"lookup": [10, 0.9], "index.fetch": [40, 0.85]})
+        )
+        s = self._one_straggler(spans)
+        assert s.cause == "cache-miss-burst"
+        assert s.evidence["index.fetch.count"] == (40.0, 4.0)
+
+    def test_input_skew(self):
+        s = self._one_straggler(
+            self._wave({"lookup": [10, 0.05], "dfs.read": [1, 0.9]})
+        )
+        assert s.cause == "input-skew"
+
+    def test_slow_compute_residual(self):
+        s = self._one_straggler(self._wave({"lookup": [10, 0.05]}))
+        assert s.cause == "slow-compute"
+
+    def test_partition_skew_on_reducers(self):
+        spans = []
+        for i in range(4):
+            spans.append(
+                _task("j", i, "reduce", 0, slot_track(f"n{i}", "reduce", 0),
+                      0.0, 0.2, op_totals={"shuffle.fetch": [8, 0.05]})
+            )
+            spans.append({
+                "name": "shuffle.fetch", "cat": "op",
+                "track": slot_track(f"n{i}", "reduce", 0),
+                "start": 0.0, "dur": 0.05, "depth": DEPTH_OP,
+                "args": {"task": f"j-r{i:04d}", "bytes": 1000.0},
+            })
+        spans.append(
+            _task("j", 9, "reduce", 0, slot_track("n9", "reduce", 0), 0.0, 1.0,
+                  op_totals={"shuffle.fetch": [80, 0.9]})
+        )
+        spans.append({
+            "name": "shuffle.fetch", "cat": "op",
+            "track": slot_track("n9", "reduce", 0),
+            "start": 0.0, "dur": 0.9, "depth": DEPTH_OP,
+            "args": {"task": "j-r0009", "bytes": 9000.0},
+        })
+        (profile,) = phase_profiles(spans)
+        (s,) = profile.stragglers
+        assert s.cause == "partition-skew"
+        assert s.evidence["input.bytes"] == (9000.0, 1000.0)
+        assert profile.input_gini > 0.3
+
+    def test_crashed_attempts_not_profiled_as_tasks(self):
+        spans = self._wave({"lookup": [10, 0.05]})
+        spans.append(
+            _task("j", 5, "map", 0, slot_track("n5", "map", 0), 0.0, 5.0,
+                  name="task.crash")
+        )
+        (profile,) = phase_profiles(spans)
+        assert profile.tasks == 5  # the crash span is excluded
+
+
+class TestRealRun:
+    def test_profiles_cover_every_phase(self, efind_env, tmp_path):
+        obs = Observability()
+        efind_env.runner(obs=obs).run(
+            efind_env.make_job("st-dyn"), mode="dynamic"
+        )
+        obs.export(str(tmp_path), "st-dyn")
+        (artifact,) = load_artifacts(str(tmp_path))
+        profiles = phase_profiles(artifact.spans)
+        kinds = {(p.stage, p.kind) for p in profiles}
+        assert any(k == "map" for _, k in kinds)
+        assert any(k == "reduce" for _, k in kinds)
+        for p in profiles:
+            assert p.tasks == sum(w.tasks for w in p.waves)
+            assert 0.0 <= p.input_gini < 1.0
+        text = "\n".join(render(profiles))
+        assert "wave 0" in text
+
+    def test_deterministic(self, efind_env, tmp_path):
+        results = []
+        for i in range(2):
+            obs = Observability()
+            efind_env.runner(obs=obs).run(
+                efind_env.make_job("st-det"), mode="dynamic"
+            )
+            obs.export(str(tmp_path / str(i)), "st-det")
+            (artifact,) = load_artifacts(str(tmp_path / str(i)))
+            results.append([p.to_dict() for p in phase_profiles(artifact.spans)])
+        assert results[0] == results[1]

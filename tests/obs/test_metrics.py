@@ -81,6 +81,59 @@ class TestHistogram:
         assert DEFAULT_LATENCY_BUCKETS_S[-1] >= 1.0
 
 
+class TestQuantileBoundaries:
+    """Nearest-rank quantile regressions: exact on bucket boundaries,
+    deterministic for n < 2, never answering an empty bucket."""
+
+    def _h(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        return h  # counts [1, 2, 1]
+
+    def test_rank_on_cumulative_boundary_stays_in_bucket(self):
+        h = self._h()
+        # rank 1 is the last observation of bucket 1.0; rank 3 the last
+        # of bucket 2.0 -- neither may spill into the next bucket.
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        # one rank past the boundary moves on
+        assert h.quantile(0.76) == 4.0
+
+    def test_q_zero_is_first_observation_not_first_bucket(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        h.observe(3.0)  # buckets 1.0 and 2.0 stay empty
+        assert h.quantile(0.0) == 4.0
+
+    def test_single_sample_deterministic_for_all_q(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        h.observe(1.5)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert h.quantile(q) == 2.0
+
+    def test_two_samples_split_at_median(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(1.5)
+        assert h.quantile(0.5) == 1.0  # rank ceil(1.0) == 1
+        assert h.quantile(0.51) == 2.0
+
+    def test_float_noise_on_rank_product_is_absorbed(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        for _ in range(7):
+            h.observe(0.5)
+        for _ in range(93):
+            h.observe(1.5)
+        # 0.07 * 100 == 7.000000000000001 in floats; the 7th
+        # observation is still in the first bucket.
+        assert h.quantile(0.07) == 1.0
+
+    def test_overflow_reports_largest_finite_bound(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(10.0)
+        assert h.quantile(1.0) == 2.0
+
+
 class TestAbsorbCounters:
     def test_absorbs_into_prefixed_gauges(self):
         counters = Counters()
