@@ -15,7 +15,12 @@ import sys
 import time
 
 from repro.bench import figures
-from repro.bench.harness import format_batch_table, format_fault_table, format_table
+from repro.bench.harness import (
+    format_batch_table,
+    format_fault_table,
+    format_reuse_table,
+    format_table,
+)
 
 
 def _table_fig12(rows) -> str:
@@ -153,6 +158,25 @@ EXPERIMENTS = {
                     "Batching  batch.* counter totals",
                     rows,
                     modes=figures.BATCH_MODES,
+                ),
+            ]
+        ),
+    ),
+    "reuse-q3": (
+        "cross-job reuse: repeated Q3 against one ReuseStore",
+        figures.run_reuse_q3,
+        lambda rows: "\n\n".join(
+            [
+                format_table(
+                    "Reuse  TPC-H Q3 repeated against one cross-job ReuseStore",
+                    rows,
+                    modes=figures.REUSE_Q3_MODES,
+                    x_label="store state",
+                ),
+                format_reuse_table(
+                    "Reuse  reuse.* counter totals",
+                    rows,
+                    modes=figures.REUSE_Q3_MODES,
                 ),
             ]
         ),

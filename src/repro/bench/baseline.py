@@ -30,6 +30,11 @@ SCHEMA_VERSION = 1
 SUITES: Dict[str, Sequence[Tuple[str, str, Callable[[], List[ExperimentRow]]]]] = {
     "tpch": (
         ("fig11b", "TPC-H Q3 (Figure 11b)", figures.run_fig11b),
+        (
+            "reuse-q3",
+            "TPC-H Q3 repeated against one cross-job ReuseStore",
+            figures.run_reuse_q3,
+        ),
     ),
     "synthetic": (
         (
@@ -47,8 +52,9 @@ def baseline_filename(suite: str) -> str:
 
 def serialize_row(row: ExperimentRow) -> dict:
     """One figure row as comparable JSON: simulated seconds per mode
-    plus the deterministic fault/batch counter groups (empty groups are
-    dropped -- clean runs record no fault counters at all)."""
+    plus the deterministic fault/batch/reuse counter groups (empty
+    groups are dropped -- clean runs record no fault counters at all,
+    and runs without a reuse session record no reuse counters)."""
     out: dict = {
         "label": row.label,
         "times": {mode: row.times[mode] for mode in sorted(row.times)},
@@ -59,6 +65,9 @@ def serialize_row(row: ExperimentRow) -> dict:
     batches = {m: g for m, g in sorted(row.batches.items()) if g}
     if batches:
         out["batches"] = batches
+    reuse = {m: g for m, g in sorted(row.reuse.items()) if g}
+    if reuse:
+        out["reuse"] = reuse
     return out
 
 

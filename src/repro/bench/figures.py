@@ -14,9 +14,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.bench.harness import ExperimentRow, bench_cluster, run_all_modes
+from repro.bench.harness import (
+    ExperimentRow,
+    _equivalent,
+    bench_cluster,
+    run_all_modes,
+)
 from repro.common.sizing import sizeof
 from repro.core.costmodel import Strategy
+from repro.core.reuse import ReuseSession
 from repro.core.runner import EFindRunner
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.simcluster.faults import FaultPlan, RetryPolicy
@@ -387,6 +393,97 @@ def run_fault_recovery() -> List[ExperimentRow]:
                 fault_plan=plan,
             )
         )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Cross-job reuse -- repeated Q3 against one ReuseStore
+# ----------------------------------------------------------------------
+REUSE_Q3_MODES = ("Cache",)
+
+#: Phase labels, in execution order (these are the baseline row labels).
+REUSE_Q3_PHASES = ("disabled", "disabled-2", "cold", "warm", "invalidated")
+
+
+def run_reuse_q3() -> List[ExperimentRow]:
+    """TPC-H Q3 run repeatedly against one cross-job ReuseStore.
+
+    Five phases of the same job (forced Cache strategy, overlapping --
+    here identical -- key sets), one row each:
+
+    * ``disabled`` / ``disabled-2`` -- no reuse session attached. The
+      repeat pins simulation determinism: identical simulated times.
+    * ``cold`` -- a fresh :class:`ReuseSession`. Probes are zero-cost
+      and every lookup misses the empty store, so the time must equal
+      ``disabled`` *exactly* (reuse can never add simulated cost).
+    * ``warm`` -- the same session, now holding the previous run's
+      results: repeated lookups skip their index fetches entirely, so
+      simulated lookup time collapses (the experiment's headline).
+    * ``invalidated`` -- the probed indices are mutated first (a
+      sentinel put+delete bumps their epochs; contents are unchanged),
+      so every store entry is stale: the run must reproduce the
+      ``disabled`` timing exactly while counting the stale drops.
+
+    The job startup overhead is scaled down (x0.1 of the default bench
+    cluster's) so the figure measures lookup time, not the fixed job
+    submission costs that dominate a single small Q3.
+
+    All five phases must produce identical output; the cold/invalidated
+    exact-equality contracts are asserted here (and re-asserted with
+    the warm-speedup floor by ``benchmarks/test_reuse_q3.py``).
+    """
+    cluster = bench_cluster(job_startup=0.05)
+    dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.002))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+    session = ReuseSession()
+
+    def run_phase(label, reuse):
+        def job_factory(name):
+            indexes.reset_accounting()
+            return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+        return run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),
+            modes=REUSE_Q3_MODES,
+            label=label,
+            reuse=reuse,
+        )
+
+    rows = [
+        run_phase("disabled", None),
+        run_phase("disabled-2", None),
+        run_phase("cold", session),
+        run_phase("warm", session),
+    ]
+    # Append-then-delete a sentinel in every dimension index: contents
+    # (and fingerprints) end unchanged, but the epoch bumps invalidate
+    # every entry the warm store holds.
+    for store in indexes.stores():
+        store.put(-1, ("reuse-invalidation-sentinel",))
+        store.delete(-1)
+    rows.append(run_phase("invalidated", session))
+
+    by_label = {row.label: row for row in rows}
+    disabled = by_label["disabled"].times["Cache"]
+    for label in ("disabled-2", "cold", "invalidated"):
+        if by_label[label].times["Cache"] != disabled:
+            raise AssertionError(
+                f"reuse-q3 {label!r} changed the simulated time "
+                f"({by_label[label].times['Cache']!r} != {disabled!r}); "
+                f"reuse must never add simulated cost"
+            )
+    reference = sorted(by_label["disabled"].details["Cache"].output, key=repr)
+    for row in rows[1:]:
+        output = sorted(row.details["Cache"].output, key=repr)
+        if not _equivalent(output, reference):
+            raise AssertionError(
+                f"reuse-q3 {row.label!r} produced different output"
+            )
     return rows
 
 

@@ -74,6 +74,9 @@ class ExperimentRow:
     batches: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant ``batch.*`` counter totals, with the derived
     ``mean_fill`` (empty on unbatched runs)."""
+    reuse: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``reuse.*`` counter totals (empty when no reuse
+    session is attached)."""
     trace_wall: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant wall-clock seconds of the untraced (``off``) and
     traced (``on``) executions plus the derived ``overhead`` delta.
@@ -99,6 +102,7 @@ def run_all_modes(
     forced_boundary: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
     batch_size: int = 1,
+    reuse=None,
 ) -> ExperimentRow:
     """Run the requested variants and return their simulated times.
 
@@ -109,7 +113,12 @@ def run_all_modes(
     variant (the paper fixes 1024 entries; scaled-down experiments may
     scale it with their key domains). ``fault_plan`` (optional) runs
     every variant under the same injected faults; the per-variant
-    ``fault.*`` counter totals land in ``row.faults``.
+    ``fault.*`` counter totals land in ``row.faults``. ``reuse``
+    (optional) is a :class:`repro.core.reuse.ReuseSession` or
+    :class:`~repro.core.reuse.ReuseStore` shared by every variant's
+    runners, so lookup results persist across the jobs of one
+    experiment; per-variant ``reuse.*`` counter totals land in
+    ``row.reuse``.
 
     When a trace directory is set (``repro.obs.config.set_trace_dir``,
     i.e. ``python -m repro.bench --trace <dir>``), every variant runs
@@ -122,11 +131,13 @@ def run_all_modes(
     trace directory, and the wall-clock delta lands in
     ``row.trace_wall``.
     """
+    from repro.core.reuse import reuse_store_of
     from repro.obs.config import get_trace_dir
 
     row = ExperimentRow(label=label)
     reference: Optional[list] = None
     trace_dir = get_trace_dir()
+    reuse_store = reuse_store_of(reuse)
 
     def execute(mode: str, obs=None) -> EFindJobResult:
         """Run one variant on fresh runners (operators and catalogs are
@@ -141,6 +152,7 @@ def run_all_modes(
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                reuse=reuse_store,
                 obs=obs,
             )
             profiler.run(
@@ -155,6 +167,7 @@ def run_all_modes(
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                reuse=reuse_store,
                 obs=obs,
             )
             return runner.run(job, mode="static")
@@ -165,6 +178,7 @@ def run_all_modes(
                 cache_capacity=cache_capacity,
                 fault_plan=fault_plan,
                 batch_size=batch_size,
+                reuse=reuse_store,
                 obs=obs,
             )
             return runner.run(job, mode="dynamic")
@@ -174,6 +188,7 @@ def run_all_modes(
             cache_capacity=cache_capacity,
             fault_plan=fault_plan,
             batch_size=batch_size,
+            reuse=reuse_store,
             obs=obs,
         )
         strategy = {
@@ -195,6 +210,11 @@ def run_all_modes(
     for mode in modes:
         if mode in skip:
             continue
+        # The reuse store is shared, persistent state: a traced re-run
+        # must replay against the store the untraced run started from,
+        # or its reuse.* counters (and hence the observer-effect
+        # assertion) would diverge.
+        pre_snap = reuse_store.snapshot() if reuse_store is not None else None
         started = time.perf_counter()
         result = execute(mode)
         wall_off = time.perf_counter() - started
@@ -202,8 +222,17 @@ def run_all_modes(
         row.details[mode] = result
         row.faults[mode] = result.counters.group("fault")
         row.batches[mode] = batch_totals(result.counters)
+        row.reuse[mode] = result.counters.group("reuse")
         if trace_dir is not None:
+            if reuse_store is not None:
+                post_snap = reuse_store.snapshot()
+                reuse_store.restore(pre_snap)
             _traced_rerun(row, mode, execute, result, wall_off, trace_dir, label)
+            if reuse_store is not None:
+                # The deterministic replay leaves the store in the same
+                # state; restoring the recorded post-state makes that an
+                # invariant rather than an assumption.
+                reuse_store.restore(post_snap)
         if verify_outputs:
             output = sorted(result.output, key=repr)
             if reference is None:
@@ -347,6 +376,44 @@ def format_batch_table(
             cells = " | ".join(
                 f"{counters.get(n, 0.0):{w}.4g}"
                 for n, w in zip(BATCH_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+REUSE_COUNTER_NAMES = (
+    "probes",
+    "hits",
+    "misses",
+    "stale_drops",
+    "admitted",
+    "rejected",
+    "evicted",
+)
+
+
+def format_reuse_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``reuse.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(r.reuse.get(m) for r in rows)]
+    widths = [max(8, len(n)) for n in REUSE_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(REUSE_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if not row.reuse.get(mode):
+                continue
+            counters = row.reuse[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}g}"
+                for n, w in zip(REUSE_COUNTER_NAMES, widths)
             )
             lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
     lines.append("-" * len(header))

@@ -83,8 +83,18 @@ def evaluate_replan(
     cache_capacity: int = 1024,
     audit=None,
     now: float = 0.0,
+    reuse=None,
+    num_hosts: int = 1,
 ) -> Optional[ReplanDecision]:
     """Algorithm 1: return a better plan, or None to keep running.
+
+    ``reuse`` (a :class:`repro.core.reuse.ReuseStore`, optional) seeds
+    each index's reuse-hit prior from warm-store occupancy: instead of
+    the pessimistic "no cross-job hits" default, the planner prices the
+    fetch terms of Equations 1-4 down by the fraction of the key set
+    the store already holds (``num_hosts`` normalises per-host
+    occupancy). The seed only fills in when the run has not yet probed
+    the store itself; observed hit ratios always win.
 
     ``scale`` extrapolates the sampled input volume to the *remaining*
     work (remaining tasks / sampled tasks): a plan change only pays off
@@ -162,11 +172,16 @@ def evaluate_replan(
     for op_id in stable_ids:
         stats = registry[op_id].aggregate()
         stats.n1 *= max(0.0, scale)
-        for idx in stats.per_index.values():
+        op = iconf.operator_by_id(op_id)
+        for j, idx in stats.per_index.items():
             # The whole-job key volume changes the compulsory-miss bound.
             idx.miss_ratio = idx.capacity_bounded_miss_ratio(
                 stats.n1, cache_capacity
             )
+            if reuse is not None and j < len(op.accessors):
+                idx.reuse_seed = reuse.seeded_hit_ratio(
+                    op.accessors[j], idx.distinct, num_hosts
+                )
         fresh[op_id] = stats
 
     current_cost = 0.0

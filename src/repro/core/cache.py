@@ -71,9 +71,18 @@ class ShadowCache:
     lookup cache that does not cache lookup results").
 
     The paper samples "significantly long (e.g., 100x of the cache size)
-    sequences of lookups" so cold-start misses do not dominate; here the
-    first ``warmup`` probes are excluded from the estimate
-    (:attr:`warmed` tells callers whether the estimate is live yet).
+    sequences of lookups" so cold-start misses do not dominate; here
+    exactly the first ``warmup`` probes are excluded from the estimate
+    (:attr:`warmed` tells callers whether the estimate is live yet):
+    probe number ``warmup + 1`` is the first one counted. The boundary
+    cases are deliberate --
+
+    * ``warmup=0`` counts from the very first probe, *including* that
+      probe's compulsory miss (useful when the caller wants the raw
+      unfiltered ratio);
+    * ``warmup=1`` excludes only the first probe, so a two-probe stream
+      over one key estimates R = 0.
+
     The default warm-up is a fraction of the capacity: long enough to
     damp cold-start bias on recurrence patterns, short enough that
     adjacency hits (which need no warm-up at all) are still observed in
@@ -107,6 +116,12 @@ class ShadowCache:
 
     @property
     def warmed(self) -> bool:
+        """True once the current probe is past the warm-up window.
+
+        Evaluated *after* :meth:`probe` increments the access count, so
+        with ``warmup=N`` probes 1..N are excluded and probe N+1 is the
+        first counted; ``warmup=0`` therefore counts every probe.
+        """
         return self._seen > self._warmup
 
     @property

@@ -103,10 +103,17 @@ class _SmapMeter:
 
 
 class _StageBuilder:
-    def __init__(self, iconf: IndexJobConf, cluster: Cluster, batch_size: int = 1):
+    def __init__(
+        self,
+        iconf: IndexJobConf,
+        cluster: Cluster,
+        batch_size: int = 1,
+        reuse=None,
+    ):
         self.iconf = iconf
         self.cluster = cluster
         self.batch_size = max(1, int(batch_size))
+        self.reuse = reuse
         self.stages: List[StageSpec] = []
         self.shuffle_parallelism = max(
             cluster.num_nodes, min(32, cluster.total_reduce_slots)
@@ -194,6 +201,7 @@ class _StageBuilder:
                         cache_capacity=cache_capacity,
                         record_sidx=is_last,
                         batch_size=self.batch_size,
+                        reuse=self.reuse,
                     )
                 )
         if not post_emitted:
@@ -241,6 +249,7 @@ class _StageBuilder:
                     assume_local=True,
                     record_sidx=is_last,
                     batch_size=self.batch_size,
+                    reuse=self.reuse,
                 )
             )
             return False
@@ -260,18 +269,21 @@ class _StageBuilder:
                     dedup_adjacent=True,
                     record_sidx=is_last,
                     batch_size=self.batch_size,
+                    reuse=self.reuse,
                 )
             )
             return False
         if boundary == "idx":
             self.reducer = GroupLookupReducer(
-                op, op_id, j, stats_acc, batch_size=self.batch_size
+                op, op_id, j, stats_acc, batch_size=self.batch_size,
+                reuse=self.reuse,
             )
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
             return False
         if boundary == "post":
             self.reducer = GroupLookupReducer(
-                op, op_id, j, stats_acc, batch_size=self.batch_size
+                op, op_id, j, stats_acc, batch_size=self.batch_size,
+                reuse=self.reuse,
             )
             self.reduce_post.append(PostProcessFn(op, op_id, stats_acc))
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
@@ -319,16 +331,21 @@ def compile_plan(
     boundary_override: Optional[str] = None,
     start_at: str = "head",
     batch_size: int = 1,
+    reuse=None,
 ) -> List[StageSpec]:
     """Compile ``iconf`` under ``plan`` into physical stages.
 
     ``start_at='reduce'`` compiles only the reduce step plus the tail
     operators -- used when resuming an aborted job mid-reduce (the map
     side is already done and its outputs are fed in directly).
+
+    ``reuse`` (a :class:`repro.core.reuse.ReuseStore`, optional) is
+    threaded into every lookup stage so results persist across the jobs
+    compiled against the same store.
     """
     stats_registry = stats_registry or {}
     op_stats = op_stats or {}
-    builder = _StageBuilder(iconf, cluster, batch_size=batch_size)
+    builder = _StageBuilder(iconf, cluster, batch_size=batch_size, reuse=reuse)
 
     placed = iconf.placed_operators()
 

@@ -76,8 +76,15 @@ def cost_baseline(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
     runtime has observed batched lookups they amortise the fixed
     multiget overhead (``C_req``) and the round trip over the mean
     batch fill; otherwise they are the plain sampled values.
+
+    With a cross-job ReuseStore attached the fetch term gains a reuse
+    survival factor ``(1 - R_reuse)``: the fraction of keys whose
+    results the warm store already holds never reach the index. With no
+    store (or a cold one) the factor is 1 and the equation reduces to
+    the paper's exactly; reuse probes themselves are free (see
+    ``core/reuse.py``), so there is no additive probe term.
     """
-    return op.n1 * idx.nik * (
+    return op.n1 * idx.nik * idx.reuse_survival() * (
         (idx.sik + idx.siv) / env.lookup_bw
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
@@ -88,8 +95,13 @@ def cost_cache(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
     """Equation 2: every key pays a probe; misses pay the full lookup.
 
     ``Cost_cache = N1 * Nik_j * (T_cache + R * ((Sik_j + Siv_j)/BW + T_j))``
+
+    The reuse survival factor applies *inside* the miss product: only
+    LRU misses probe the ReuseStore, and of those only the surviving
+    fraction pays the fetch. The probe itself stays ``T_cache`` -- the
+    free reuse probe adds nothing.
     """
-    per_key = env.t_cache + idx.miss_ratio * (
+    per_key = env.t_cache + idx.miss_ratio * idx.reuse_survival() * (
         (idx.sik + idx.siv) / env.lookup_bw
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
@@ -143,8 +155,12 @@ def cost_repart(
     """Equation 3: shuffle + materialisation + deduplicated lookups.
 
     ``Cost_lookup = (N1 * Nik_j / Theta) * ((Sik_j + Siv_j)/BW + T_j)``
+
+    Only the per-distinct-key lookup term gains the reuse survival
+    factor; the shuffle and materialisation terms move records whether
+    or not the store answers their lookups.
     """
-    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * (
+    lookup = (op.n1 * idx.nik * idx.reuse_survival() / max(1.0, idx.theta)) * (
         (idx.sik + idx.siv) / env.lookup_bw
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
@@ -167,10 +183,13 @@ def cost_idxloc(
     """Equation 4: lookups become local; the input is shipped instead.
 
     ``Cost_lookup = (N1 * Nik_j / Theta) * T_j + N1 * Spre / BW``
+
+    As in Equation 3, only the local-lookup term shrinks by the reuse
+    survival factor; the input still ships to the index partitions.
     """
-    lookup = (op.n1 * idx.nik / max(1.0, idx.theta)) * idx.effective_tj() + op.n1 * (
-        op.spre + carried_bytes
-    ) / env.bw
+    lookup = (
+        op.n1 * idx.nik * idx.reuse_survival() / max(1.0, idx.theta)
+    ) * idx.effective_tj() + op.n1 * (op.spre + carried_bytes) / env.bw
     return (
         env.extra_job_overhead
         + cost_shuffle(env, op, carried_bytes)

@@ -1,0 +1,405 @@
+"""Cross-job lookup-result reuse (the ReuseStore).
+
+The paper's lookup cache (Section 3.2) and the shadow-cache R estimate
+(Section 4.2) only exploit locality *within* one job: every new job
+starts with cold node-local LRUs even when it re-reads the same index
+with an overlapping key set. ReStore-style sub-result reuse shows that
+materialising results across jobs yields large end-to-end wins, and the
+zero-overhead adaptive-indexing line shows such state can be maintained
+as a side effect of normal execution. The ReuseStore applies both ideas
+to EFind's hot path: every *fetched* lookup result is admitted to a
+per-host store that outlives the job, and later jobs probe it after
+their node-local cache tier misses.
+
+Correctness contract (versioned invalidation). A lookup is only
+idempotent *within* a job (Section 3.2's assumption); across jobs the
+index may have been mutated. Every mutable index bumps an **epoch** on
+writes (``DistributedKVStore.put/put_unique/delete``,
+``DynamicComputedIndex.replace_compute``), and every entry records the
+``(epoch, fingerprint)`` of its index at admission time. A probe whose
+recorded version differs from the live index's is a *stale drop*: the
+entry is discarded and the probe misses, so a stale value is never
+served. The fingerprint is a second, content-derived line of defence
+that also catches out-of-band mutation of index backing state.
+
+Timing contract. Reuse probes charge **zero simulated time**: the store
+is an in-memory sibling of the node-local LRU, and its probe cost is
+folded into the same per-key overhead the ``T_cache`` term already
+models. This makes the guarantee exact: with a cold (or invalidated)
+store, an enabled run charges precisely the same simulated time as a
+disabled run -- reuse can only remove fetches, never add cost.
+
+Policies. Admission is ``"always"`` or ``"cost-aware"`` (only admit
+results whose refetch cost -- the recorded ``T_j``, or the amortised
+``C_req/B + C_key`` of a multiget -- clears a floor: cheap lookups are
+not worth the slots). Eviction is ``"lru"`` or ``"freq"``
+(least-frequently-used, admission order as the tiebreak).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+ADMIT_ALWAYS = "always"
+ADMIT_COST_AWARE = "cost-aware"
+EVICT_LRU = "lru"
+EVICT_FREQ = "freq"
+
+
+@dataclass(frozen=True)
+class ReusePolicy:
+    """Admission + eviction configuration of a :class:`ReuseStore`.
+
+    ``capacity_per_host`` bounds each host's sub-store (the cross-job
+    analogue of the 1024-entry node-local cache, defaulting to 4x it).
+    ``min_admit_cost`` is the cost-aware admission floor in simulated
+    seconds: a result is only admitted when refetching it would cost at
+    least this much (ignored under ``"always"`` admission).
+    """
+
+    admission: str = ADMIT_ALWAYS
+    eviction: str = EVICT_LRU
+    capacity_per_host: int = 4096
+    min_admit_cost: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.admission not in (ADMIT_ALWAYS, ADMIT_COST_AWARE):
+            raise ValueError(f"unknown admission policy {self.admission!r}")
+        if self.eviction not in (EVICT_LRU, EVICT_FREQ):
+            raise ValueError(f"unknown eviction policy {self.eviction!r}")
+        if self.capacity_per_host < 1:
+            raise ValueError("reuse capacity must be >= 1")
+        if self.min_admit_cost < 0:
+            raise ValueError("admission cost floor cannot be negative")
+
+
+@dataclass
+class _Entry:
+    """One persisted lookup result."""
+
+    values: Tuple[Any, ...]
+    epoch: int
+    fingerprint: int
+    cost: float  # refetch cost estimate at admission (seconds)
+    freq: int = 1  # probe hits + the admission itself
+    seq: int = 0  # admission sequence (freq-eviction tiebreak)
+
+
+@dataclass
+class ReuseCounts:
+    """Store-lifetime totals (the ``reuse.*`` job counters are the
+    per-run view; these survive across jobs with the store)."""
+
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    stale_drops: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_drops": self.stale_drops,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+        }
+
+
+def _index_version(accessor) -> Tuple[int, int]:
+    """The live ``(epoch, fingerprint)`` of an accessor's index."""
+    index = accessor.index
+    return (getattr(index, "epoch", 0), index.fingerprint())
+
+
+class ReuseStore:
+    """Cluster-wide, per-host store of lookup results that outlives jobs.
+
+    Entries are keyed ``(index signature, lookup key)`` within each
+    host's sub-store, mirroring the node-local cache topology: a host
+    only ever reuses results it fetched itself, so no simulated network
+    transfer is elided that was ever paid for.
+    """
+
+    def __init__(self, policy: Optional[ReusePolicy] = None):
+        self.policy = policy or ReusePolicy()
+        self._hosts: Dict[str, "OrderedDict[Tuple[str, Hashable], _Entry]"] = {}
+        self._seq = 0
+        self.counts = ReuseCounts()
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def probe(
+        self, host: str, accessor, ik: Hashable
+    ) -> Tuple[bool, Optional[Tuple[Any, ...]], bool]:
+        """Probe ``host``'s sub-store; returns ``(hit, values, stale)``.
+
+        A stale entry (its recorded index version no longer matches the
+        live one) is dropped and reported as a miss with ``stale``
+        True; callers count it but must fetch as if it never existed.
+        """
+        self.counts.probes += 1
+        store = self._hosts.get(host)
+        key = (accessor.signature(), ik)
+        entry = store.get(key) if store is not None else None
+        if entry is None:
+            self.counts.misses += 1
+            return False, None, False
+        if (entry.epoch, entry.fingerprint) != _index_version(accessor):
+            del store[key]
+            self.counts.stale_drops += 1
+            self.counts.misses += 1
+            return False, None, True
+        entry.freq += 1
+        if self.policy.eviction == EVICT_LRU:
+            store.move_to_end(key)
+        self.counts.hits += 1
+        return True, entry.values, False
+
+    def note_deferred_hit(self) -> None:
+        """Count a probe known to hit without consulting the store.
+
+        The batched lookup path uses this for a key already pending in
+        the current batch: the equivalent unbatched stream would have
+        fetched, admitted, and then hit that key by now, so the deferred
+        hit keeps batched and unbatched ``reuse.*`` counters identical
+        (exactly true under ``"always"`` admission; cost-aware rejection
+        makes the unbatched stream refetch instead, a divergence batching
+        inherently cannot see).
+        """
+        self.counts.probes += 1
+        self.counts.hits += 1
+
+    def admit(
+        self,
+        host: str,
+        accessor,
+        ik: Hashable,
+        values: Tuple[Any, ...],
+        cost: float,
+    ) -> Tuple[bool, int]:
+        """Offer one fetched result; returns ``(admitted, evictions)``.
+
+        ``cost`` is the refetch-cost estimate the cost-aware policy
+        gates on: the sampled ``T_j`` for single lookups, the amortised
+        ``C_req/B + C_key`` for keys fetched by a multiget.
+        """
+        if self.policy.admission == ADMIT_COST_AWARE and cost < self.policy.min_admit_cost:
+            self.counts.rejected += 1
+            return False, 0
+        store = self._hosts.setdefault(host, OrderedDict())
+        key = (accessor.signature(), ik)
+        epoch, fingerprint = _index_version(accessor)
+        self._seq += 1
+        old = store.pop(key, None)
+        entry = _Entry(
+            values=tuple(values),
+            epoch=epoch,
+            fingerprint=fingerprint,
+            cost=cost,
+            freq=old.freq + 1 if old is not None else 1,
+            seq=self._seq,
+        )
+        # Make room BEFORE inserting so the victim is always a resident
+        # entry -- under freq eviction the newcomer (freq 1) would
+        # otherwise evict itself, turning admission into a no-op.
+        evictions = 0
+        while len(store) >= self.policy.capacity_per_host:
+            self._evict_one(store)
+            evictions += 1
+        store[key] = entry
+        self.counts.admitted += 1
+        self.counts.evicted += evictions
+        return True, evictions
+
+    def _evict_one(self, store: "OrderedDict[Tuple[str, Hashable], _Entry]") -> None:
+        if self.policy.eviction == EVICT_FREQ:
+            victim = min(store, key=lambda k: (store[k].freq, store[k].seq))
+            del store[victim]
+        else:
+            store.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Planner-facing occupancy
+    # ------------------------------------------------------------------
+    def live_entries(self, accessor, host: Optional[str] = None) -> int:
+        """Count non-stale entries for one index (one host, or all)."""
+        version = _index_version(accessor)
+        signature = accessor.signature()
+        stores = (
+            [self._hosts[host]]
+            if host is not None and host in self._hosts
+            else list(self._hosts.values())
+        )
+        return sum(
+            1
+            for store in stores
+            for (sig, _), entry in store.items()
+            if sig == signature and (entry.epoch, entry.fingerprint) == version
+        )
+
+    def seeded_hit_ratio(
+        self, accessor, distinct: float, num_hosts: int
+    ) -> float:
+        """Warm-store occupancy as a hit-ratio prior for the planner.
+
+        Each host can only hit keys it holds, so the cluster-wide prior
+        is the mean over hosts of ``min(1, live / distinct)`` -- with
+        ``distinct`` the FM-estimated distinct key count the job will
+        probe. Zero when the store is cold or the estimate is missing,
+        which reduces the cost model to its pre-reuse form.
+        """
+        if distinct <= 0 or num_hosts <= 0:
+            return 0.0
+        version = _index_version(accessor)
+        signature = accessor.signature()
+        total = 0.0
+        for store in self._hosts.values():
+            live = sum(
+                1
+                for (sig, _), entry in store.items()
+                if sig == signature
+                and (entry.epoch, entry.fingerprint) == version
+            )
+            total += min(1.0, live / distinct)
+        return total / num_hosts
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, accessor=None) -> int:
+        """Drop every entry (or only one index's); returns drop count."""
+        dropped = 0
+        if accessor is None:
+            dropped = len(self)
+            self._hosts.clear()
+            return dropped
+        signature = accessor.signature()
+        for store in self._hosts.values():
+            victims = [k for k in store if k[0] == signature]
+            for k in victims:
+                del store[k]
+            dropped += len(victims)
+        return dropped
+
+    def purge_stale(self, accessor) -> int:
+        """Eagerly drop one index's stale entries (probes drop them
+        lazily anyway; this reclaims slots up front after a known
+        mutation). Returns the drop count."""
+        version = _index_version(accessor)
+        signature = accessor.signature()
+        dropped = 0
+        for store in self._hosts.values():
+            victims = [
+                k
+                for k, entry in store.items()
+                if k[0] == signature
+                and (entry.epoch, entry.fingerprint) != version
+            ]
+            for k in victims:
+                del store[k]
+            dropped += len(victims)
+        self.counts.stale_drops += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # State capture (the traced bench re-run must replay against the
+    # same store state the untraced run saw)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A deep copy of the store's mutable state."""
+        return {
+            "hosts": {
+                host: OrderedDict(
+                    (key, _Entry(
+                        values=entry.values,
+                        epoch=entry.epoch,
+                        fingerprint=entry.fingerprint,
+                        cost=entry.cost,
+                        freq=entry.freq,
+                        seq=entry.seq,
+                    ))
+                    for key, entry in store.items()
+                )
+                for host, store in self._hosts.items()
+            },
+            "seq": self._seq,
+            "counts": ReuseCounts(**self.counts.to_dict()),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` (same deep-copy discipline, so
+        the snapshot stays reusable)."""
+        self._hosts = {
+            host: OrderedDict(
+                (key, _Entry(
+                    values=entry.values,
+                    epoch=entry.epoch,
+                    fingerprint=entry.fingerprint,
+                    cost=entry.cost,
+                    freq=entry.freq,
+                    seq=entry.seq,
+                ))
+                for key, entry in store.items()
+            )
+            for host, store in state["hosts"].items()
+        }
+        self._seq = state["seq"]
+        self.counts = ReuseCounts(**state["counts"].to_dict())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._hosts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReuseStore({self.policy.admission}/{self.policy.eviction}, "
+            f"{len(self)} entries on {len(self._hosts)} hosts)"
+        )
+
+
+@dataclass
+class ReuseSession:
+    """The handle a driver threads through runners and benches.
+
+    One session = one logical store lifetime spanning any number of
+    jobs. The indirection keeps the runner API stable if sessions later
+    grow scoping (per-user stores, TTLs) without touching the strategy
+    layer, which only ever sees the :class:`ReuseStore`.
+    """
+
+    policy: Optional[ReusePolicy] = None
+    store: ReuseStore = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.store = ReuseStore(self.policy)
+
+    @property
+    def counts(self) -> ReuseCounts:
+        return self.store.counts
+
+    def snapshot(self) -> dict:
+        return self.store.snapshot()
+
+    def restore(self, state: dict) -> None:
+        self.store.restore(state)
+
+    def invalidate(self, accessor=None) -> int:
+        return self.store.invalidate(accessor)
+
+
+def reuse_store_of(handle) -> Optional[ReuseStore]:
+    """Normalise a runner-facing handle (a :class:`ReuseSession`, a raw
+    :class:`ReuseStore`, or None) to the store the strategy layer uses."""
+    if handle is None:
+        return None
+    if isinstance(handle, ReuseSession):
+        return handle.store
+    return handle

@@ -24,6 +24,7 @@ from repro.core.costmodel import CostEnv, Strategy
 from repro.core.ejobconf import IndexJobConf
 from repro.core.optimizer import baseline_plan, forced_plan, optimize_operator
 from repro.core.plan import AccessPlan, OperatorPlan
+from repro.core.reuse import reuse_store_of
 from repro.core.statistics import (
     OperatorStats,
     OperatorStatsAccumulator,
@@ -105,11 +106,16 @@ class EFindRunner:
         fault_plan: Optional["FaultPlan"] = None,
         batch_size: int = 1,
         obs=None,
+        reuse=None,
     ):
         self.cluster = cluster
         self.dfs = dfs
         self.fault_plan = fault_plan
         self.batch_size = max(1, int(batch_size))
+        # Cross-job lookup-result reuse: a ReuseSession (or bare
+        # ReuseStore) whose state outlives each job this runner runs.
+        self.reuse = reuse
+        self._reuse_store = reuse_store_of(reuse)
         # repro.obs.Observability (or None): tracing + metrics + the
         # adaptive audit log. Purely passive -- simulated results are
         # identical with or without it.
@@ -287,6 +293,7 @@ class EFindRunner:
             self.cache_capacity,
             boundary_override,
             batch_size=self.batch_size,
+            reuse=self._reuse_store,
         )
         self._assign_paths(iconf, stages, tag="a")
         stages[0].conf.input_paths = list(iconf.input_paths)
@@ -309,6 +316,7 @@ class EFindRunner:
                 scale=(total_tasks - len(runs)) / max(1, len(runs)),
                 cache_capacity=self.cache_capacity,
                 audit=audit, now=max(r.end for r in runs),
+                reuse=self._reuse_store, num_hosts=self.cluster.num_nodes,
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "map"
@@ -322,6 +330,7 @@ class EFindRunner:
                 scale=(total_tasks - len(runs)) / max(1, len(runs)),
                 cache_capacity=self.cache_capacity,
                 audit=audit, now=max(r.end for r in runs),
+                reuse=self._reuse_store, num_hosts=self.cluster.num_nodes,
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "reduce"
@@ -357,6 +366,7 @@ class EFindRunner:
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
             self.cache_capacity, batch_size=self.batch_size,
+            reuse=self._reuse_store,
         )
         self._assign_paths(iconf, stages, tag="b")
 
@@ -405,6 +415,7 @@ class EFindRunner:
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
             self.cache_capacity, start_at="reduce", batch_size=self.batch_size,
+            reuse=self._reuse_store,
         )
         self._assign_paths(iconf, stages, tag="c")
 

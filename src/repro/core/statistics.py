@@ -104,6 +104,8 @@ class TaskSample:
     batch_keys: Dict[int, int] = field(default_factory=dict)
     c_req_total: Dict[int, float] = field(default_factory=dict)
     c_key_total: Dict[int, float] = field(default_factory=dict)
+    reuse_probes: Dict[int, int] = field(default_factory=dict)
+    reuse_hits: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -123,6 +125,9 @@ class IndexStats:
     c_key: float = 0.0  # sampled per-key marginal multiget cost
     batch_fill: float = 1.0  # observed mean keys per multiget
     batches_observed: int = 0
+    reuse_hit_ratio: float = 0.0  # observed cross-job reuse-hit fraction
+    reuse_seed: float = 0.0  # planner prior from warm-store occupancy
+    reuse_probes_observed: int = 0
 
     def effective_tj(self) -> float:
         """Per-lookup service time the cost model should charge.
@@ -143,6 +148,22 @@ class IndexStats:
         if self.batches_observed <= 0 or self.batch_fill <= 0:
             return latency
         return latency / self.batch_fill
+
+    def reuse_hit_fraction(self) -> float:
+        """The reuse-hit term of Equations 1-4: the observed hit ratio
+        once this run has probed the store, else the occupancy-seeded
+        prior (``reuse_seed``) the planner derived from the warm store.
+        Zero -- no reuse effect -- when neither is available."""
+        if self.reuse_probes_observed > 0:
+            return min(1.0, max(0.0, self.reuse_hit_ratio))
+        return min(1.0, max(0.0, self.reuse_seed))
+
+    def reuse_survival(self) -> float:
+        """Fraction of would-be fetches that still reach the index
+        (1 with no reuse store; the cost model multiplies its fetch
+        terms by this, leaving the pre-reuse formulas intact when the
+        store is absent or cold)."""
+        return max(0.0, 1.0 - self.reuse_hit_fraction())
 
     def capacity_bounded_miss_ratio(
         self, n1: float, cache_capacity: int
@@ -283,6 +304,11 @@ class OperatorStatsAccumulator:
             if probes:
                 misses = sum(s.cache_misses.get(j, 0) for s in self.samples)
                 idx.miss_ratio = misses / probes
+            reuse_probes = sum(s.reuse_probes.get(j, 0) for s in self.samples)
+            idx.reuse_probes_observed = reuse_probes
+            if reuse_probes:
+                reuse_hits = sum(s.reuse_hits.get(j, 0) for s in self.samples)
+                idx.reuse_hit_ratio = reuse_hits / reuse_probes
             if total_keys:
                 distinct = max(1.0, self.fm[j].estimate())
                 idx.distinct = distinct
@@ -413,6 +439,9 @@ class StatisticsCatalog:
                         "c_key": idx.c_key,
                         "batch_fill": idx.batch_fill,
                         "batches_observed": idx.batches_observed,
+                        "reuse_hit_ratio": idx.reuse_hit_ratio,
+                        "reuse_seed": idx.reuse_seed,
+                        "reuse_probes_observed": idx.reuse_probes_observed,
                     }
                     for j, idx in stats.per_index.items()
                 },

@@ -15,6 +15,13 @@ Lookup charging. A lookup from a node hosting the key's index partition
 costs ``T_j``; from anywhere else it additionally pays the network
 transfer ``(Sik + Siv)/BW``. Cache-strategy lookups pay a ``T_cache``
 probe first and the full cost only on a miss.
+
+Cache hierarchy. Within a task the dedup memo is probed first, then the
+node-local LRU (cache strategy only), then -- when a
+:class:`repro.core.reuse.ReuseStore` is attached -- the cross-job reuse
+tier, and only then the index itself. Reuse probes charge zero
+simulated time, so a cold store leaves every charge identical to a run
+without one.
 """
 
 from __future__ import annotations
@@ -98,7 +105,104 @@ class PreProcessFn(ChainedFunction):
         return f"pre[{self.operator_id}]"
 
 
-class LookupFn(ChainedFunction):
+class _ReuseTier:
+    """Shared cross-job ReuseStore plumbing for the lookup stages.
+
+    Host classes set ``self.reuse`` (a
+    :class:`repro.core.reuse.ReuseStore` or None) and provide
+    ``self.accessor``, ``self.index_id``, ``self.stats``, and
+    ``self._fetch``. Probes charge **zero** simulated time: with a cold
+    or invalidated store the enabled path charges exactly what the
+    disabled path does, so reuse can only elide fetches, never add cost.
+    """
+
+    reuse = None
+
+    def _reuse_probe(self, ik, ctx):
+        """Probe the cross-job store; the values tuple on a hit, else
+        None (misses and stale drops both fetch)."""
+        if self.reuse is None:
+            return None
+        hit, values, stale = self.reuse.probe(ctx.node.hostname, self.accessor, ik)
+        ctx.counters.increment("reuse", "probes")
+        if stale:
+            ctx.counters.increment("reuse", "stale_drops")
+        ctx.counters.increment("reuse", "hits" if hit else "misses")
+        self._record_reuse_stats(ctx, hit)
+        if ctx.trace is not None:
+            ctx.trace.charged_instant(
+                "reuse.probe",
+                "cache",
+                ctx.charged_time,
+                DEPTH_DETAIL,
+                hit=hit,
+                index=self.index_id,
+            )
+        return values if hit else None
+
+    def _reuse_pending_hit(self, ctx):
+        """Batched-path parity shim: a key already pending in this batch
+        would, on the unbatched path, have been fetched and admitted by
+        now -- its reuse probe would hit. Record that deferred hit so
+        batched and unbatched ``reuse.*`` counters agree."""
+        if self.reuse is None:
+            return
+        self.reuse.note_deferred_hit()
+        ctx.counters.increment("reuse", "probes")
+        ctx.counters.increment("reuse", "hits")
+        self._record_reuse_stats(ctx, True)
+        if ctx.trace is not None:
+            ctx.trace.charged_instant(
+                "reuse.probe",
+                "cache",
+                ctx.charged_time,
+                DEPTH_DETAIL,
+                hit=True,
+                index=self.index_id,
+                pending=True,
+            )
+
+    def _reuse_admit(self, ik, ctx, values, cost):
+        if self.reuse is None:
+            return
+        admitted, evicted = self.reuse.admit(
+            ctx.node.hostname, self.accessor, ik, tuple(values), cost
+        )
+        ctx.counters.increment("reuse", "admitted" if admitted else "rejected")
+        if evicted:
+            ctx.counters.increment("reuse", "evicted", evicted)
+
+    def _reuse_admit_cost(self, batched_keys: int = 0) -> float:
+        """Refetch-cost estimate the cost-aware admission gates on:
+        ``T_j`` for single lookups, the amortised ``C_req/B + C_key``
+        for a key fetched by a multiget of B keys."""
+        if batched_keys and self.accessor.supports_batch:
+            return (
+                self.accessor.batch_request_overhead() / batched_keys
+                + self.accessor.batch_key_time()
+            )
+        return self.accessor.service_time()
+
+    def _reuse_or_fetch(self, ik, ctx) -> List[Any]:
+        """The unbatched fetch path with the reuse tier in front."""
+        values = self._reuse_probe(ik, ctx)
+        if values is not None:
+            return list(values)
+        values = self._fetch(ik, ctx)
+        self._reuse_admit(ik, ctx, values, self._reuse_admit_cost())
+        return values
+
+    def _record_reuse_stats(self, ctx, hit: bool) -> None:
+        if self.stats is None:
+            return
+        sample = self.stats.sample_for(ctx.task_id)
+        j = self.index_id
+        sample.reuse_probes[j] = sample.reuse_probes.get(j, 0) + 1
+        if hit:
+            sample.reuse_hits[j] = sample.reuse_hits.get(j, 0) + 1
+
+
+class LookupFn(_ReuseTier, ChainedFunction):
     """Performs one index's lookups inline (baseline / cache / the
     post-shuffle leg of re-partitioning and index locality).
 
@@ -134,6 +238,7 @@ class LookupFn(ChainedFunction):
         assume_local: bool = False,
         record_sidx: bool = False,
         batch_size: int = 1,
+        reuse=None,
     ):
         self.operator = operator
         self.operator_id = operator_id
@@ -146,6 +251,7 @@ class LookupFn(ChainedFunction):
         self.assume_local = assume_local
         self.record_sidx = record_sidx
         self.batch_size = max(1, int(batch_size))
+        self.reuse = reuse
         self._node_caches: dict = {}
         self._node_shadows: dict = {}
         self._memo_key: Any = _NO_MEMO
@@ -153,6 +259,7 @@ class LookupFn(ChainedFunction):
         self._pending_records: list = []
         self._pending_keys: list = []
         self._pending_key_set: set = set()
+        self._batch_prev_ik: Any = _NO_MEMO
 
     def start(self, ctx):
         self._memo_key = _NO_MEMO
@@ -160,6 +267,7 @@ class LookupFn(ChainedFunction):
         self._pending_records = []
         self._pending_keys = []
         self._pending_key_set = set()
+        self._batch_prev_ik = _NO_MEMO
 
     def process(self, key, value, collector, ctx):
         if self.batch_size == 1:
@@ -247,11 +355,15 @@ class LookupFn(ChainedFunction):
                     hit=hit,
                 )
             if hit:
+                if self.dedup_adjacent:
+                    self._memo_key = ik
+                    self._memo_values = tuple(cached)
                 return list(cached)
-            # Insert only after a *successful* fetch: a terminal lookup
-            # failure must not poison the shared node-local LRU (and a
-            # retried task would otherwise see the bogus entry).
-            values = self._fetch(ik, ctx)
+            # Insert only after a *successful* fetch (or a validated
+            # reuse hit): a terminal lookup failure must not poison the
+            # shared node-local LRU (and a retried task would otherwise
+            # see the bogus entry).
+            values = self._reuse_or_fetch(ik, ctx)
             cache.put(ik, tuple(values))
         else:
             if not self.dedup_adjacent:
@@ -265,7 +377,7 @@ class LookupFn(ChainedFunction):
                 would_hit = shadow.probe(ik)
                 if shadow.warmed:
                     self._record_cache_stats(ctx, would_hit)
-            values = self._fetch(ik, ctx)
+            values = self._reuse_or_fetch(ik, ctx)
 
         if self.dedup_adjacent:
             self._memo_key = ik
@@ -301,6 +413,8 @@ class LookupFn(ChainedFunction):
             ctx.charge(
                 tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj)
             )
+        ctx.counters.increment("lookup", "fetches")
+        ctx.counters.increment("lookup", "fetch_seconds", ctx.charged_time - t0)
         if ctx.trace is not None:
             ctx.trace.charged_span(
                 "index.fetch",
@@ -335,18 +449,50 @@ class LookupFn(ChainedFunction):
     # Batched path (batch_size > 1)
     # ------------------------------------------------------------------
     def _probe_without_fetch(self, ik: Any, ctx: TaskContext):
-        """The cache/shadow/memo half of :meth:`_lookup`: returns the
-        resolved value tuple on a hit, None when the key must be
+        """The cache/shadow/memo/reuse half of :meth:`_lookup`: returns
+        the resolved value tuple on a hit, None when the key must be
         fetched. Probe charges and cache statistics are identical to
-        the unbatched path; only the fetch itself is deferred."""
+        the unbatched path; only the fetch itself is deferred.
+
+        A key already pending in the current batch records the hit the
+        unbatched path would see (the LRU / reuse store would hold it by
+        now) but still resolves from the flush results -- without this,
+        a duplicate inside one unflushed batch counted as a miss and
+        batched/unbatched cache counters diverged."""
         tm = ctx.time_model
-        if self.dedup_adjacent and ik == self._memo_key:
-            return self._memo_values
+        prev = self._batch_prev_ik
+        self._batch_prev_ik = ik
+        if self.dedup_adjacent and ik == prev:
+            # On the unbatched path the memo always holds the previous
+            # arrival, so only an *adjacent* duplicate may consult it.
+            # (Here the memo can lag behind ``prev`` while prev's fetch
+            # is still pending -- gating on ``prev`` keeps a stale memo
+            # key from faking adjacency.)
+            if ik == self._memo_key:
+                return self._memo_values
+            if ik in self._pending_key_set:
+                # Adjacent duplicate of a pending key: the memo would
+                # serve it without probing anything, so record nothing
+                # and charge nothing; the flush results resolve its slot.
+                return None
         if self.use_cache:
             cache = self._node_caches.setdefault(
                 ctx.node.hostname, LRUCache(self.cache_capacity)
             )
             ctx.charge(tm.cache_probe_time)
+            if ik in self._pending_key_set:
+                self._record_cache_stats(ctx, True)
+                if ctx.trace is not None:
+                    ctx.trace.charged_span(
+                        "cache.probe",
+                        "cache",
+                        ctx.charged_time - tm.cache_probe_time,
+                        ctx.charged_time,
+                        DEPTH_DETAIL,
+                        hit=True,
+                        pending=True,
+                    )
+                return None
             hit, cached = cache.get(ik)
             self._record_cache_stats(ctx, hit)
             if ctx.trace is not None:
@@ -359,7 +505,17 @@ class LookupFn(ChainedFunction):
                     hit=hit,
                 )
             if hit:
+                if self.dedup_adjacent:
+                    self._memo_key = ik
+                    self._memo_values = tuple(cached)
                 return tuple(cached)
+            values = self._reuse_probe(ik, ctx)
+            if values is not None:
+                cache.put(ik, tuple(values))
+                if self.dedup_adjacent:
+                    self._memo_key = ik
+                    self._memo_values = tuple(values)
+                return tuple(values)
             return None
         if not self.dedup_adjacent:
             shadow = self._node_shadows.setdefault(
@@ -368,6 +524,15 @@ class LookupFn(ChainedFunction):
             would_hit = shadow.probe(ik)
             if shadow.warmed:
                 self._record_cache_stats(ctx, would_hit)
+        if ik in self._pending_key_set:
+            self._reuse_pending_hit(ctx)
+            return None
+        values = self._reuse_probe(ik, ctx)
+        if values is not None:
+            if self.dedup_adjacent:
+                self._memo_key = ik
+                self._memo_values = tuple(values)
+            return tuple(values)
         return None
 
     def _flush(self, collector, ctx: TaskContext) -> None:
@@ -427,6 +592,8 @@ class LookupFn(ChainedFunction):
             for ik in remote_keys:
                 ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
 
+        ctx.counters.increment("lookup", "fetches", len(keys))
+        ctx.counters.increment("lookup", "fetch_seconds", ctx.charged_time - t0)
         if ctx.trace is not None:
             ctx.trace.charged_span(
                 "lookup.batch",
@@ -463,15 +630,23 @@ class LookupFn(ChainedFunction):
                     + len(keys) * self.accessor.batch_key_time()
                 )
 
+        if self.reuse is not None:
+            admit_cost = self._reuse_admit_cost(len(keys))
+            for ik in keys:
+                self._reuse_admit(ik, ctx, results[ik], admit_cost)
         if self.use_cache:
             cache = self._node_caches.setdefault(
                 ctx.node.hostname, LRUCache(self.cache_capacity)
             )
             for ik in keys:
                 cache.put(ik, results[ik])
-        if self.dedup_adjacent and keys:
-            self._memo_key = keys[-1]
-            self._memo_values = results[keys[-1]]
+        if self.dedup_adjacent and self._batch_prev_ik in results:
+            # The memo mirrors the unbatched path: it holds the *last
+            # arrival's* key. When that arrival resolved at probe time
+            # the memo is already current; only a pending last arrival
+            # needs its flush result installed here.
+            self._memo_key = self._batch_prev_ik
+            self._memo_values = results[self._batch_prev_ik]
 
         for out_key, v1, ikl, ivl, slots in records:
             rec_results = tuple(
@@ -549,7 +724,7 @@ class KeyByIkFn(ChainedFunction):
         return f"keyby[{self.operator_id}.{self.index_id}]"
 
 
-class GroupLookupReducer(Reducer):
+class GroupLookupReducer(_ReuseTier, Reducer):
     """Reduce side of a shuffle job with the boundary *after* the
     lookup: one lookup per distinct key, results fanned back out to
     every carrier of the group.
@@ -567,6 +742,7 @@ class GroupLookupReducer(Reducer):
         index_id: int,
         stats: Optional[OperatorStatsAccumulator] = None,
         batch_size: int = 1,
+        reuse=None,
     ):
         self.operator = operator
         self.operator_id = operator_id
@@ -574,6 +750,7 @@ class GroupLookupReducer(Reducer):
         self.accessor = operator.accessors[index_id]
         self.stats = stats
         self.batch_size = max(1, int(batch_size))
+        self.reuse = reuse
         self._pending_groups: list = []
 
     def start(self, ctx):
@@ -584,13 +761,20 @@ class GroupLookupReducer(Reducer):
             if ik is None:
                 results: Tuple[Any, ...] = ()
             else:
-                values = self._fetch(ik, ctx)
+                values = self._reuse_or_fetch(ik, ctx)
                 results = (tuple(values),)
             self._emit_group(ik, carriers, results, collector)
             return
         if ik is None:
             # Keyless records need no lookup: emit straight through.
             self._emit_group(ik, carriers, (), collector)
+            return
+        reused = self._reuse_probe(ik, ctx)
+        if reused is not None:
+            # Reuse hit: emit the group immediately, exactly as a cache
+            # hit would on the map side. With a cold store this branch
+            # never fires, so batching order is unchanged.
+            self._emit_group(ik, carriers, (tuple(reused),), collector)
             return
         self._pending_groups.append((ik, list(carriers)))
         if len(self._pending_groups) >= self.batch_size:
@@ -661,6 +845,8 @@ class GroupLookupReducer(Reducer):
             for ik in remote_keys:
                 ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(results[ik]), tj))
 
+        ctx.counters.increment("lookup", "fetches", len(keys))
+        ctx.counters.increment("lookup", "fetch_seconds", ctx.charged_time - t0)
         if ctx.trace is not None:
             ctx.trace.charged_span(
                 "lookup.batch",
@@ -697,6 +883,11 @@ class GroupLookupReducer(Reducer):
                     + len(keys) * self.accessor.batch_key_time()
                 )
 
+        if self.reuse is not None:
+            admit_cost = self._reuse_admit_cost(len(keys))
+            for ik in keys:
+                self._reuse_admit(ik, ctx, results[ik], admit_cost)
+
         for ik, carriers in groups:
             self._emit_group(ik, carriers, (results[ik],), collector)
 
@@ -710,6 +901,8 @@ class GroupLookupReducer(Reducer):
             ctx.charge(tm.local_lookup_time(tj))
         else:
             ctx.charge(tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj))
+        ctx.counters.increment("lookup", "fetches")
+        ctx.counters.increment("lookup", "fetch_seconds", ctx.charged_time - t0)
         if ctx.trace is not None:
             ctx.trace.charged_span(
                 "lookup",

@@ -56,6 +56,7 @@ class IndexService:
         self._batch_key_time: Optional[float] = None
         self._fault_plan: Optional[FaultPlan] = None
         self._retry_policy = RetryPolicy()
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # The black-box lookup
@@ -273,6 +274,20 @@ class IndexService:
         """A stable digest of the index contents; tests use it to verify
         the idempotence assumption holds across a job."""
         return 0
+
+    @property
+    def epoch(self) -> int:
+        """Version counter for cross-job result reuse. Mutable indices
+        bump it on every write, so :class:`repro.core.reuse.ReuseStore`
+        entries recorded under an older epoch are dropped instead of
+        served (lookups stay idempotent *within* a job -- Section 3.2 --
+        but not across jobs)."""
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the version; every mutating entry point calls this."""
+        self._epoch += 1
+        return self._epoch
 
     def reset_accounting(self) -> None:
         self.lookups_served = 0

@@ -44,6 +44,18 @@ class DynamicComputedIndex(IndexService):
             result = [result]
         return result
 
+    def replace_compute(
+        self, compute: Callable[[Any], List[Any]]
+    ) -> "DynamicComputedIndex":
+        """Swap in a new computation (a retrained classifier, say).
+
+        The function stays pure within a job, but results cached across
+        jobs are now wrong -- bumping the epoch invalidates them.
+        """
+        self._compute = compute
+        self.bump_epoch()
+        return self
+
     def fingerprint(self) -> int:
         # A pure function never changes during a job.
         return stable_hash(self.name)

@@ -56,6 +56,7 @@ class DistributedKVStore(IndexService):
         bucket = self._partitions[self._scheme.partition_of(key)]
         bucket.setdefault(key, []).append(value)
         self._size += 1
+        self.bump_epoch()
 
     def put_unique(self, key: Any, value: Any) -> None:
         """Set ``key`` to exactly ``[value]`` (last write wins)."""
@@ -69,6 +70,7 @@ class DistributedKVStore(IndexService):
             # a later delete() underflows _size.
             self._size -= len(old) - 1
         bucket[key] = [value]
+        self.bump_epoch()
 
     def load(self, items: Iterable[Tuple[Any, Any]]) -> "DistributedKVStore":
         for key, value in items:
@@ -82,6 +84,7 @@ class DistributedKVStore(IndexService):
         if values is None:
             return False
         self._size -= len(values)
+        self.bump_epoch()
         return True
 
     # ------------------------------------------------------------------

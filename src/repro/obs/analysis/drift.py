@@ -171,6 +171,9 @@ def _stats_from_detail(detail: dict) -> OperatorStats:
             batches_observed=int(s.get("batches_observed", 0)),
             lookups_observed=int(s.get("lookups_observed", 0)),
             probes_observed=int(s.get("probes_observed", 0)),
+            reuse_hit_ratio=float(s.get("reuse_hit_ratio", 0.0)),
+            reuse_seed=float(s.get("reuse_seed", 0.0)),
+            reuse_probes_observed=int(s.get("reuse_probes_observed", 0)),
         )
         op.per_index[int(j_str)] = idx
     return op

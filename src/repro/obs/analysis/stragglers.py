@@ -213,8 +213,13 @@ def _attribute_cause(
         fetch_med = med_c("index.fetch")
         evidence["index.fetch.count"] = (fetches, fetch_med)
         # Many more cache misses than peers -> the lookup excess is a
-        # cache-miss burst, not a slow index.
-        if fetch_med > 0 and fetches > 1.5 * fetch_med:
+        # cache-miss burst, not a slow index. Only meaningful when the
+        # task actually probed a cache: a baseline-strategy task has
+        # zero probes, so its excess fetches are plain lookup volume,
+        # not misses.
+        probes = mine_c.get("cache.probe", 0.0)
+        if probes > 0 and fetch_med > 0 and fetches > 1.5 * fetch_med:
+            evidence["cache.probe.count"] = (probes, med_c("cache.probe"))
             return "cache-miss-burst", evidence
         return "slow-lookups", evidence
     if cause == "shuffle":

@@ -147,6 +147,10 @@ def index_samples(stats) -> Dict[str, Dict[str, float]]:
             "batches_observed": idx.batches_observed,
             "lookups_observed": idx.lookups_observed,
             "probes_observed": idx.probes_observed,
+            "reuse_hit_ratio": idx.reuse_hit_ratio,
+            "reuse_seed": idx.reuse_seed,
+            "reuse_survival": idx.reuse_survival(),
+            "reuse_probes_observed": idx.reuse_probes_observed,
         }
     return out
 

@@ -188,6 +188,47 @@ class TestShadowCache:
         assert s.warmed
         assert s.counted_probes == 1
 
+    def test_boundary_warmup_zero_includes_compulsory_miss(self):
+        # warmup=0: counting starts at the very first probe, so the
+        # compulsory miss of a never-seen key enters the estimate.
+        s = ShadowCache(64, warmup=0)
+        s.probe("k")  # compulsory miss, counted
+        s.probe("k")  # hit, counted
+        assert (s.counted_probes, s.counted_hits) == (2, 1)
+        assert s.miss_ratio == 0.5
+
+    def test_boundary_warmup_one_two_probe_stream_estimates_zero(self):
+        # warmup=1 excludes exactly the first probe: a two-probe stream
+        # over one key counts only the second probe (a hit), so the
+        # docstring's promised R = 0 boundary case holds.
+        s = ShadowCache(64, warmup=1)
+        s.probe("k")
+        assert not s.warmed
+        assert s.counted_probes == 0
+        s.probe("k")
+        assert s.warmed
+        assert (s.counted_probes, s.counted_hits) == (1, 1)
+        assert s.miss_ratio == 0.0
+
+    def test_boundary_warmup_capacity_fraction(self):
+        # The default window for small caches is capacity // 8; probes
+        # 1..warmup are excluded and probe warmup + 1 is the first one
+        # counted, exactly as documented.
+        capacity = 32
+        warmup = capacity // 8
+        s = ShadowCache(capacity, warmup=warmup)
+        for i in range(warmup):
+            s.probe(i)
+            assert not s.warmed
+        assert s.counted_probes == 0
+        assert s.miss_ratio == 1.0  # still the pessimistic prior
+        s.probe(0)  # probe warmup + 1: first counted, a hit
+        assert s.warmed
+        assert (s.counted_probes, s.counted_hits) == (1, 1)
+        # And the constructor default matches min(capacity // 8, 64).
+        assert ShadowCache(capacity)._warmup == warmup
+        assert ShadowCache(4096)._warmup == 64
+
     def test_probe_streams_identical_after_clear(self):
         # clear() must be indistinguishable from a newly built shadow.
         fresh = ShadowCache(8, warmup=3)

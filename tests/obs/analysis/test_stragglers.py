@@ -80,6 +80,27 @@ class TestCauseAttribution:
     def test_cache_miss_burst(self):
         spans = [
             _task("j", i, "map", 0, slot_track(f"n{i}", "map", 0), 0.0, 0.2,
+                  op_totals={"lookup": [10, 0.05], "cache.probe": [10, 0.001],
+                             "index.fetch": [4, 0.04]})
+            for i in range(4)
+        ]
+        spans.append(
+            _task("j", 9, "map", 0, slot_track("n9", "map", 0), 0.0, 1.0,
+                  op_totals={"lookup": [10, 0.9], "cache.probe": [10, 0.001],
+                             "index.fetch": [40, 0.85]})
+        )
+        s = self._one_straggler(spans)
+        assert s.cause == "cache-miss-burst"
+        assert s.evidence["index.fetch.count"] == (40.0, 4.0)
+        assert s.evidence["cache.probe.count"] == (10.0, 10.0)
+
+    def test_probe_free_task_never_a_cache_miss_burst(self):
+        # Regression: a baseline-strategy task records index.fetch ops
+        # but zero cache.probe ops (it has no cache to miss). Its excess
+        # fetches are plain lookup volume and must attribute to
+        # slow-lookups, not to a cache-miss burst.
+        spans = [
+            _task("j", i, "map", 0, slot_track(f"n{i}", "map", 0), 0.0, 0.2,
                   op_totals={"lookup": [10, 0.05], "index.fetch": [4, 0.04]})
             for i in range(4)
         ]
@@ -88,8 +109,8 @@ class TestCauseAttribution:
                   op_totals={"lookup": [10, 0.9], "index.fetch": [40, 0.85]})
         )
         s = self._one_straggler(spans)
-        assert s.cause == "cache-miss-burst"
-        assert s.evidence["index.fetch.count"] == (40.0, 4.0)
+        assert s.cause == "slow-lookups"
+        assert "cache.probe.count" not in s.evidence
 
     def test_input_skew(self):
         s = self._one_straggler(
