@@ -19,6 +19,8 @@ from repro.bench.harness import (
     format_batch_table,
     format_fault_table,
     format_reuse_table,
+    format_route_table,
+    format_spec_table,
     format_table,
 )
 
@@ -177,6 +179,30 @@ EXPERIMENTS = {
                     "Reuse  reuse.* counter totals",
                     rows,
                     modes=figures.REUSE_Q3_MODES,
+                ),
+            ]
+        ),
+    ),
+    "spec-q3": (
+        "speculative execution: Q3 with an injected slow host",
+        figures.run_spec_q3,
+        lambda rows: "\n\n".join(
+            [
+                format_table(
+                    "Speculation  TPC-H Q3 with one x4-slow host",
+                    rows,
+                    modes=figures.SPEC_Q3_MODES,
+                    x_label="config",
+                ),
+                format_spec_table(
+                    "Speculation  spec.* counter totals",
+                    rows,
+                    modes=figures.SPEC_Q3_MODES,
+                ),
+                format_route_table(
+                    "Speculation  route.* counter totals",
+                    rows,
+                    modes=figures.SPEC_Q3_MODES,
                 ),
             ]
         ),

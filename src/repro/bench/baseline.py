@@ -35,6 +35,11 @@ SUITES: Dict[str, Sequence[Tuple[str, str, Callable[[], List[ExperimentRow]]]]] 
             "TPC-H Q3 repeated against one cross-job ReuseStore",
             figures.run_reuse_q3,
         ),
+        (
+            "spec-q3",
+            "TPC-H Q3 with one x4-slow host, speculation off/on",
+            figures.run_spec_q3,
+        ),
     ),
     "synthetic": (
         (
@@ -52,9 +57,10 @@ def baseline_filename(suite: str) -> str:
 
 def serialize_row(row: ExperimentRow) -> dict:
     """One figure row as comparable JSON: simulated seconds per mode
-    plus the deterministic fault/batch/reuse counter groups (empty
-    groups are dropped -- clean runs record no fault counters at all,
-    and runs without a reuse session record no reuse counters)."""
+    plus the deterministic fault/batch/reuse/spec/route counter groups
+    (empty groups are dropped -- clean runs record no fault counters at
+    all, runs without a reuse session record no reuse counters, and
+    runs without speculation or routing record neither of those)."""
     out: dict = {
         "label": row.label,
         "times": {mode: row.times[mode] for mode in sorted(row.times)},
@@ -68,6 +74,12 @@ def serialize_row(row: ExperimentRow) -> dict:
     reuse = {m: g for m, g in sorted(row.reuse.items()) if g}
     if reuse:
         out["reuse"] = reuse
+    spec = {m: g for m, g in sorted(row.spec.items()) if g}
+    if spec:
+        out["spec"] = spec
+    route = {m: g for m, g in sorted(row.route.items()) if g}
+    if route:
+        out["route"] = route
     return out
 
 

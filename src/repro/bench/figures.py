@@ -488,6 +488,105 @@ def run_reuse_q3() -> List[ExperimentRow]:
 
 
 # ----------------------------------------------------------------------
+# Speculation -- hot-shard Q3 with an injected slow host
+# ----------------------------------------------------------------------
+SPEC_Q3_MODES = ("Cache",)
+
+
+def run_spec_q3() -> List[ExperimentRow]:
+    """TPC-H Q3 (forced Cache strategy) with speculative execution.
+
+    One row per configuration:
+
+    * ``clean-off`` / ``clean-on`` -- no faults, speculation off/on.
+      With every wave uniform there are no stragglers to back up, so
+      speculation-on must reproduce the off timing *exactly*
+      (speculation never adds simulated cost).
+    * ``slow-off`` -- one host (``node05``) straggles every task by x4;
+      the wave tail stretches the whole job.
+    * ``slow-on`` -- same faults with speculation enabled: tail tasks
+      get backups on idle hosts and the first finisher wins (the
+      experiment's headline -- the regression floor asserts at least a
+      20% reduction).
+    * ``slow-on-routed`` -- ``slow-on`` plus replica-aware lookup
+      routing, demonstrating the two features compose; routing is pure
+      bookkeeping, so its simulated time must equal ``slow-on``
+      exactly.
+
+    Speculation and routing both guarantee bit-identical outputs, which
+    is asserted across all five rows here (and locked down by
+    ``tests/mapreduce/test_spec_equivalence.py``).
+    """
+    cluster = bench_cluster(job_startup=0.05)
+    # Wide blocks give a single map wave (about 20 tasks on 24 slots):
+    # the straggler's peers finish, their slots free up, and backups can
+    # start well before the slow host would have -- the configuration
+    # speculation targets.
+    dfs = DistributedFileSystem(cluster, block_size=40 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.002))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+    slow = FaultPlan(seed=7, straggler_factors={"node05": 4.0})
+
+    def run_phase(label, fault_plan, speculation_factor, route_policy=None):
+        def job_factory(name):
+            indexes.reset_accounting()
+            return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+        return run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),
+            modes=SPEC_Q3_MODES,
+            label=label,
+            fault_plan=fault_plan,
+            # Routing engages on the native-multiget path, so every row
+            # runs batched (the same size for all, keeping them
+            # comparable).
+            batch_size=64,
+            speculation_factor=speculation_factor,
+            route_policy=route_policy,
+        )
+
+    rows = [
+        run_phase("clean-off", None, None),
+        run_phase("clean-on", None, 1.5),
+        run_phase("slow-off", slow, None),
+        run_phase("slow-on", slow, 1.5),
+        run_phase("slow-on-routed", slow, 1.5, route_policy="least-loaded"),
+    ]
+    # Routers attach to the (shared) index objects; detach so the rows
+    # above stay re-runnable against the same indexes.
+    for store in indexes.stores():
+        store.set_router(None)
+
+    by_label = {row.label: row for row in rows}
+    if by_label["clean-on"].times["Cache"] != by_label["clean-off"].times["Cache"]:
+        raise AssertionError(
+            "spec-q3 clean-on changed the simulated time "
+            f"({by_label['clean-on'].times['Cache']!r} != "
+            f"{by_label['clean-off'].times['Cache']!r}); speculation "
+            "must never add simulated cost on a clean run"
+        )
+    if by_label["slow-on-routed"].times["Cache"] != by_label["slow-on"].times["Cache"]:
+        raise AssertionError(
+            "spec-q3 routing changed the simulated time "
+            f"({by_label['slow-on-routed'].times['Cache']!r} != "
+            f"{by_label['slow-on'].times['Cache']!r}); routing is pure "
+            "bookkeeping"
+        )
+    reference = sorted(by_label["clean-off"].details["Cache"].output, key=repr)
+    for row in rows[1:]:
+        output = sorted(row.details["Cache"].output, key=repr)
+        if not _equivalent(output, reference):
+            raise AssertionError(
+                f"spec-q3 {row.label!r} produced different output"
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Batching -- runtime vs multiget batch size per strategy
 # ----------------------------------------------------------------------
 BATCH_SIZES = (1, 8, 64, 256)

@@ -84,6 +84,12 @@ class ExperimentRow:
     trace_paths: Dict[str, Dict[str, str]] = field(default_factory=dict)
     """Per-variant exported artifact paths (``trace`` / ``audit`` /
     ``metrics``), keyed like :attr:`trace_wall`."""
+    spec: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``spec.*`` counter totals (empty unless speculation
+    is enabled)."""
+    route: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``route.*`` counter totals (empty unless a replica
+    route policy is set)."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -103,6 +109,8 @@ def run_all_modes(
     fault_plan: Optional[FaultPlan] = None,
     batch_size: int = 1,
     reuse=None,
+    speculation_factor: Optional[float] = None,
+    route_policy: Optional[str] = None,
 ) -> ExperimentRow:
     """Run the requested variants and return their simulated times.
 
@@ -118,7 +126,12 @@ def run_all_modes(
     :class:`~repro.core.reuse.ReuseStore` shared by every variant's
     runners, so lookup results persist across the jobs of one
     experiment; per-variant ``reuse.*`` counter totals land in
-    ``row.reuse``.
+    ``row.reuse``. ``speculation_factor`` (optional) enables backup
+    tasks for wave stragglers on every variant (``spec.*`` totals land
+    in ``row.spec``); ``route_policy`` (optional) attaches replica-
+    aware lookup routing (``route.*`` totals land in ``row.route``).
+    Both leave every variant's output bit-identical to a run without
+    them.
 
     When a trace directory is set (``repro.obs.config.set_trace_dir``,
     i.e. ``python -m repro.bench --trace <dir>``), every variant runs
@@ -153,6 +166,8 @@ def run_all_modes(
                 fault_plan=fault_plan,
                 batch_size=batch_size,
                 reuse=reuse_store,
+                speculation_factor=speculation_factor,
+                route_policy=route_policy,
                 obs=obs,
             )
             profiler.run(
@@ -168,6 +183,8 @@ def run_all_modes(
                 fault_plan=fault_plan,
                 batch_size=batch_size,
                 reuse=reuse_store,
+                speculation_factor=speculation_factor,
+                route_policy=route_policy,
                 obs=obs,
             )
             return runner.run(job, mode="static")
@@ -179,6 +196,8 @@ def run_all_modes(
                 fault_plan=fault_plan,
                 batch_size=batch_size,
                 reuse=reuse_store,
+                speculation_factor=speculation_factor,
+                route_policy=route_policy,
                 obs=obs,
             )
             return runner.run(job, mode="dynamic")
@@ -189,6 +208,8 @@ def run_all_modes(
             fault_plan=fault_plan,
             batch_size=batch_size,
             reuse=reuse_store,
+            speculation_factor=speculation_factor,
+            route_policy=route_policy,
             obs=obs,
         )
         strategy = {
@@ -223,6 +244,8 @@ def run_all_modes(
         row.faults[mode] = result.counters.group("fault")
         row.batches[mode] = batch_totals(result.counters)
         row.reuse[mode] = result.counters.group("reuse")
+        row.spec[mode] = result.counters.group("spec")
+        row.route[mode] = result.counters.group("route")
         if trace_dir is not None:
             if reuse_store is not None:
                 post_snap = reuse_store.snapshot()
@@ -414,6 +437,78 @@ def format_reuse_table(
             cells = " | ".join(
                 f"{counters.get(n, 0.0):{w}g}"
                 for n, w in zip(REUSE_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+SPEC_COUNTER_NAMES = (
+    "candidates",
+    "backups_launched",
+    "backups_won",
+    "backups_lost",
+    "saved_seconds",
+    "wasted_seconds",
+)
+
+
+def format_spec_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``spec.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(r.spec.get(m) for r in rows)]
+    widths = [max(8, len(n)) for n in SPEC_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(SPEC_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if not row.spec.get(mode):
+                continue
+            counters = row.spec[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}.4g}"
+                for n, w in zip(SPEC_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+ROUTE_COUNTER_NAMES = (
+    "batches",
+    "keys",
+    "hot_spread",
+    "rebalanced",
+)
+
+
+def format_route_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``route.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(r.route.get(m) for r in rows)]
+    widths = [max(8, len(n)) for n in ROUTE_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(ROUTE_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if not row.route.get(mode):
+                continue
+            counters = row.route[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}g}"
+                for n, w in zip(ROUTE_COUNTER_NAMES, widths)
             )
             lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
     lines.append("-" * len(header))

@@ -355,6 +355,14 @@ class ReuseStore:
         self.counts = ReuseCounts(**state["counts"].to_dict())
 
     # ------------------------------------------------------------------
+    def warm_hosts(self) -> list:
+        """Hosts currently holding at least one reusable entry (sorted).
+        The speculative scheduler prefers these for backup placement:
+        a warm host answers a re-run's lookups from its store."""
+        return sorted(
+            host for host, store in self._hosts.items() if len(store) > 0
+        )
+
     def __len__(self) -> int:
         return sum(len(store) for store in self._hosts.values())
 

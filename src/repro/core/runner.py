@@ -32,8 +32,10 @@ from repro.core.statistics import (
 )
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.dfs.splits import InputSplit
+from repro.indices.routing import ReplicaRouter
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.mapreduce.speculation import SpeculationConfig
 from repro.obs.trace import DEPTH_JOB, DRIVER_TRACK
 from repro.simcluster.cluster import Cluster
 from repro.simcluster.faults import FaultPlan
@@ -107,6 +109,9 @@ class EFindRunner:
         batch_size: int = 1,
         obs=None,
         reuse=None,
+        speculation_factor: Optional[float] = None,
+        speculation: Optional["SpeculationConfig"] = None,
+        route_policy: Optional[str] = None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -120,7 +125,26 @@ class EFindRunner:
         # adaptive audit log. Purely passive -- simulated results are
         # identical with or without it.
         self.obs = obs
-        self.job_runner = JobRunner(cluster, dfs, fault_plan=fault_plan, obs=obs)
+        # Straggler mitigation: speculative backup tasks (a config, or
+        # just a tail-threshold factor) and replica-aware lookup
+        # routing. Both default off, leaving execution bit-identical to
+        # the unmitigated runner.
+        if speculation is None and speculation_factor is not None:
+            speculation = SpeculationConfig(factor=speculation_factor)
+        self.speculation = speculation
+        self.route_policy = route_policy
+        self._routers: Dict[str, ReplicaRouter] = {}
+        warm_hosts = (
+            self._reuse_store.warm_hosts if self._reuse_store is not None else None
+        )
+        self.job_runner = JobRunner(
+            cluster,
+            dfs,
+            fault_plan=fault_plan,
+            obs=obs,
+            speculation=speculation,
+            warm_hosts=warm_hosts,
+        )
         self.catalog = catalog if catalog is not None else StatisticsCatalog()
         self.cache_capacity = cache_capacity
         self.variance_threshold = variance_threshold
@@ -162,6 +186,8 @@ class EFindRunner:
         * ``"plan"`` -- execute the explicitly supplied ``plan``.
         """
         iconf.validate()
+        if self.route_policy is not None:
+            self._attach_routers(iconf)
         specs = iconf.operator_specs()
         registry = {
             op_id: OperatorStatsAccumulator(
@@ -222,6 +248,24 @@ class EFindRunner:
                     replanned=result.replanned,
                 )
         return result
+
+    def _attach_routers(self, iconf: IndexJobConf) -> None:
+        """Attach one persistent :class:`ReplicaRouter` per routing-
+        capable index, keyed by index name so load state accumulates
+        across this runner's jobs (an index shared between jobs keeps
+        balancing against its real cumulative load)."""
+        for _, _, op in iconf.placed_operators():
+            for accessor in op.accessors:
+                index = getattr(accessor, "index", None)
+                if index is None or not getattr(
+                    index, "supports_routing", False
+                ):
+                    continue
+                index.set_router(
+                    self._routers.setdefault(
+                        index.name, ReplicaRouter(policy=self.route_policy)
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Planning helpers

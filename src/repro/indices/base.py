@@ -41,6 +41,11 @@ class IndexService:
     #: per-key ``T_j``.
     supports_batch = False
 
+    #: True for replicated indices whose batched lookups honor an
+    #: attached :class:`repro.indices.routing.ReplicaRouter` (see
+    #: :meth:`set_router`).
+    supports_routing = False
+
     def __init__(self, name: str, service_time: Optional[float] = None):
         self.name = name
         self._service_time = (
@@ -57,6 +62,9 @@ class IndexService:
         self._fault_plan: Optional[FaultPlan] = None
         self._retry_policy = RetryPolicy()
         self._epoch = 0
+        #: Optional replica-aware router consulted by routing-capable
+        #: subclasses when grouping batched lookups by serving host.
+        self.router = None
 
     # ------------------------------------------------------------------
     # The black-box lookup
@@ -242,6 +250,20 @@ class IndexService:
         if service_time < 0:
             raise ValueError("service time cannot be negative")
         self._service_time = service_time
+
+    def set_router(self, router) -> "IndexService":
+        """Attach (or with None, detach) a replica-aware router for
+        batched lookups. Only meaningful on replicated indices
+        (``supports_routing = True``); attaching one elsewhere is an
+        error so a misconfigured bench fails loudly instead of silently
+        running unrouted."""
+        if router is not None and not self.supports_routing:
+            raise ValueError(
+                f"index {self.name!r} ({type(self).__name__}) does not "
+                f"support replica routing"
+            )
+        self.router = router
+        return self
 
     @property
     def partition_scheme(self) -> Optional[PartitionScheme]:

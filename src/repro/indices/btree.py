@@ -322,6 +322,7 @@ class DistributedBTree(IndexService):
     """
 
     supports_batch = True
+    supports_routing = True
 
     def __init__(
         self,
@@ -358,11 +359,44 @@ class DistributedBTree(IndexService):
     def _lookup(self, key: Any) -> List[Any]:
         return self._trees[self._scheme.partition_of(key)].search(key)
 
+    def _locate(self, key: Any):
+        """``(replicas, live)`` of one key's range partition."""
+        replicas = self._scheme.locations(self._scheme.partition_of(key))
+        plan = self.fault_plan
+        if plan is None:
+            return replicas, replicas
+        return replicas, [h for h in replicas if not plan.host_down(h)]
+
+    def multiget_plan(self, keys: List[Any]) -> Dict[str, List[Any]]:
+        """Group ``keys`` by the replica host each multiget sub-request
+        goes to (first live replica of each key's range partition, or
+        the attached router's side-effect-free plan)."""
+        if self.router is not None:
+            return self.router.plan(keys, self._locate)
+        groups: Dict[str, List[Any]] = {}
+        for key in keys:
+            replicas, live = self._locate(key)
+            groups.setdefault(live[0] if live else replicas[0], []).append(key)
+        return groups
+
     def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
         """Native multiget: one descent batch against the root table.
-        Per-key serves still run the fault/retry path individually."""
+        Per-key serves still run the fault/retry path individually.
+
+        An attached :class:`~repro.indices.routing.ReplicaRouter`
+        additionally picks the serving replica per key (load-balanced,
+        hot-range spreading) and counts the per-host sub-requests it
+        creates; routing never changes the values served or the time
+        charged."""
         if not keys:
             return []
+        if self.router is not None:
+            decision = self.router.assign(keys, self._locate)
+            self.router.charge(ctx, decision)
+            self.lookups_served += len(keys)
+            self.keys_batched += len(keys)
+            self.batches_served += len(decision.groups)
+            return [self._serve_with_retries(key, ctx) for key in keys]
         return self._native_lookup_batch(keys, ctx)
 
     def range_scan(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:

@@ -26,6 +26,7 @@ class DistributedKVStore(IndexService):
     """Hash-partitioned, replicated key -> [values] store."""
 
     supports_batch = True
+    supports_routing = True
 
     def __init__(
         self,
@@ -142,48 +143,64 @@ class DistributedKVStore(IndexService):
             return []
         return list(values)
 
+    def _locate(self, key: Any):
+        """``(replicas, live)`` of one key's partition: the placement-
+        order replica list, and its live subset (all of them without a
+        fault plan)."""
+        replicas = self._scheme.locations(self._scheme.partition_of(key))
+        plan = self.fault_plan
+        if plan is None:
+            return replicas, replicas
+        return replicas, [h for h in replicas if not plan.host_down(h)]
+
     def multiget_plan(self, keys: List[Any]) -> Dict[str, List[Any]]:
         """Group ``keys`` by the replica host each multiget sub-request
-        goes to: every key's partition picks its first *live* replica
-        (falling back to the first replica when none is known live, so
-        the retry layer still sees the failure). Preserves first-seen
-        key order within each host group."""
-        plan = self.fault_plan
+        goes to. Without a router, every key's partition picks its
+        first *live* replica (falling back to the first replica when
+        none is known live, so the retry layer still sees the failure);
+        with one attached, this is the router's side-effect-free plan
+        from its current load state. Preserves first-seen key order
+        within each host group."""
+        if self.router is not None:
+            return self.router.plan(keys, self._locate)
         groups: Dict[str, List[Any]] = {}
         for key in keys:
-            replicas = self._scheme.locations(self._scheme.partition_of(key))
-            host = replicas[0]
-            if plan is not None:
-                live = [h for h in replicas if not plan.host_down(h)]
-                if live:
-                    host = live[0]
-            groups.setdefault(host, []).append(key)
+            replicas, live = self._locate(key)
+            groups.setdefault(live[0] if live else replicas[0], []).append(key)
         return groups
 
     def lookup_batch(self, keys: List[Any], ctx=None) -> List[List[Any]]:
         """Native multiget: one request per replica host, each key still
         served through the per-key fault/retry path (so failover,
         outage, and injected-error decisions match single lookups
-        exactly); ``batches_served`` counts the host sub-requests."""
+        exactly); ``batches_served`` counts the host sub-requests.
+
+        An attached :class:`~repro.indices.routing.ReplicaRouter` picks
+        the serving replica per key instead of the fixed first-live
+        choice; routing changes only the host grouping and ``route.*``
+        counters, never the values served or the time charged.
+        """
         if not keys:
             return []
-        results: Dict[int, List[Any]] = {}
-        order: Dict[str, List[int]] = {}
-        for i, key in enumerate(keys):
-            replicas = self._scheme.locations(self._scheme.partition_of(key))
-            host = replicas[0]
-            if self.fault_plan is not None:
-                live = [h for h in replicas if not self.fault_plan.host_down(h)]
-                if live:
-                    host = live[0]
-            order.setdefault(host, []).append(i)
+        if self.router is not None:
+            decision = self.router.assign(keys, self._locate)
+            self.router.charge(ctx, decision)
+            num_requests = len(decision.groups)
+        else:
+            order: Dict[str, List[int]] = {}
+            for i, key in enumerate(keys):
+                replicas, live = self._locate(key)
+                order.setdefault(live[0] if live else replicas[0], []).append(i)
+            num_requests = len(order)
         self.lookups_served += len(keys)
         self.keys_batched += len(keys)
-        self.batches_served += len(order)
-        for indices in order.values():
-            for i in indices:
-                results[i] = self._serve_with_retries(keys[i], ctx)
-        return [results[i] for i in range(len(keys))]
+        self.batches_served += num_requests
+        # Keys are served in their original order regardless of the
+        # grouping: per-key fault decisions are (key, attempt)-pure and
+        # outage probes are per-partition, so this matches the grouped
+        # serve order bit-for-bit while keeping routed and unrouted
+        # paths trivially identical.
+        return [self._serve_with_retries(key, ctx) for key in keys]
 
     @property
     def partition_scheme(self) -> PartitionScheme:

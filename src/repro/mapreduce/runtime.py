@@ -32,6 +32,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.jobconf import JobConf
 from repro.mapreduce.scheduler import SlotScheduler
 from repro.mapreduce.shuffle import bucket_bytes, group_by_key, partition_records
+from repro.mapreduce.speculation import SpeculationConfig, SpeculationEngine
 from repro.obs.trace import (
     DEPTH_OP,
     DEPTH_PHASE,
@@ -120,6 +121,8 @@ class JobRunner:
         fault_plan: Optional[FaultPlan] = None,
         max_task_attempts: int = 4,
         obs=None,
+        speculation: Optional[SpeculationConfig] = None,
+        warm_hosts: Optional[Callable[[], Sequence[str]]] = None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -127,6 +130,12 @@ class JobRunner:
         if max_task_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
         self.max_task_attempts = max_task_attempts
+        # Speculative execution (see repro.mapreduce.speculation). Off by
+        # default: execution is then bit-identical to the pre-speculation
+        # runner. ``warm_hosts`` optionally biases backup placement
+        # toward reuse-warm hosts.
+        self.speculation = speculation
+        self.warm_hosts = warm_hosts
         # repro.obs.Observability (or None). The tracer is only consulted
         # when enabled, so obs=None and a disabled obs both take the
         # exact pre-observability code paths.
@@ -161,6 +170,7 @@ class JobRunner:
         execute: Callable[[Any, int], TaskRun],
         preferred_hosts: Optional[Sequence[str]] = None,
         allowed_hosts: Optional[Sequence[str]] = None,
+        defer_trace: bool = False,
     ) -> TaskRun:
         """Run one task with retry-up-to-N semantics.
 
@@ -168,6 +178,10 @@ class JobRunner:
         it wasted; the re-execution prefers a different host. The
         successful run carries a ``fault.tasks_retried`` counter for
         each extra attempt it needed.
+
+        With ``defer_trace`` the task span is *not* emitted here: the
+        speculation engine owns emission (the attempt's final placement
+        is only known once its wave seals).
         """
         failed_hosts: List[str] = []
         last_crash: Optional[TaskCrashError] = None
@@ -199,47 +213,128 @@ class JobRunner:
                 failed_hosts.append(slot.host)
                 last_crash = crash
                 continue
+            raw_duration = run.duration
             run.duration = self._straggled(run.duration, slot.host)
             start, end, wave = scheduler.commit(slot, run.duration)
             run.start, run.end, run.wave = start, end, wave
             if attempt:
                 run.counters.increment("fault", "tasks_retried", attempt)
-            if self._tracer is not None:
-                track = slot_track(slot.host, scheduler.kind, slot.slot_index)
-                self._tracer.span(
-                    "task",
-                    "task",
-                    track,
-                    start,
-                    end,
-                    DEPTH_TASK,
-                    task=run.task_id,
-                    kind=run.kind,
-                    wave=wave,
-                    attempt=attempt,
-                    dropped_detail=(
-                        run.trace.dropped if run.trace is not None else 0
-                    ),
-                    # Exact per-op-name [count, seconds] aggregates from
-                    # the task buffer: unlike the detail spans these are
-                    # never capped, so offline attribution stays exact
-                    # on lookup-heavy tasks.
-                    op_totals=(
-                        {
-                            name: list(entry)
-                            for name, entry in sorted(run.trace.totals.items())
-                        }
-                        if run.trace is not None
-                        else {}
-                    ),
-                )
-                self._tracer.absorb_task(run.trace, start, track)
-                run.trace = None
+            # Stash what speculation and deferred trace emission need to
+            # reason about this attempt later (raw = pre-straggle time).
+            run._raw_duration = raw_duration
+            run._spec_attempt = attempt
+            run._spec_failed_hosts = tuple(failed_hosts)
+            run._spec_slot = slot
+            if not defer_trace:
+                self._emit_task_trace(run, slot.host, slot.slot_index)
             return run
         raise DataFlowError(
             f"task {last_crash.task_id if last_crash else '?'} failed "
             f"{self.max_task_attempts} attempts; giving up"
         ) from last_crash
+
+    def _emit_task_trace(
+        self, run: TaskRun, host: str, slot_index: int, speculative: bool = False
+    ) -> None:
+        """Emit one attempt's task span and absorb its buffered profile.
+
+        The buffer was recorded in raw (un-straggled) task-relative
+        time; it is scaled to the attempt's final duration so the
+        profile and its exact ``op_totals`` aggregates stay consistent
+        with the span (straggled hosts stretch every in-task op, which
+        is also what makes a slow host's excess lookup time visible to
+        the straggler analyzer).
+        """
+        if self._tracer is None:
+            run.trace = None
+            return
+        track = slot_track(host, run.kind, slot_index)
+        buffer = run.trace
+        raw = getattr(run, "_raw_duration", run.duration)
+        if buffer is not None and raw > 0.0 and run.duration != raw:
+            buffer.scale(run.duration / raw)
+        args: Dict[str, Any] = dict(
+            task=run.task_id,
+            kind=run.kind,
+            wave=run.wave,
+            attempt=getattr(run, "_spec_attempt", 0),
+            dropped_detail=buffer.dropped if buffer is not None else 0,
+            # Exact per-op-name [count, seconds] aggregates from the
+            # task buffer: unlike the detail spans these are never
+            # capped, so offline attribution stays exact on
+            # lookup-heavy tasks.
+            op_totals=(
+                {
+                    name: list(entry)
+                    for name, entry in sorted(buffer.totals.items())
+                }
+                if buffer is not None
+                else {}
+            ),
+        )
+        if speculative:
+            args["speculative"] = True
+        self._tracer.span(
+            "task", "task", track, run.start, run.end, DEPTH_TASK, **args
+        )
+        self._tracer.absorb_task(buffer, run.start, track)
+        run.trace = None
+
+    # ------------------------------------------------------------------
+    # Speculative execution (see repro.mapreduce.speculation)
+    # ------------------------------------------------------------------
+    def _speculation_engine(
+        self, scheduler: SlotScheduler
+    ) -> Optional[SpeculationEngine]:
+        if self.speculation is None:
+            return None
+        return SpeculationEngine(
+            self.speculation,
+            scheduler,
+            backup_duration=self._backup_duration,
+            warm_hosts=self.warm_hosts,
+            emit=self._emit_task_trace,
+            tracer=self._tracer,
+        )
+
+    def _backup_duration(self, run: TaskRun, host: str) -> float:
+        """Projected duration of a backup copy of ``run`` on ``host``:
+        the primary's raw duration with its DFS-read cost swapped for
+        the backup host's locality (map tasks), stretched by the backup
+        host's straggler factor. Reduce shuffle cost is modelled as
+        host-independent, so only the straggle factor changes there."""
+        raw = getattr(run, "_raw_duration", run.duration)
+        read_time = getattr(run, "_spec_read_time", None)
+        if read_time is not None:
+            local = host in run._spec_split_hosts
+            if local != run._spec_read_local:
+                raw = raw - read_time + self.cluster.time_model.dfs_retrieve_time(
+                    run._spec_split_bytes, local=local
+                )
+        return self._straggled(raw, host)
+
+    def _finish_speculation(
+        self, engine: SpeculationEngine, conf: JobConf, phase: str
+    ) -> Counters:
+        """Seal the remaining waves; audit-note the phase when
+        speculation actually changed its wave shape."""
+        spec_counters = engine.finish()
+        if self.obs is not None and engine.events:
+            wins = [event for event in engine.events if event["won"]]
+            if wins:
+                self.obs.audit.note(
+                    "speculation",
+                    job=conf.name,
+                    phase=phase,
+                    sim_time=engine.scheduler.makespan(),
+                    backups_launched=int(
+                        spec_counters.get("spec", "backups_launched")
+                    ),
+                    backups_won=len(wins),
+                    saved_seconds=sum(event["saved"] for event in wins),
+                    tasks=[event["task"] for event in wins],
+                )
+        return spec_counters
 
     # ------------------------------------------------------------------
     def run(
@@ -280,11 +375,13 @@ class JobRunner:
         job_start = start_time + tm.job_startup_time
         counters = Counters()
 
-        map_runs, remaining, map_end = self._run_map_phase(
+        map_runs, remaining, map_end, map_spec = self._run_map_phase(
             conf, splits, job_start, abort_check_map
         )
         for run in map_runs:
             counters.merge(run.counters)
+        if map_spec is not None:
+            counters.merge(map_spec)
 
         if remaining:
             return JobResult(
@@ -318,11 +415,13 @@ class JobRunner:
                 output_path=conf.output_path,
             )
 
-        reduce_runs, remaining_parts, job_end = self._run_reduce_phase(
+        reduce_runs, remaining_parts, job_end, reduce_spec = self._run_reduce_phase(
             conf, map_runs, map_end, abort_check_reduce
         )
         for run in reduce_runs:
             counters.merge(run.counters)
+        if reduce_spec is not None:
+            counters.merge(reduce_spec)
 
         output: List[Record] = []
         for run in sorted(reduce_runs, key=lambda r: r.partition):
@@ -440,9 +539,10 @@ class JobRunner:
         splits: List[InputSplit],
         job_start: float,
         abort_check: Optional[AbortCheck],
-    ) -> Tuple[List[TaskRun], List[InputSplit], float]:
+    ) -> Tuple[List[TaskRun], List[InputSplit], float, Optional[Counters]]:
         tm = self.cluster.time_model
         scheduler = self._scheduler("map", job_start)
+        engine = self._speculation_engine(scheduler)
         runs: List[TaskRun] = []
         first_wave = min(scheduler.num_slots, len(splits))
         checked = abort_check is None
@@ -451,6 +551,10 @@ class JobRunner:
             allowed = None
             if conf.map_host_constraint is not None:
                 allowed = conf.map_host_constraint(split.index)
+            # Host-constrained tasks (index-locality lookups) are never
+            # speculated: their per-host lookup charges cannot be
+            # re-modelled on a backup host.
+            defer = engine is not None and allowed is None
             run = self._run_attempts(
                 scheduler,
                 lambda node, attempt, split=split: self._execute_map_task(
@@ -458,17 +562,37 @@ class JobRunner:
                 ),
                 preferred_hosts=split.hosts,
                 allowed_hosts=allowed,
+                defer_trace=defer,
             )
             runs.append(run)
+            if defer:
+                engine.observe(run, run._spec_slot)
 
             if not checked and len(runs) == first_wave:
                 checked = True
                 if abort_check(runs, len(splits)):
+                    # Seal pending waves first: a won backup rescues the
+                    # straggler before the resume point is computed.
+                    spec_counters = (
+                        self._finish_speculation(engine, conf, "map")
+                        if engine is not None
+                        else None
+                    )
                     remaining = splits[i + 1 :]
-                    return runs, list(remaining), max(r.end for r in runs)
+                    return (
+                        runs,
+                        list(remaining),
+                        max(r.end for r in runs),
+                        spec_counters,
+                    )
 
+        spec_counters = (
+            self._finish_speculation(engine, conf, "map")
+            if engine is not None
+            else None
+        )
         map_end = scheduler.makespan(floor=job_start)
-        return runs, [], map_end
+        return runs, [], map_end, spec_counters
 
     def _execute_map_task(self, conf, split, node, tm, attempt: int = 0) -> TaskRun:
         ctx = TaskContext(
@@ -535,7 +659,7 @@ class JobRunner:
         ctx.counters.increment("task", "map_input_bytes", split.size_bytes)
         ctx.counters.increment("task", "map_output_records", len(output))
         ctx.counters.increment("task", "map_output_bytes", out_bytes)
-        return TaskRun(
+        run = TaskRun(
             task_id=ctx.task_id,
             kind="map",
             node_host=node.hostname,
@@ -553,6 +677,13 @@ class JobRunner:
             buckets=buckets,
             trace=buffer,
         )
+        # DFS-read profile for speculation: a backup copy on another
+        # host pays that host's read locality instead of this one's.
+        run._spec_read_time = read_time
+        run._spec_read_local = local
+        run._spec_split_hosts = tuple(split.hosts)
+        run._spec_split_bytes = split.size_bytes
+        return run
 
     def _combine_buckets(self, conf, buckets, ctx, tm):
         """Run the map-side combiner on each partition bucket (Hadoop's
@@ -587,9 +718,10 @@ class JobRunner:
         map_runs: List[TaskRun],
         map_end: float,
         abort_check: Optional[AbortCheck],
-    ) -> Tuple[List[TaskRun], List[int], float]:
+    ) -> Tuple[List[TaskRun], List[int], float, Optional[Counters]]:
         tm = self.cluster.time_model
         scheduler = self._scheduler("reduce", map_end)
+        engine = self._speculation_engine(scheduler)
         runs: List[TaskRun] = []
         partitions = list(range(conf.num_reduce_tasks))
         first_wave = min(scheduler.num_slots, len(partitions))
@@ -610,16 +742,34 @@ class JobRunner:
                     side_buckets[partition],
                     attempt,
                 ),
+                defer_trace=engine is not None,
             )
             runs.append(run)
+            if engine is not None:
+                engine.observe(run, run._spec_slot)
 
             if not checked and len(runs) == first_wave:
                 checked = True
                 if abort_check(runs, len(partitions)):
+                    spec_counters = (
+                        self._finish_speculation(engine, conf, "reduce")
+                        if engine is not None
+                        else None
+                    )
                     remaining = partitions[i + 1 :]
-                    return runs, list(remaining), max(r.end for r in runs)
+                    return (
+                        runs,
+                        list(remaining),
+                        max(r.end for r in runs),
+                        spec_counters,
+                    )
 
-        return runs, [], scheduler.makespan(floor=map_end)
+        spec_counters = (
+            self._finish_speculation(engine, conf, "reduce")
+            if engine is not None
+            else None
+        )
+        return runs, [], scheduler.makespan(floor=map_end), spec_counters
 
     def reduce_input_for(
         self, map_runs: Sequence[TaskRun], partition: int

@@ -33,12 +33,19 @@ AVAILABILITY_REL_TOL = 1e-9
 
 @dataclass
 class Slot:
-    """One map or reduce slot on a node."""
+    """One map or reduce slot on a node.
+
+    ``last_start``/``killed`` track the latest commitment so a
+    speculative kill can verify it is rolling back exactly the task it
+    targeted, and only once (see :meth:`SlotScheduler.kill`).
+    """
 
     node: Node
     slot_index: int
     available: float = 0.0
     tasks_run: int = 0
+    last_start: float = 0.0
+    killed: bool = False
 
     @property
     def host(self) -> str:
@@ -61,6 +68,7 @@ class SlotScheduler:
         self.kind = kind
         self.tracer = tracer
         self.down_hosts = frozenset(down_hosts)
+        self.kills = 0
         self.slots: List[Slot] = []
         for node in cluster.nodes:
             if node.hostname in self.down_hosts:
@@ -121,16 +129,53 @@ class SlotScheduler:
                     return slot
         return front[0]
 
-    def commit(self, slot: Slot, duration: float) -> tuple:
+    def acquire_backup(
+        self,
+        not_before: float,
+        exclude_hosts: Iterable[str] = (),
+        prefer_hosts: Iterable[str] = (),
+    ) -> Optional[Slot]:
+        """Pick the slot a speculative backup copy should run on, or
+        None when every slot is excluded.
+
+        The backup cannot start before ``not_before`` (the simulated
+        moment the straggler was provably late), so slots are ranked by
+        their *effective* start ``max(available, not_before)``.
+        ``exclude_hosts`` is hard (the straggling primary's host and any
+        hosts earlier attempts crashed on); ``prefer_hosts`` breaks
+        effective-start ties in favor of reuse-warm hosts. Remaining
+        ties break on (host, slot_index) so the choice is deterministic.
+        """
+        exclude = set(exclude_hosts)
+        candidates = [s for s in self.slots if s.host not in exclude]
+        if not candidates:
+            return None
+        prefer = set(prefer_hosts)
+
+        def rank(slot: Slot) -> tuple:
+            effective = max(slot.available, not_before)
+            return (effective, slot.host not in prefer, slot.host, slot.slot_index)
+
+        return min(candidates, key=rank)
+
+    def commit(
+        self, slot: Slot, duration: float, not_before: Optional[float] = None
+    ) -> tuple:
         """Run a task of ``duration`` seconds on ``slot``; returns
-        ``(start, end, wave)``."""
+        ``(start, end, wave)``. ``not_before`` delays the start past the
+        slot's availability (a speculative backup cannot begin before
+        its launch decision), leaving the slot idle in between."""
         if duration < 0:
             raise SchedulingError("task duration cannot be negative")
         start = slot.available
+        if not_before is not None and not_before > start:
+            start = not_before
         end = start + duration
         wave = slot.tasks_run
         slot.available = end
         slot.tasks_run += 1
+        slot.last_start = start
+        slot.killed = False
         if self.tracer is not None:
             from repro.obs.trace import DEPTH_TASK, slot_track
 
@@ -144,6 +189,53 @@ class SlotScheduler:
                 duration=duration,
             )
         return start, end, wave
+
+    def kill(self, slot: Slot, at: float) -> None:
+        """Kill the slot's *latest* committed task at simulated time
+        ``at``, freeing the slot from then on.
+
+        Used by speculative execution: when a backup copy finishes
+        first, the straggling primary is killed and its slot becomes
+        available at the kill time; when the primary finishes first, the
+        losing backup is killed the same way. The rollback is guarded so
+        a slot is freed exactly once per kill: killing an already-killed
+        commitment, a slot with no commitment, or a time outside the
+        latest commitment's ``[start, end]`` window raises
+        :class:`SchedulingError` instead of corrupting availability.
+        """
+        if slot.tasks_run == 0:
+            raise SchedulingError(
+                f"cannot kill: slot {slot.host}/{self.kind}{slot.slot_index} "
+                f"has no committed task"
+            )
+        if slot.killed:
+            raise SchedulingError(
+                f"cannot kill: latest task on "
+                f"{slot.host}/{self.kind}{slot.slot_index} was already "
+                f"killed (the slot would be freed twice)"
+            )
+        if at < slot.last_start or at > slot.available:
+            raise SchedulingError(
+                f"kill time {at} outside the latest commitment "
+                f"[{slot.last_start}, {slot.available}] on "
+                f"{slot.host}/{self.kind}{slot.slot_index}"
+            )
+        freed = slot.available - at
+        slot.available = at
+        slot.killed = True
+        self.kills += 1
+        if self.tracer is not None:
+            from repro.obs.trace import DEPTH_TASK, slot_track
+
+            self.tracer.instant(
+                "slot.kill",
+                "sched",
+                slot_track(slot.host, self.kind, slot.slot_index),
+                at,
+                DEPTH_TASK,
+                wave=slot.tasks_run - 1,
+                freed=freed,
+            )
 
     def makespan(self, floor: float = 0.0) -> float:
         """Latest finish time across all slots (at least ``floor``)."""

@@ -1,0 +1,307 @@
+"""Speculative (backup) task execution for the simulated runtime.
+
+Hadoop mitigates stragglers by launching a *backup* copy of a task
+whose progress lags far behind its peers; the first copy to finish
+wins and the loser is killed. The paper's cost model (Eqs 1-4) prices
+lookup *waves*, so one slow host stretches the whole wave -- exactly
+the slack PR 4's straggler analysis attributes to slow-lookup and
+partition-skew waves.
+
+The simulated runtime reproduces the scheduling decision without
+re-executing user code. Because execution is deterministic, a backup
+attempt would produce byte-identical records and counters; what differs
+is only *where* and *when* it runs. The engine therefore models a
+backup as a timing projection of the primary's recorded profile:
+
+* its raw duration is the primary's raw (un-straggled) duration,
+  adjusted for the backup host's DFS-read locality (map tasks only;
+  reduce shuffle cost is host-independent),
+* stretched by the backup host's straggler factor.
+
+This keeps the hard guarantee the differential equivalence suite pins:
+speculation on vs off yields bit-identical job outputs and identical
+non-``spec.*`` counters, because the winning attempt *is* the same
+logical execution -- only the schedule changes.
+
+Waves are inspected at *phase end*, with full hindsight. Sealing a wave
+mid-phase would let backup commits (and primary kills) change which
+slots later primaries land on -- in the worst case re-feeding the slow
+host the moment its killed primary frees a slot. Keeping every primary
+exactly where a speculation-off run would put it makes the equivalence
+guarantee structural: speculation only ever *appends* backups onto the
+final slot timeline and rolls back killed tails.
+
+Decision rule (per wave, once the wave's duration distribution is
+known): a task is a speculation candidate when its duration exceeds
+``factor`` x the wave median. The backup cannot start before the
+simulated moment the task was provably late (``start + factor x
+median``); with ``only_winners`` (the default) a backup is launched
+only when its projected finish beats the primary's, which makes
+speculation-on *never slower* than speculation-off. Disabling
+``only_winners`` launches every candidate's backup eagerly and kills
+the losing copy when the winner finishes -- useful for exercising the
+kill path under property tests.
+
+A kill frees the loser's slot exactly once (enforced by
+:meth:`SlotScheduler.kill`) and discards its partial side effects --
+trivially so here, since the loser never re-executed anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.scheduler import Slot, SlotScheduler
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Tuning knobs for speculative execution.
+
+    ``factor``
+        A task is a backup candidate when its duration exceeds
+        ``factor`` x its wave's median duration (must be > 1.0).
+    ``min_wave_tasks``
+        Waves smaller than this are never speculated: a 1-2 task
+        "wave" has no meaningful median.
+    ``only_winners``
+        Launch a backup only when its projected completion beats the
+        primary's (default). This preserves the invariant that enabling
+        speculation never increases a job's simulated time.
+    ``min_saving``
+        Minimum projected saving (simulated seconds) for a backup to be
+        worth launching under ``only_winners``.
+    """
+
+    factor: float = 1.5
+    min_wave_tasks: int = 3
+    only_winners: bool = True
+    min_saving: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise ValueError("speculation factor must be > 1.0")
+        if self.min_wave_tasks < 2:
+            raise ValueError("min_wave_tasks must be >= 2")
+        if self.min_saving < 0.0:
+            raise ValueError("min_saving cannot be negative")
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class SpeculationEngine:
+    """Per-phase speculation driver.
+
+    The runtime feeds every committed task into :meth:`observe`. Runs
+    are buffered per scheduler wave; :meth:`finish` seals every wave at
+    phase end (duration distributions inspected, backups launched,
+    traces emitted). Sealing only at phase end keeps primary placement
+    byte-identical to a speculation-off run -- see the module docstring
+    -- and sidesteps the fact that per-slot wave counters are not
+    globally ordered (a retried task can commit into an "old" wave
+    after its peers moved on).
+
+    Host-constrained tasks (the index-locality strategy's lookup tasks)
+    go through :meth:`passthrough`: their per-host lookup charges cannot
+    be re-modelled on another host, so they are never speculated and do
+    not distort their wave's median.
+
+    All decisions are pure functions of the schedule, so an attached
+    tracer cannot perturb them (the observer-effect guarantee).
+    """
+
+    def __init__(
+        self,
+        config: SpeculationConfig,
+        scheduler: SlotScheduler,
+        backup_duration: Callable[[object, str], float],
+        warm_hosts: Optional[Callable[[], Sequence[str]]] = None,
+        emit: Optional[Callable[..., None]] = None,
+        tracer=None,
+    ):
+        self.config = config
+        self.scheduler = scheduler
+        self._backup_duration = backup_duration
+        self._warm_hosts = warm_hosts
+        self._emit = emit
+        self._tracer = tracer
+        self.counters = Counters()
+        self.events: List[dict] = []
+        self._pending: Dict[int, List[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, run, slot: Slot) -> None:
+        """Buffer one committed run for wave-level inspection at
+        :meth:`finish`."""
+        self._pending.setdefault(run.wave, []).append((run, slot))
+
+    def passthrough(self, run, slot: Slot) -> None:
+        """Emit a never-speculated (host-constrained) run immediately."""
+        self._finish_run(run, slot)
+
+    def finish(self) -> Counters:
+        """Seal every remaining wave; returns the ``spec.*`` counters."""
+        for wave in sorted(self._pending):
+            self._seal(wave)
+        return self.counters
+
+    # ------------------------------------------------------------------
+    def _finish_run(self, run, slot: Slot, speculative: bool = False) -> None:
+        if self._emit is not None:
+            self._emit(run, slot.host, slot.slot_index, speculative=speculative)
+
+    def _seal(self, wave: int) -> None:
+        entries = self._pending.pop(wave, [])
+        if not entries:
+            return
+        cfg = self.config
+        median = _median([run.duration for run, _ in entries])
+        eligible = len(entries) >= cfg.min_wave_tasks and median > 0.0
+        threshold = cfg.factor * median
+        warm = (
+            tuple(self._warm_hosts()) if self._warm_hosts is not None else ()
+        )
+        for run, slot in entries:
+            if not eligible or run.duration <= threshold:
+                self._finish_run(run, slot)
+                continue
+            self._speculate(run, slot, threshold, warm)
+
+    def _speculate(self, run, slot: Slot, threshold: float, warm) -> None:
+        cfg = self.config
+        scheduler = self.scheduler
+        counters = self.counters
+        counters.increment("spec", "candidates")
+        # The primary's slot must still be parked on exactly this run:
+        # if a crash-retry or an earlier backup already moved it on, a
+        # rollback here would corrupt the slot's accounting.
+        if (
+            slot.killed
+            or slot.last_start != run.start
+            or slot.available != run.end
+        ):
+            counters.increment("spec", "primary_superseded")
+            self._finish_run(run, slot)
+            return
+        decision_time = run.start + threshold
+        exclude = {run.node_host}
+        exclude.update(getattr(run, "_spec_failed_hosts", ()))
+        prefer = [h for h in warm if h not in exclude]
+        backup_slot = scheduler.acquire_backup(
+            decision_time, exclude_hosts=exclude, prefer_hosts=prefer
+        )
+        if backup_slot is None:
+            counters.increment("spec", "no_slot")
+            self._finish_run(run, slot)
+            return
+        backup_start = max(backup_slot.available, decision_time)
+        if backup_start >= run.end:
+            # No slot frees up before the primary finishes anyway.
+            counters.increment("spec", "backups_skipped")
+            self._finish_run(run, slot)
+            return
+        backup_duration = self._backup_duration(run, backup_slot.host)
+        backup_end = backup_start + backup_duration
+        saving = run.end - backup_end
+        if cfg.only_winners and saving <= cfg.min_saving:
+            counters.increment("spec", "backups_skipped")
+            self._finish_run(run, slot)
+            return
+
+        bstart, bend, _ = scheduler.commit(
+            backup_slot, backup_duration, not_before=decision_time
+        )
+        counters.increment("spec", "backups_launched")
+        primary_host = run.node_host
+        primary_start, primary_end = run.start, run.end
+        primary_duration = run.duration
+        won = bend < primary_end
+        if won:
+            scheduler.kill(slot, bend)
+            counters.increment("spec", "backups_won")
+            counters.increment("spec", "primaries_killed")
+            counters.increment("spec", "saved_seconds", saving)
+            run.node_host = backup_slot.host
+            run.start, run.end, run.duration = bstart, bend, backup_duration
+            self._killed_span(
+                run,
+                slot,
+                start=primary_start,
+                kill_time=bend,
+                projected_end=primary_end,
+                projected_dur=primary_duration,
+                role="primary",
+                other_host=backup_slot.host,
+            )
+            self._finish_run(run, backup_slot, speculative=True)
+        else:
+            kill_at = max(bstart, primary_end)
+            scheduler.kill(backup_slot, kill_at)
+            counters.increment("spec", "backups_lost")
+            counters.increment("spec", "wasted_seconds", kill_at - bstart)
+            self._killed_span(
+                run,
+                backup_slot,
+                start=bstart,
+                kill_time=kill_at,
+                projected_end=bend,
+                projected_dur=backup_duration,
+                role="backup",
+                other_host=primary_host,
+            )
+            self._finish_run(run, slot)
+        self.events.append(
+            {
+                "task": run.task_id,
+                "kind": run.kind,
+                "wave": run.wave,
+                "primary_host": primary_host,
+                "backup_host": backup_slot.host,
+                "won": won,
+                "saved": saving if won else 0.0,
+            }
+        )
+
+    def _killed_span(
+        self,
+        run,
+        slot: Slot,
+        start: float,
+        kill_time: float,
+        projected_end: float,
+        projected_dur: float,
+        role: str,
+        other_host: str,
+    ) -> None:
+        """Emit the killed attempt's partial occupancy as a
+        ``task.killed`` span: it really did hold its slot from ``start``
+        until the kill, so critical-path tiling stays exact."""
+        if self._tracer is None:
+            return
+        from repro.obs.trace import DEPTH_TASK, slot_track
+
+        self._tracer.span(
+            "task.killed",
+            "spec",
+            slot_track(slot.host, self.scheduler.kind, slot.slot_index),
+            start,
+            kill_time,
+            DEPTH_TASK,
+            task=run.task_id,
+            kind=run.kind,
+            wave=run.wave,
+            attempt=getattr(run, "_spec_attempt", 0),
+            role=role,
+            projected_end=projected_end,
+            projected_dur=projected_dur,
+            other_host=other_host,
+        )

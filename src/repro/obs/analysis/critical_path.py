@@ -261,7 +261,12 @@ def _walk_phase(
                 attribution["slot.idle"] = (
                     attribution.get("slot.idle", 0.0) + seg.duration
                 )
-            seg_kind = "task.crash" if t["name"] == "task.crash" else "task"
+            # Crashed attempts and speculatively-killed copies really
+            # occupied their slot until the crash/kill, so they tile as
+            # their own segment kinds rather than as normal tasks.
+            seg_kind = (
+                t["name"] if t["name"] in ("task.crash", "task.killed") else "task"
+            )
             seg = PathSegment(
                 seg_kind,
                 str(t["args"].get("task", t["name"])),
@@ -274,7 +279,7 @@ def _walk_phase(
                 attribution=(
                     _task_attribution(t)
                     if seg_kind == "task"
-                    else {"task.crash": t["dur"]}
+                    else {seg_kind: t["dur"]}
                 ),
             )
             segments.append(seg)
@@ -294,7 +299,10 @@ def _walk_phase(
 
     by_wave: Dict[int, List[float]] = {}
     for t in mine:
-        if t["name"] == "task.crash":
+        # Only completed attempts enter the wave-slack stats: a crashed
+        # attempt or a killed speculative copy would double-count its
+        # logical task (whose winning attempt is already here).
+        if t["name"] != "task":
             continue
         by_wave.setdefault(int(t["args"].get("wave", 0)), []).append(t["dur"])
     slack = {

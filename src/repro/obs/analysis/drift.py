@@ -352,6 +352,10 @@ def job_drift(artifact: TraceArtifacts) -> List[JobDrift]:
     """Drift findings per job with audit records in one artifact."""
     by_job: Dict[str, List[dict]] = {}
     for row in artifact.audit_rows:
+        if row.get("verdict") == "note":
+            # Runtime notes (e.g. speculation) carry no CostEnv or
+            # samples; they are not Algorithm-1 evaluations to re-price.
+            continue
         by_job.setdefault(str(row.get("job", "?")), []).append(row)
     out: List[JobDrift] = []
     for job, rows in sorted(by_job.items()):

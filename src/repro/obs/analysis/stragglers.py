@@ -12,6 +12,12 @@ Three questions per phase:
   the task's exact op aggregates relative to its wave peers: fault
   retries, a cache-miss burst (excess index fetches), lookup-time
   excess, shuffle/input skew, or residual compute (e.g. a slow host).
+
+A primary killed by a winning backup shows up as a ``task.killed``
+span, not a slow ``task`` span -- the straggle never materialised. When
+its *projected* duration would have crossed the threshold, the profile
+reports it with cause ``mitigated-by-speculation``, so a speculation-on
+trace still explains where the tail went.
 """
 
 from __future__ import annotations
@@ -249,6 +255,13 @@ def phase_profiles(
     tasks = [
         s for s in spans if s["depth"] == DEPTH_TASK and s["name"] == "task"
     ]
+    killed_primaries = [
+        s
+        for s in spans
+        if s["depth"] == DEPTH_TASK
+        and s["name"] == "task.killed"
+        and s["args"].get("role") == "primary"
+    ]
     input_bytes: Dict[str, float] = {}
     for s in spans:
         if s["depth"] == DEPTH_OP and s["name"] in ("dfs.read", "shuffle.fetch"):
@@ -265,6 +278,12 @@ def phase_profiles(
         stage = task_id.rsplit("-", 1)[0] if "-" in task_id else "?"
         kind = str(t["args"].get("kind", "?"))
         groups.setdefault((stage, kind), []).append(t)
+    killed_groups: Dict[Tuple[str, str], List[dict]] = {}
+    for t in killed_primaries:
+        task_id = str(t["args"].get("task", ""))
+        stage = task_id.rsplit("-", 1)[0] if "-" in task_id else "?"
+        kind = str(t["args"].get("kind", "?"))
+        killed_groups.setdefault((stage, kind), []).append(t)
 
     out: List[PhaseProfile] = []
     for (stage, kind), members in sorted(groups.items()):
@@ -273,8 +292,11 @@ def phase_profiles(
             by_wave.setdefault(int(t["args"].get("wave", 0)), []).append(t)
         waves = []
         stragglers: List[Straggler] = []
+        wave_medians: Dict[int, float] = {}
         for wave, batch in sorted(by_wave.items()):
             durs = [t["dur"] for t in batch]
+            if len(batch) >= 2:
+                wave_medians[wave] = _median(durs)
             waves.append(
                 WaveProfile(
                     wave=wave,
@@ -310,6 +332,30 @@ def phase_profiles(
                         evidence=evidence,
                     )
                 )
+        # Killed primaries never ran to completion; judge their
+        # *projected* duration against the wave of completed peers
+        # (which includes the winning backup's attempt).
+        for t in sorted(
+            killed_groups.get((stage, kind), ()),
+            key=lambda t: str(t["args"].get("task", "")),
+        ):
+            wave = int(t["args"].get("wave", 0))
+            wave_median = wave_medians.get(wave, 0.0)
+            projected = float(t["args"].get("projected_dur", 0.0))
+            if wave_median <= 0 or projected <= straggler_threshold * wave_median:
+                continue
+            stragglers.append(
+                Straggler(
+                    task=str(t["args"].get("task", "?")),
+                    track=t["track"],
+                    wave=wave,
+                    duration=projected,
+                    wave_median=wave_median,
+                    slowdown=projected / wave_median,
+                    cause="mitigated-by-speculation",
+                    evidence={"projected.seconds": (projected, wave_median)},
+                )
+            )
         stragglers.sort(key=lambda s: (-s.slowdown, s.task))
         phase_inputs = [
             input_bytes[str(t["args"].get("task", ""))]

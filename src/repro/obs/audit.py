@@ -27,6 +27,10 @@ VERDICT_VARIANCE_GATE = "variance_gate_failed"
 VERDICT_NO_IMPROVEMENT = "improvement_below_threshold"
 VERDICT_SAME_STRATEGIES = "same_strategies"
 VERDICT_REPLAN = "replan"
+#: Marker verdict for free-form runtime notes (e.g. speculation changed
+#: a wave's shape). Note rows are not Algorithm-1 evaluations: audit
+#: consumers that re-price or count evaluations must skip them.
+VERDICT_NOTE = "note"
 
 
 @dataclass
@@ -193,6 +197,9 @@ class AdaptiveAuditLog:
 
     def __init__(self) -> None:
         self.records: List[AuditRecord] = []
+        #: Free-form runtime notes (``verdict == "note"`` rows in the
+        #: exported jsonl), e.g. "speculation changed this wave".
+        self.notes: List[dict] = []
 
     # ------------------------------------------------------------------
     def record_evaluation(
@@ -243,6 +250,29 @@ class AdaptiveAuditLog:
         record.applied_at = applied_at
         record.reuse.update(reuse)
 
+    def note(
+        self, kind: str, *, job: str, phase: str, sim_time: float, **payload: Any
+    ) -> dict:
+        """Append a free-form runtime note.
+
+        Notes ride in the same exported jsonl as evaluations, tagged
+        ``verdict="note"`` so offline consumers can filter them; the
+        runtime uses them to record schedule-level interventions (a won
+        speculative backup changing a wave's shape) that are not
+        Algorithm-1 evaluations but belong in the "why did this run look
+        like that?" audit trail.
+        """
+        row = {
+            "job": job,
+            "phase": phase,
+            "sim_time": sim_time,
+            "verdict": VERDICT_NOTE,
+            "note_kind": kind,
+            "note": _json_safe(payload),
+        }
+        self.notes.append(row)
+        return row
+
     # ------------------------------------------------------------------
     @property
     def replans(self) -> List[AuditRecord]:
@@ -256,16 +286,25 @@ class AdaptiveAuditLog:
         return [r for r in self.records if r.job == job]
 
     def to_dicts(self) -> List[dict]:
-        return [r.to_dict() for r in self.records]
+        """Every evaluation record, then every note, with a contiguous
+        ``seq`` (notes are numbered after the records so existing
+        record seqs never shift)."""
+        rows = [r.to_dict() for r in self.records]
+        for i, note in enumerate(self.notes):
+            row = dict(note)
+            row["seq"] = len(self.records) + i
+            rows.append(row)
+        return rows
 
     def summary_lines(self) -> List[str]:
         """Human-readable one-liner per record (used by explain and the
         report tool)."""
-        if not self.records:
+        if not self.records and not self.notes:
             return ["no adaptive evaluations recorded"]
         lines = [
             f"{len(self.records)} adaptive evaluation(s), "
             f"{len(self.replans)} replan(s), {len(self.applied)} applied"
+            + (f", {len(self.notes)} runtime note(s)" if self.notes else "")
         ]
         for r in self.records:
             imp = r.improvement
@@ -285,6 +324,15 @@ class AdaptiveAuditLog:
             if r.reuse:
                 pairs = ", ".join(f"{k}={v}" for k, v in sorted(r.reuse.items()))
                 lines.append(f"      reuse: {pairs}")
+        for note in self.notes:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sorted(note.get("note", {}).items())
+            )
+            lines.append(
+                f"  note {note.get('note_kind')} {note.get('job')}"
+                f" {note.get('phase')}@t={note.get('sim_time', 0.0):.3f}s"
+                + (f": {pairs}" if pairs else "")
+            )
         return lines
 
     def __len__(self) -> int:

@@ -116,8 +116,18 @@ def slowest_lookups(spans: List[dict], top_k: int = 10) -> List[str]:
 def replan_timeline(audit_rows: List[dict]) -> List[str]:
     if not audit_rows:
         return ["no adaptive evaluations in audit log"]
-    lines = [f"{len(audit_rows)} adaptive evaluation(s):"]
-    for row in audit_rows:
+    evaluations = [r for r in audit_rows if r.get("verdict") != "note"]
+    notes = [r for r in audit_rows if r.get("verdict") == "note"]
+    lines = [f"{len(evaluations)} adaptive evaluation(s):"]
+    for row in notes:
+        payload = row.get("note") or {}
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+        lines.append(
+            f"  note {row.get('note_kind')} {row.get('job')}"
+            f" {row.get('phase')}@t={row.get('sim_time', 0.0):.3f}s"
+            + (f": {pairs}" if pairs else "")
+        )
+    for row in evaluations:
         imp = row.get("improvement")
         detail = f" gain={imp:.3f}s" if isinstance(imp, (int, float)) else ""
         applied = " [applied]" if row.get("applied") else ""

@@ -287,6 +287,38 @@ class TaskTraceBuffer:
         self.rel_instant(name, cat, self.base_offset + charged_ts, depth, **args)
 
     # ------------------------------------------------------------------
+    def scale(self, factor: float) -> None:
+        """Stretch every relative coordinate, aggregate total, and
+        latency observation by ``factor``.
+
+        The runtime records a task's internal profile in *raw* (un-
+        straggled) time, then learns the attempt's final duration only
+        at commit: a per-host straggler factor stretches it, and a
+        speculative backup replaces it with the backup host's duration.
+        Scaling the buffer by ``final / raw`` keeps the profile's shape
+        while making its spans and ``op_totals`` sum consistently with
+        the emitted task span, so offline attribution stays exact.
+        """
+        if factor == 1.0:
+            return
+        if factor < 0.0:
+            raise ValueError("trace scale factor cannot be negative")
+        self.base_offset *= factor
+        self.rel_spans = [
+            (name, cat, rel_start * factor, rel_end * factor, depth, args)
+            for name, cat, rel_start, rel_end, depth, args in self.rel_spans
+        ]
+        self.rel_instants = [
+            (name, cat, rel_ts * factor, depth, args)
+            for name, cat, rel_ts, depth, args in self.rel_instants
+        ]
+        for entry in self.totals.values():
+            entry[1] *= factor
+        self.observations = {
+            name: [d * factor for d in durations]
+            for name, durations in self.observations.items()
+        }
+
     def _count(self, name: str, duration: float) -> None:
         entry = self.totals.get(name)
         if entry is None:

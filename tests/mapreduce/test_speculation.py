@@ -1,0 +1,388 @@
+"""Speculative execution: scheduler kill accounting, engine decisions,
+and runner-level guarantees."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.mapreduce.api import FnMapper, FnReducer
+from repro.mapreduce.jobconf import JobConf
+from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.mapreduce.speculation import (
+    SpeculationConfig,
+    SpeculationEngine,
+)
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan, TaskCrash
+
+
+@pytest.fixture
+def sched():
+    cluster = Cluster(num_nodes=3, map_slots_per_node=1, reduce_slots_per_node=1)
+    return SlotScheduler(cluster, "map")
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SpeculationConfig()
+        assert cfg.factor == 1.5 and cfg.only_winners
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"factor": 1.0},
+            {"factor": 0.5},
+            {"min_wave_tasks": 1},
+            {"min_saving": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SpeculationConfig(**kwargs)
+
+
+class TestSchedulerKill:
+    def test_kill_frees_slot(self, sched):
+        slot = sched.acquire()
+        sched.commit(slot, 10.0)
+        sched.kill(slot, 4.0)
+        assert slot.available == 4.0
+        assert sched.kills == 1
+
+    def test_double_kill_raises(self, sched):
+        slot = sched.acquire()
+        sched.commit(slot, 10.0)
+        sched.kill(slot, 4.0)
+        with pytest.raises(SchedulingError):
+            sched.kill(slot, 3.0)
+
+    def test_kill_without_commit_raises(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.kill(sched.slots[0], 0.0)
+
+    def test_kill_outside_window_raises(self, sched):
+        slot = sched.acquire()
+        sched.commit(slot, 10.0)
+        with pytest.raises(SchedulingError):
+            sched.kill(slot, 11.0)
+        slot2 = sched.acquire()
+        sched.commit(slot2, 5.0)
+        sched.commit(slot2, 5.0)  # second task: window is [5, 10]
+        with pytest.raises(SchedulingError):
+            sched.kill(slot2, 4.0)
+
+    def test_kill_at_end_is_noop_rollback(self, sched):
+        slot = sched.acquire()
+        _, end, _ = sched.commit(slot, 10.0)
+        sched.kill(slot, end)
+        assert slot.available == end
+
+    def test_commit_after_kill_rearms(self, sched):
+        slot = sched.acquire()
+        sched.commit(slot, 10.0)
+        sched.kill(slot, 4.0)
+        sched.commit(slot, 2.0)
+        assert not slot.killed
+        sched.kill(slot, 5.0)
+        assert sched.kills == 2
+
+
+class TestAcquireBackup:
+    def test_excluded_hosts_skipped(self, sched):
+        hosts = {s.host for s in sched.slots}
+        slot = sched.acquire_backup(0.0, exclude_hosts=hosts - {"node02"})
+        assert slot.host == "node02"
+
+    def test_all_excluded_returns_none(self, sched):
+        hosts = {s.host for s in sched.slots}
+        assert sched.acquire_backup(0.0, exclude_hosts=hosts) is None
+
+    def test_prefers_warm_host_on_tie(self, sched):
+        slot = sched.acquire_backup(0.0, prefer_hosts=("node01",))
+        assert slot.host == "node01"
+
+    def test_ranks_by_effective_start(self, sched):
+        # node00 free at 0 but the backup cannot start before 5; node01
+        # free at 3 -> same effective start, tie broken by host order.
+        for s in sched.slots:
+            if s.host == "node01":
+                sched.commit(s, 3.0)
+            elif s.host == "node02":
+                sched.commit(s, 9.0)
+        slot = sched.acquire_backup(5.0, exclude_hosts=())
+        assert slot.host == "node00"
+
+
+class _Run:
+    """Minimal stand-in for TaskRun with the fields the engine reads."""
+
+    def __init__(self, task_id, slot, start, end, wave):
+        self.task_id = task_id
+        self.kind = "map"
+        self.node_host = slot.host
+        self.wave = wave
+        self.start = start
+        self.end = end
+        self.duration = end - start
+
+
+def _commit(sched, slot, duration):
+    start, end, wave = sched.commit(slot, duration)
+    return _Run(f"t-{slot.host}-{wave}", slot, start, end, wave)
+
+
+def _engine(sched, backup_duration, **cfg):
+    emitted = []
+    engine = SpeculationEngine(
+        SpeculationConfig(**cfg),
+        sched,
+        backup_duration=lambda run, host: backup_duration,
+        emit=lambda run, host, idx, speculative=False: emitted.append(
+            (run.task_id, host, speculative)
+        ),
+    )
+    return engine, emitted
+
+
+class TestEngine:
+    def _straggled_wave(self, sched, slow=10.0, backup_duration=1.0, **cfg):
+        """One wave: node00 runs a 10s straggler, peers take 1s."""
+        engine, emitted = _engine(sched, backup_duration, **cfg)
+        slots = {s.host: s for s in sched.slots}
+        for host, dur in (("node00", slow), ("node01", 1.0), ("node02", 1.0)):
+            run = _commit(sched, slots[host], dur)
+            engine.observe(run, slots[host])
+        counters = engine.finish()
+        return engine, emitted, counters, slots
+
+    def test_backup_wins_and_primary_killed(self, sched):
+        engine, emitted, counters, slots = self._straggled_wave(sched)
+        spec = counters.group("spec")
+        assert spec["candidates"] == 1
+        assert spec["backups_launched"] == 1
+        assert spec["backups_won"] == 1
+        assert spec["primaries_killed"] == 1
+        assert spec["saved_seconds"] > 0
+        # Primary slot rolled back to the backup's finish.
+        assert slots["node00"].killed
+        assert slots["node00"].available < 10.0
+        # The winner was emitted exactly once, speculatively, and every
+        # logical task was emitted exactly once overall.
+        assert sorted(t for t, _, _ in emitted) == [
+            "t-node00-0",
+            "t-node01-0",
+            "t-node02-0",
+        ]
+        spec_emits = [(t, h) for t, h, s in emitted if s]
+        assert len(spec_emits) == 1 and spec_emits[0][0] == "t-node00-0"
+
+    def test_backup_decision_time_gates_start(self, sched):
+        engine, emitted, counters, _ = self._straggled_wave(sched)
+        event = engine.events[0]
+        assert event["won"] and event["primary_host"] == "node00"
+        # decision at start + 1.5 x median(1) = 1.5; backup runs 1s.
+        assert event["saved"] == pytest.approx(10.0 - 2.5)
+
+    def test_only_winners_skips_losing_backup(self, sched):
+        _, _, counters, _ = self._straggled_wave(sched, backup_duration=20.0)
+        spec = counters.group("spec")
+        assert spec["candidates"] == 1
+        assert spec.get("backups_launched", 0) == 0
+        assert spec["backups_skipped"] == 1
+
+    def test_eager_mode_kills_losing_backup(self, sched):
+        engine, emitted, counters, slots = self._straggled_wave(
+            sched, backup_duration=20.0, only_winners=False
+        )
+        spec = counters.group("spec")
+        assert spec["backups_launched"] == 1
+        assert spec["backups_lost"] == 1
+        assert spec.get("backups_won", 0) == 0
+        assert spec["wasted_seconds"] > 0
+        assert sched.kills == 1
+        # The losing backup's slot was rolled back to the primary's end.
+        backup_host = engine.events[0]["backup_host"]
+        assert slots[backup_host].available == 10.0
+        # No speculative emit: the primary won.
+        assert not any(s for _, _, s in emitted)
+
+    def test_min_saving_floor(self, sched):
+        _, _, counters, _ = self._straggled_wave(sched, min_saving=100.0)
+        assert counters.group("spec").get("backups_launched", 0) == 0
+
+    def test_small_wave_not_speculated(self, sched):
+        engine, emitted = _engine(sched, 1.0, min_wave_tasks=3)
+        slots = [s for s in sched.slots]
+        run = _commit(sched, slots[0], 10.0)
+        engine.observe(run, slots[0])
+        run2 = _commit(sched, slots[1], 1.0)
+        engine.observe(run2, slots[1])
+        counters = engine.finish()
+        assert counters.get("spec", "candidates") == 0
+        assert len(emitted) == 2
+
+    def test_passthrough_never_speculates(self, sched):
+        engine, emitted = _engine(sched, 1.0)
+        slots = {s.host: s for s in sched.slots}
+        for host, dur in (("node00", 10.0), ("node01", 1.0), ("node02", 1.0)):
+            run = _commit(sched, slots[host], dur)
+            engine.passthrough(run, slots[host])
+        counters = engine.finish()
+        assert counters.get("spec", "candidates") == 0
+        assert len(emitted) == 3
+
+    def test_superseded_primary_not_killed(self, sched):
+        """Regression: a straggler whose slot already ran a later task
+        (crash-retry or next wave) must not be rolled back."""
+        engine, emitted = _engine(sched, 1.0)
+        slots = {s.host: s for s in sched.slots}
+        run = _commit(sched, slots["node00"], 10.0)
+        engine.observe(run, slots["node00"])
+        for host in ("node01", "node02"):
+            peer = _commit(sched, slots[host], 1.0)
+            engine.observe(peer, slots[host])
+        # A later task reuses the straggler's slot before sealing.
+        _commit(sched, slots["node00"], 2.0)
+        counters = engine.finish()
+        spec = counters.group("spec")
+        assert spec["primary_superseded"] == 1
+        assert spec.get("backups_launched", 0) == 0
+        assert sched.kills == 0
+        assert slots["node00"].available == 12.0
+
+
+def wordcount_conf(**overrides):
+    def tokenize(k, v):
+        for w in v.split():
+            yield (w, 1)
+
+    def total(k, vs):
+        yield (k, sum(vs))
+
+    conf = JobConf(
+        name="wc-spec",
+        input_paths=["/in"],
+        output_path="/out",
+        map_chain=[FnMapper(tokenize)],
+        reducer=FnReducer(total),
+        num_reduce_tasks=3,
+        materialize_output=False,
+    )
+    for key, value in overrides.items():
+        setattr(conf, key, value)
+    return conf
+
+
+@pytest.fixture
+def loaded(cluster, dfs):
+    filler = "pad" * 20
+    records = [
+        (i, f"alpha beta {'gamma' if i % 2 else 'delta'} {filler}{i}")
+        for i in range(2000)
+    ]
+    dfs.write("/in", records)
+    return cluster, dfs
+
+
+def _run(cluster, dfs, fault_plan=None, speculation=None):
+    runner = JobRunner(
+        cluster, dfs, fault_plan=fault_plan, speculation=speculation
+    )
+    return runner.run(wordcount_conf())
+
+
+class TestRunnerIntegration:
+    def test_slow_host_run_is_faster_with_speculation(self, loaded):
+        cluster, dfs = loaded
+        plan = lambda: FaultPlan(seed=3, straggler_factors={"node01": 4.0})
+        off = _run(cluster, dfs, fault_plan=plan())
+        on = _run(
+            cluster, dfs, fault_plan=plan(), speculation=SpeculationConfig()
+        )
+        assert on.sim_time < off.sim_time
+        assert on.counters.get("spec", "backups_won") > 0
+        assert dict(on.output) == dict(off.output)
+
+    def test_clean_run_pays_nothing(self, loaded):
+        cluster, dfs = loaded
+        off = _run(cluster, dfs)
+        on = _run(cluster, dfs, speculation=SpeculationConfig())
+        assert on.sim_time == off.sim_time
+        assert not on.counters.group("spec")
+
+    def test_placement_invariance(self, loaded):
+        """Primary tasks run exactly where and when they would without
+        speculation; only killed tails and backups differ."""
+        cluster, dfs = loaded
+        plan = lambda: FaultPlan(seed=3, straggler_factors={"node01": 4.0})
+        off = _run(cluster, dfs, fault_plan=plan())
+        on = _run(
+            cluster, dfs, fault_plan=plan(), speculation=SpeculationConfig()
+        )
+        moved = 0
+        off_maps = {r.task_id: r for r in off.map_runs}
+        on_maps = {r.task_id: r for r in on.map_runs}
+        assert set(off_maps) == set(on_maps)
+        for task_id, a in off_maps.items():
+            b = on_maps[task_id]
+            if b.node_host == a.node_host:
+                assert (b.start, b.end) == (a.start, a.end)
+            else:
+                moved += 1
+                assert b.end < a.end  # a backup only wins by finishing first
+        # The reduce phase starts at map-end, which map backups move;
+        # placement is invariant relative to the phase start.
+        off_reds = {r.task_id: r for r in off.reduce_runs}
+        on_reds = {r.task_id: r for r in on.reduce_runs}
+        assert set(off_reds) == set(on_reds)
+        for task_id, a in off_reds.items():
+            b = on_reds[task_id]
+            if b.node_host == a.node_host:
+                assert b.start - on.map_phase_end == pytest.approx(
+                    a.start - off.map_phase_end
+                )
+                assert b.duration == pytest.approx(a.duration)
+            else:
+                moved += 1
+        assert moved == on.counters.get("spec", "backups_won")
+
+    def test_crash_retry_and_speculation_coexist(self, loaded):
+        """Regression for the kill/retry interplay: a crash-retried task
+        and speculative kills in the same run must leave every task
+        completed exactly once and the outputs untouched."""
+        cluster, dfs = loaded
+
+        def plan():
+            return FaultPlan(
+                seed=5,
+                straggler_factors={"node01": 4.0},
+                task_crashes=[TaskCrash("wc-spec-m0000", after_records=5)],
+            )
+
+        off = _run(cluster, dfs, fault_plan=plan())
+        on = _run(
+            cluster, dfs, fault_plan=plan(), speculation=SpeculationConfig()
+        )
+        assert dict(on.output) == dict(off.output)
+        assert on.counters.get("fault", "tasks_retried") == off.counters.get(
+            "fault", "tasks_retried"
+        )
+        task_ids = [r.task_id for r in on.map_runs + on.reduce_runs]
+        assert len(task_ids) == len(set(task_ids))
+        assert on.sim_time <= off.sim_time
+
+    def test_eager_mode_output_identical(self, loaded):
+        cluster, dfs = loaded
+        plan = lambda: FaultPlan(seed=3, straggler_factors={"node01": 4.0})
+        off = _run(cluster, dfs, fault_plan=plan())
+        on = _run(
+            cluster,
+            dfs,
+            fault_plan=plan(),
+            speculation=SpeculationConfig(only_winners=False),
+        )
+        assert dict(on.output) == dict(off.output)
+        spec = on.counters.group("spec")
+        assert spec["backups_launched"] == spec.get(
+            "backups_won", 0
+        ) + spec.get("backups_lost", 0)

@@ -1,8 +1,18 @@
 """Straggler & skew profiling: distribution math, cause attribution,
 and behavior on real traced runs."""
 
+import random
+
 import pytest
 
+from repro.core.accessor import IndexAccessor
+from repro.core.costmodel import Strategy
+from repro.core.ejobconf import IndexJobConf
+from repro.core.operator import IndexOperator
+from repro.core.runner import EFindRunner
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.indices.kvstore import DistributedKVStore
+from repro.mapreduce.api import FnMapper, FnReducer
 from repro.obs import Observability
 from repro.obs.analysis import load_artifacts
 from repro.obs.analysis.stragglers import (
@@ -12,6 +22,8 @@ from repro.obs.analysis.stragglers import (
     render,
 )
 from repro.obs.trace import DEPTH_OP, DEPTH_TASK, slot_track
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan
 
 
 class TestDistributionMath:
@@ -159,6 +171,150 @@ class TestCauseAttribution:
         )
         (profile,) = phase_profiles(spans)
         assert profile.tasks == 5  # the crash span is excluded
+
+
+def _killed(stage, idx, kind, wave, track, projected, role="primary"):
+    marker = "m" if kind == "map" else "r"
+    return {
+        "name": "task.killed", "cat": "task", "track": track, "start": 0.0,
+        "dur": 0.3, "depth": DEPTH_TASK,
+        "args": {
+            "task": f"{stage}-{marker}{idx:04d}", "kind": kind, "wave": wave,
+            "role": role, "projected_dur": projected,
+        },
+    }
+
+
+class TestSpeculationMitigation:
+    """A straggler whose primary was killed by a winning backup never
+    materialises as a slow ``task`` span; its *projected* duration is
+    judged instead and attributed to ``mitigated-by-speculation``."""
+
+    def _wave(self, n=4, dur=0.2):
+        return [
+            _task("j", i, "map", 0, slot_track(f"n{i}", "map", 0), 0.0, dur,
+                  op_totals={"lookup": [10, 0.05]})
+            for i in range(n)
+        ]
+
+    def test_killed_primary_over_threshold_is_mitigated(self):
+        spans = self._wave()
+        spans.append(
+            _killed("j", 9, "map", 0, slot_track("n9", "map", 0), 1.0)
+        )
+        (profile,) = phase_profiles(spans)
+        (s,) = profile.stragglers
+        assert s.cause == "mitigated-by-speculation"
+        assert s.duration == 1.0  # the projected, not the killed stub
+        assert s.slowdown == pytest.approx(1.0 / 0.2)
+        assert s.evidence["projected.seconds"] == (1.0, 0.2)
+
+    def test_killed_primary_below_threshold_not_flagged(self):
+        spans = self._wave()
+        spans.append(
+            _killed("j", 9, "map", 0, slot_track("n9", "map", 0), 0.25)
+        )
+        (profile,) = phase_profiles(spans)
+        assert profile.stragglers == []
+
+    def test_killed_backup_spans_ignored(self):
+        # A *lost* backup's kill span carries role="backup"; it is
+        # scheduler bookkeeping, never a straggler.
+        spans = self._wave()
+        spans.append(
+            _killed("j", 9, "map", 0, slot_track("n9", "map", 0), 5.0,
+                    role="backup")
+        )
+        (profile,) = phase_profiles(spans)
+        assert profile.stragglers == []
+
+    def test_killed_primary_needs_completed_wave_peers(self):
+        # With fewer than two completed peers there is no wave median to
+        # judge the projection against.
+        spans = self._wave(n=1)
+        spans.append(
+            _killed("j", 9, "map", 0, slot_track("n9", "map", 0), 5.0)
+        )
+        (profile,) = phase_profiles(spans)
+        assert profile.stragglers == []
+
+
+class _CityOp(IndexOperator):
+    def pre_process(self, key, value, index_input):
+        user, payload = value
+        index_input.put(0, user)
+        return key, payload
+
+    def post_process(self, key, value, index_output, collector):
+        cities = index_output.get(0).get_all()
+        collector.collect(cities[0] if cities else "unknown", value)
+
+
+def _slow_host_run(tmp_path, tag, speculation_factor):
+    """Lookup-heavy job on a 12-node cluster with one x4-slow host;
+    fresh environment per run so the runs are fully independent."""
+    cluster = Cluster(num_nodes=12, map_slots_per_node=2, reduce_slots_per_node=2)
+    dfs = DistributedFileSystem(cluster, block_size=32 * 1024)
+    rng = random.Random(13)
+    records = [
+        (i, (f"user{rng.randrange(400):04d}", "x" * 150)) for i in range(8000)
+    ]
+    dfs.write("/in/events", records)
+    kv = DistributedKVStore("profiles", cluster, service_time=20e-3)
+    for u in range(400):
+        kv.put_unique(f"user{u:04d}", f"city{u % 25:02d}")
+    job = IndexJobConf("st-spec")
+    job.set_input_paths("/in/events").set_output_path("/out/st-spec")
+    job.add_head_index_operator(_CityOp("city-op").add_index(IndexAccessor(kv)))
+    job.set_mapper(FnMapper(lambda k, v: [(k, v)], "ident"))
+    job.set_reducer(
+        FnReducer(lambda k, vs: [(k, len(vs))], "count"), num_reduce_tasks=8
+    )
+    obs = Observability()
+    runner = EFindRunner(
+        cluster,
+        dfs,
+        fault_plan=FaultPlan(seed=7, straggler_factors={"node05": 4.0}),
+        speculation_factor=speculation_factor,
+        obs=obs,
+    )
+    result = runner.run(job, mode="forced", forced_strategy=Strategy.CACHE)
+    obs.export(str(tmp_path / tag), "st-spec")
+    (artifact,) = load_artifacts(str(tmp_path / tag))
+    return result, phase_profiles(artifact.spans)
+
+
+class TestSpeculationDifferentialClassification:
+    def test_slow_host_cause_flips_with_speculation(self, tmp_path):
+        """The same seeded slow host reads ``slow-lookups`` with
+        speculation off and ``mitigated-by-speculation`` with it on --
+        same tasks flagged either way, so the tail is explained, not
+        hidden."""
+        off_result, off_profiles = _slow_host_run(tmp_path, "off", None)
+        on_result, on_profiles = _slow_host_run(tmp_path, "on", 1.5)
+
+        def map_stragglers(profiles):
+            return {
+                s.task: s
+                for p in profiles
+                if p.kind == "map"
+                for s in p.stragglers
+            }
+
+        off_s = map_stragglers(off_profiles)
+        on_s = map_stragglers(on_profiles)
+        assert off_s, "the x4 host must produce map stragglers"
+        assert set(on_s) == set(off_s)  # same tail tasks either way
+        for s in off_s.values():
+            assert s.cause != "mitigated-by-speculation"
+        for s in on_s.values():
+            assert s.cause == "mitigated-by-speculation"
+            assert "projected.seconds" in s.evidence
+        # And the mitigation is real: backups won and the clock moved.
+        spec = on_result.counters.group("spec")
+        assert spec.get("backups_won", 0) == len(on_s)
+        assert on_result.sim_time < off_result.sim_time
+        assert sorted(on_result.output) == sorted(off_result.output)
 
 
 class TestRealRun:

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis): scheduler and speculation
+invariants under random fault plans and thresholds.
+
+The load-bearing guarantees:
+
+* every logical task completes exactly once, speculation on or off;
+* speculation never changes a job's output, and with ``only_winners``
+  never its simulated time for the worse;
+* a slot is freed exactly once per kill, and the kill window / re-arm
+  rules of :meth:`SlotScheduler.kill` hold under arbitrary interleaved
+  commit/kill sequences;
+* backups never land on the primary's host or a host the task already
+  failed on, and dead hosts never enter the pool at all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.mapreduce.api import FnMapper, FnReducer
+from repro.mapreduce.jobconf import JobConf
+from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.mapreduce.speculation import SpeculationConfig
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.simcluster.cluster import Cluster
+from repro.simcluster.faults import FaultPlan
+
+HOSTS = [f"node{i:02d}" for i in range(5)]
+
+straggler_maps = st.dictionaries(
+    st.sampled_from(HOSTS),
+    st.floats(min_value=1.0, max_value=6.0),
+    max_size=3,
+)
+factors = st.floats(min_value=1.05, max_value=3.0)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _cluster():
+    return Cluster(num_nodes=5, map_slots_per_node=2, reduce_slots_per_node=1)
+
+
+def _workload(dfs):
+    records = [
+        (i, f"alpha beta {'gamma' if i % 3 else 'delta'} pad{i}")
+        for i in range(600)
+    ]
+    dfs.write("/in", records)
+
+
+def _conf():
+    def tokenize(k, v):
+        for w in v.split():
+            yield (w, 1)
+
+    def total(k, vs):
+        yield (k, sum(vs))
+
+    return JobConf(
+        name="prop-spec",
+        input_paths=["/in"],
+        output_path="/out",
+        map_chain=[FnMapper(tokenize)],
+        reducer=FnReducer(total),
+        num_reduce_tasks=3,
+        materialize_output=False,
+    )
+
+
+def _run(fault_plan=None, speculation=None):
+    cluster = _cluster()
+    dfs = DistributedFileSystem(cluster, block_size=4 * 1024)
+    _workload(dfs)
+    runner = JobRunner(
+        cluster, dfs, fault_plan=fault_plan, speculation=speculation
+    )
+    return runner.run(_conf())
+
+
+@settings(max_examples=12, deadline=None)
+@given(stragglers=straggler_maps, factor=factors, seed=seeds)
+def test_exactly_once_and_output_invariant(stragglers, factor, seed):
+    """Under any straggler mix and threshold, speculation on/off agree
+    on the output and every logical task completes exactly once."""
+    plan = lambda: FaultPlan(seed=seed, straggler_factors=stragglers)
+    off = _run(fault_plan=plan())
+    on = _run(
+        fault_plan=plan(),
+        speculation=SpeculationConfig(factor=factor, only_winners=True),
+    )
+
+    assert dict(on.output) == dict(off.output)
+    on_ids = sorted(r.task_id for r in on.map_runs + on.reduce_runs)
+    off_ids = sorted(r.task_id for r in off.map_runs + off.reduce_runs)
+    assert on_ids == off_ids
+    assert len(on_ids) == len(set(on_ids))  # exactly once
+    # only_winners: enabling speculation can never cost simulated time.
+    assert on.sim_time <= off.sim_time
+    spec = on.counters.group("spec")
+    assert spec.get("backups_launched", 0) == spec.get(
+        "backups_won", 0
+    ) + spec.get("backups_lost", 0)
+    assert spec.get("primaries_killed", 0) == spec.get("backups_won", 0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(stragglers=straggler_maps, factor=factors, seed=seeds)
+def test_eager_mode_kills_never_leak(stragglers, factor, seed):
+    """With eager backups (kill path exercised on every loss), outputs
+    still match and each launched backup is settled exactly once."""
+    plan = lambda: FaultPlan(seed=seed, straggler_factors=stragglers)
+    off = _run(fault_plan=plan())
+    on = _run(
+        fault_plan=plan(),
+        speculation=SpeculationConfig(factor=factor, only_winners=False),
+    )
+    assert dict(on.output) == dict(off.output)
+    spec = on.counters.group("spec")
+    launched = spec.get("backups_launched", 0)
+    assert launched == spec.get("backups_won", 0) + spec.get(
+        "backups_lost", 0
+    )
+    # A killed backup never contributes records: non-spec counters match
+    # the speculation-off run exactly.
+    on_groups = on.counters.to_dict()
+    off_groups = off.counters.to_dict()
+    on_groups.pop("spec", None)
+    assert on_groups == off_groups
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    dead=st.sets(st.sampled_from(HOSTS[1:]), max_size=2),
+    stragglers=straggler_maps,
+    factor=factors,
+    seed=seeds,
+)
+def test_backups_avoid_dead_and_primary_hosts(dead, stragglers, factor, seed):
+    """Dead hosts never run anything; a winning backup's host differs
+    from the straggling primary's."""
+    plan = lambda: FaultPlan(
+        seed=seed, dead_hosts=tuple(dead), straggler_factors=stragglers
+    )
+    off = _run(fault_plan=plan())
+    on = _run(
+        fault_plan=plan(),
+        speculation=SpeculationConfig(factor=factor, only_winners=True),
+    )
+    assert dict(on.output) == dict(off.output)
+    for run in on.map_runs + on.reduce_runs:
+        assert run.node_host not in dead
+    off_hosts = {r.task_id: r.node_host for r in off.map_runs + off.reduce_runs}
+    moved = [
+        r
+        for r in on.map_runs + on.reduce_runs
+        if r.node_host != off_hosts[r.task_id]
+    ]
+    for r in moved:  # every moved task is a won backup on a fresh host
+        assert r.node_host != off_hosts[r.task_id]
+    assert len(moved) == on.counters.get("spec", "backups_won")
+
+
+# ----------------------------------------------------------------------
+# Direct SlotScheduler kill invariants under random op sequences.
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["commit", "kill"]),
+        st.integers(min_value=0, max_value=9),  # slot pick
+        st.floats(min_value=0.0, max_value=5.0),  # duration / kill frac
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequence=ops)
+def test_slot_accounting_under_random_commit_kill(sequence):
+    """Random interleavings of commits and kills: availability never
+    goes backwards except by an armed kill, each commitment is killable
+    at most once, and the kills counter matches successful kills."""
+    sched = SlotScheduler(_cluster(), "map")
+    slots = sched.slots
+    expected_kills = 0
+    for op, pick, value in sequence:
+        slot = slots[pick % len(slots)]
+        if op == "commit":
+            before = slot.available
+            start, end, _ = sched.commit(slot, value)
+            assert start >= before and end == start + value
+            assert slot.available == end and not slot.killed
+        else:
+            killable = (
+                slot.tasks_run > 0
+                and not slot.killed
+            )
+            at = slot.last_start + (value / 5.0) * (
+                slot.available - slot.last_start
+            )
+            if killable:
+                sched.kill(slot, at)
+                expected_kills += 1
+                assert slot.available == at and slot.killed
+            else:
+                with pytest.raises(SchedulingError):
+                    sched.kill(slot, at)
+    assert sched.kills == expected_kills
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    not_before=st.floats(min_value=0.0, max_value=10.0),
+    busy=st.lists(
+        st.floats(min_value=0.0, max_value=8.0), min_size=10, max_size=10
+    ),
+    excluded=st.sets(st.sampled_from(HOSTS), max_size=4),
+)
+def test_acquire_backup_is_optimal_and_respects_exclusions(
+    not_before, busy, excluded
+):
+    """The chosen backup slot has the minimal effective start among
+    non-excluded slots, and exclusion is absolute."""
+    sched = SlotScheduler(_cluster(), "map")
+    for slot, dur in zip(sched.slots, busy):
+        sched.commit(slot, dur)
+    choice = sched.acquire_backup(not_before, exclude_hosts=excluded)
+    eligible = [s for s in sched.slots if s.host not in excluded]
+    if not eligible:
+        assert choice is None
+        return
+    assert choice.host not in excluded
+    best = min(max(s.available, not_before) for s in eligible)
+    assert max(choice.available, not_before) == best
