@@ -17,6 +17,7 @@ import time
 from repro.bench import figures
 from repro.bench.harness import (
     format_batch_table,
+    format_build_table,
     format_fault_table,
     format_reuse_table,
     format_route_table,
@@ -179,6 +180,25 @@ EXPERIMENTS = {
                     "Reuse  reuse.* counter totals",
                     rows,
                     modes=figures.REUSE_Q3_MODES,
+                ),
+            ]
+        ),
+    ),
+    "build-q3": (
+        "in-job index construction: Q3 while the Orders index is built",
+        figures.run_build_q3,
+        lambda rows: "\n\n".join(
+            [
+                format_table(
+                    "Build  TPC-H Q3 while the Orders index is built in-job",
+                    rows,
+                    modes=figures.BUILD_Q3_MODES,
+                    x_label="build state",
+                ),
+                format_build_table(
+                    "Build  build.* counter totals",
+                    rows,
+                    modes=figures.BUILD_Q3_MODES,
                 ),
             ]
         ),

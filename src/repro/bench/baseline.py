@@ -40,6 +40,11 @@ SUITES: Dict[str, Sequence[Tuple[str, str, Callable[[], List[ExperimentRow]]]]] 
             "TPC-H Q3 with one x4-slow host, speculation off/on",
             figures.run_spec_q3,
         ),
+        (
+            "build-q3",
+            "TPC-H Q3 while the Orders index is built in-job",
+            figures.run_build_q3,
+        ),
     ),
     "synthetic": (
         (
@@ -57,10 +62,12 @@ def baseline_filename(suite: str) -> str:
 
 def serialize_row(row: ExperimentRow) -> dict:
     """One figure row as comparable JSON: simulated seconds per mode
-    plus the deterministic fault/batch/reuse/spec/route counter groups
-    (empty groups are dropped -- clean runs record no fault counters at
-    all, runs without a reuse session record no reuse counters, and
-    runs without speculation or routing record neither of those)."""
+    plus the deterministic fault/batch/reuse/spec/route/build counter
+    groups (empty groups are dropped -- clean runs record no fault
+    counters at all, runs without a reuse session record no reuse
+    counters, runs without speculation or routing record neither of
+    those, and runs without a build session record no build
+    counters)."""
     out: dict = {
         "label": row.label,
         "times": {mode: row.times[mode] for mode in sorted(row.times)},
@@ -80,6 +87,9 @@ def serialize_row(row: ExperimentRow) -> dict:
     route = {m: g for m, g in sorted(row.route.items()) if g}
     if route:
         out["route"] = route
+    build = {m: g for m, g in sorted(row.build.items()) if g}
+    if build:
+        out["build"] = build
     return out
 
 

@@ -488,6 +488,114 @@ def run_reuse_q3() -> List[ExperimentRow]:
 
 
 # ----------------------------------------------------------------------
+# In-job index construction -- Q3 while the Orders index is built
+# ----------------------------------------------------------------------
+BUILD_Q3_MODES = ("Dynamic",)
+
+#: Phase labels, in execution order (baseline row labels).
+BUILD_Q3_PHASES = ("prebuilt", "cold", "warm-1", "warm-2", "full")
+
+#: One third of the key-space buckets per job: full coverage after three
+#: warming runs (48 buckets, 16 committed per job).
+BUILD_Q3_FRACTION = 1.0 / 3.0
+
+
+def run_build_q3() -> List[ExperimentRow]:
+    """TPC-H Q3 run repeatedly while the Orders index is built in-job.
+
+    Five phases of the same adaptive (Dynamic) job, one row each:
+
+    * ``prebuilt`` -- no build session: the Orders index is fully
+      available, exactly as every other figure runs it.
+    * ``cold`` -- a fresh :class:`BuildSession` over the Orders index at
+      0% coverage, build fraction 1/3. Every Orders lookup falls back to
+      a scan-assisted access (``scan_multiplier`` x the indexed service
+      time) while the map tasks fold a third of the key space into the
+      index.
+    * ``warm-1`` / ``warm-2`` -- the same session one and two jobs
+      later (1/3 and 2/3 coverage): the planner prices the PARTIAL
+      hybrid, scans shrink, and simulated lookup+scan time must fall
+      strictly from phase to phase.
+    * ``full`` -- coverage reached 100% at the end of ``warm-2``; the
+      build session is now inert, so the run must reproduce the
+      ``prebuilt`` phase *exactly* -- same plan, same simulated time.
+
+    The job startup overhead is scaled down (x0.1 of the default bench
+    cluster's) so the figure measures lookup/scan time, not fixed job
+    submission costs. All five phases must produce identical output;
+    the trajectory and exact-equality contracts are asserted here (and
+    re-asserted with the regression floors by
+    ``benchmarks/test_build_q3.py``).
+    """
+    from repro.indices.build import BuildSession
+
+    cluster = bench_cluster(job_startup=0.05)
+    dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+    data = tpch.generate(tpch.TpchConfig(sf=0.002))
+    tpch.write_lineitem(dfs, "/in/lineitem", data)
+    indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+    session = BuildSession(
+        {indexes.orders.name: indexes.orders}, fraction=BUILD_Q3_FRACTION
+    )
+
+    def run_phase(label, build):
+        def job_factory(name):
+            indexes.reset_accounting()
+            return tpch.make_q3_job(name, "/in/lineitem", f"/out/{name}", indexes)
+
+        return run_all_modes(
+            cluster,
+            dfs,
+            job_factory,
+            extra_job_targets=("head0",),
+            modes=BUILD_Q3_MODES,
+            label=label,
+            build=build,
+        )
+
+    rows = [run_phase("prebuilt", None)]
+    expected_coverage = (0.0, 1 / 3, 2 / 3, 1.0)
+    for label, want in zip(BUILD_Q3_PHASES[1:], expected_coverage):
+        got = session.coverage(indexes.orders.name)
+        if abs(got - want) > 1e-9:
+            raise AssertionError(
+                f"build-q3 {label!r} expected {want:.0%} Orders coverage "
+                f"on entry, found {got:.0%}"
+            )
+        rows.append(run_phase(label, session))
+
+    by_label = {row.label: row for row in rows}
+    trajectory = [by_label[l].times["Dynamic"] for l in BUILD_Q3_PHASES[1:]]
+    for earlier, later in zip(trajectory, trajectory[1:]):
+        if not earlier > later:
+            raise AssertionError(
+                f"build-q3 warming must strictly reduce simulated time, "
+                f"got {trajectory!r}"
+            )
+    prebuilt = by_label["prebuilt"].details["Dynamic"]
+    full = by_label["full"].details["Dynamic"]
+    if full.sim_time != prebuilt.sim_time:
+        raise AssertionError(
+            f"build-q3 'full' must match 'prebuilt' exactly "
+            f"({full.sim_time!r} != {prebuilt.sim_time!r}); a fully "
+            f"covered build session must cost nothing"
+        )
+    if full.plan.describe() != prebuilt.plan.describe():
+        raise AssertionError(
+            f"build-q3 'full' picked a different plan than 'prebuilt' "
+            f"({full.plan.describe()} != {prebuilt.plan.describe()})"
+        )
+    reference = sorted(prebuilt.output, key=repr)
+    for row in rows[1:]:
+        output = sorted(row.details["Dynamic"].output, key=repr)
+        if not _equivalent(output, reference):
+            raise AssertionError(
+                f"build-q3 {row.label!r} produced different output"
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Speculation -- hot-shard Q3 with an injected slow host
 # ----------------------------------------------------------------------
 SPEC_Q3_MODES = ("Cache",)

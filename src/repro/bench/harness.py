@@ -90,6 +90,9 @@ class ExperimentRow:
     route: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant ``route.*`` counter totals (empty unless a replica
     route policy is set)."""
+    build: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-variant ``build.*`` counter totals (empty unless a build
+    session is attached)."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -111,6 +114,7 @@ def run_all_modes(
     reuse=None,
     speculation_factor: Optional[float] = None,
     route_policy: Optional[str] = None,
+    build=None,
 ) -> ExperimentRow:
     """Run the requested variants and return their simulated times.
 
@@ -131,7 +135,12 @@ def run_all_modes(
     in ``row.spec``); ``route_policy`` (optional) attaches replica-
     aware lookup routing (``route.*`` totals land in ``row.route``).
     Both leave every variant's output bit-identical to a run without
-    them.
+    them. ``build`` (optional) is a
+    :class:`repro.indices.build.BuildSession` shared by every variant's
+    runners: incremental index builds piggyback on the map tasks and
+    coverage persists across the jobs of one experiment (``build.*``
+    totals land in ``row.build``). Outputs stay identical; only
+    simulated time moves (scan-assisted lookups and build charges).
 
     When a trace directory is set (``repro.obs.config.set_trace_dir``,
     i.e. ``python -m repro.bench --trace <dir>``), every variant runs
@@ -168,6 +177,7 @@ def run_all_modes(
                 reuse=reuse_store,
                 speculation_factor=speculation_factor,
                 route_policy=route_policy,
+                build=build,
                 obs=obs,
             )
             profiler.run(
@@ -185,6 +195,7 @@ def run_all_modes(
                 reuse=reuse_store,
                 speculation_factor=speculation_factor,
                 route_policy=route_policy,
+                build=build,
                 obs=obs,
             )
             return runner.run(job, mode="static")
@@ -198,6 +209,7 @@ def run_all_modes(
                 reuse=reuse_store,
                 speculation_factor=speculation_factor,
                 route_policy=route_policy,
+                build=build,
                 obs=obs,
             )
             return runner.run(job, mode="dynamic")
@@ -210,6 +222,7 @@ def run_all_modes(
             reuse=reuse_store,
             speculation_factor=speculation_factor,
             route_policy=route_policy,
+            build=build,
             obs=obs,
         )
         strategy = {
@@ -231,11 +244,12 @@ def run_all_modes(
     for mode in modes:
         if mode in skip:
             continue
-        # The reuse store is shared, persistent state: a traced re-run
-        # must replay against the store the untraced run started from,
-        # or its reuse.* counters (and hence the observer-effect
-        # assertion) would diverge.
+        # The reuse store and the build catalog are shared, persistent
+        # state: a traced re-run must replay against the state the
+        # untraced run started from, or its reuse.*/build.* counters
+        # (and hence the observer-effect assertion) would diverge.
         pre_snap = reuse_store.snapshot() if reuse_store is not None else None
+        build_pre = build.snapshot() if build is not None else None
         started = time.perf_counter()
         result = execute(mode)
         wall_off = time.perf_counter() - started
@@ -246,16 +260,22 @@ def run_all_modes(
         row.reuse[mode] = result.counters.group("reuse")
         row.spec[mode] = result.counters.group("spec")
         row.route[mode] = result.counters.group("route")
+        row.build[mode] = result.counters.group("build")
         if trace_dir is not None:
             if reuse_store is not None:
                 post_snap = reuse_store.snapshot()
                 reuse_store.restore(pre_snap)
+            if build is not None:
+                build_post = build.snapshot()
+                build.restore(build_pre)
             _traced_rerun(row, mode, execute, result, wall_off, trace_dir, label)
             if reuse_store is not None:
                 # The deterministic replay leaves the store in the same
                 # state; restoring the recorded post-state makes that an
                 # invariant rather than an assumption.
                 reuse_store.restore(post_snap)
+            if build is not None:
+                build.restore(build_post)
         if verify_outputs:
             output = sorted(result.output, key=repr)
             if reference is None:
@@ -509,6 +529,42 @@ def format_route_table(
             cells = " | ".join(
                 f"{counters.get(n, 0.0):{w}g}"
                 for n, w in zip(ROUTE_COUNTER_NAMES, widths)
+            )
+            lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+BUILD_COUNTER_NAMES = (
+    "indexed_lookups",
+    "unindexed_lookups",
+    "records_indexed",
+    "build_seconds",
+    "scan_seconds",
+)
+
+
+def format_build_table(
+    title: str,
+    rows: List[ExperimentRow],
+    modes: Sequence[str] = ALL_MODES,
+) -> str:
+    """Render the ``build.*`` counter totals, one line per (row, mode)."""
+    present = [m for m in modes if any(r.build.get(m) for r in rows)]
+    widths = [max(8, len(n)) for n in BUILD_COUNTER_NAMES]
+    header = (
+        f"{'config':>12s} | {'mode':>9s} | "
+        + " | ".join(f"{n:>{w}s}" for n, w in zip(BUILD_COUNTER_NAMES, widths))
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for row in rows:
+        for mode in present:
+            if not row.build.get(mode):
+                continue
+            counters = row.build[mode]
+            cells = " | ".join(
+                f"{counters.get(n, 0.0):{w}.4g}"
+                for n, w in zip(BUILD_COUNTER_NAMES, widths)
             )
             lines.append(f"{row.label:>12s} | {mode:>9s} | {cells}")
     lines.append("-" * len(header))

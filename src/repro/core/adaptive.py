@@ -85,6 +85,7 @@ def evaluate_replan(
     now: float = 0.0,
     reuse=None,
     num_hosts: int = 1,
+    build=None,
 ) -> Optional[ReplanDecision]:
     """Algorithm 1: return a better plan, or None to keep running.
 
@@ -95,6 +96,13 @@ def evaluate_replan(
     the store already holds (``num_hosts`` normalises per-host
     occupancy). The seed only fills in when the run has not yet probed
     the store itself; observed hit ratios always win.
+
+    ``build`` (a :class:`repro.indices.build.BuildSession`, optional)
+    overrides each index's sampled build coverage with the catalog's
+    authoritative value and attaches the job's accrued build debt: the
+    first-wave sample only sees the keys it happened to look up, while
+    the manager knows exactly which buckets are committed. The debt is
+    strategy-invariant, so it is audited but never priced.
 
     ``scale`` extrapolates the sampled input volume to the *remaining*
     work (remaining tasks / sampled tasks): a plan change only pays off
@@ -182,6 +190,10 @@ def evaluate_replan(
                 idx.reuse_seed = reuse.seeded_hit_ratio(
                     op.accessors[j], idx.distinct, num_hosts
                 )
+            if build is not None and j < len(op.accessors):
+                name = op.accessors[j].name
+                idx.build_coverage = build.coverage(name)
+                idx.build_debt = build.job_debt(name)
         fresh[op_id] = stats
 
     current_cost = 0.0

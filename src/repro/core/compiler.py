@@ -109,11 +109,13 @@ class _StageBuilder:
         cluster: Cluster,
         batch_size: int = 1,
         reuse=None,
+        build=None,
     ):
         self.iconf = iconf
         self.cluster = cluster
         self.batch_size = max(1, int(batch_size))
         self.reuse = reuse
+        self.build = build
         self.stages: List[StageSpec] = []
         self.shuffle_parallelism = max(
             cluster.num_nodes, min(32, cluster.total_reduce_slots)
@@ -191,17 +193,23 @@ class _StageBuilder:
                 )
                 post_emitted = post_emitted or consumed_post
             else:
+                # PARTIAL compiles like CACHE: covered keys go through
+                # the lookup cache; the build gate inside LookupFn sends
+                # uncovered keys down the scan-assisted path.
                 self.append(
                     LookupFn(
                         op,
                         op_id,
                         j,
                         stats=stats_acc,
-                        use_cache=(strategy is Strategy.CACHE),
+                        use_cache=(
+                            strategy in (Strategy.CACHE, Strategy.PARTIAL)
+                        ),
                         cache_capacity=cache_capacity,
                         record_sidx=is_last,
                         batch_size=self.batch_size,
                         reuse=self.reuse,
+                        build=self.build,
                     )
                 )
         if not post_emitted:
@@ -250,6 +258,7 @@ class _StageBuilder:
                     record_sidx=is_last,
                     batch_size=self.batch_size,
                     reuse=self.reuse,
+                    build=self.build,
                 )
             )
             return False
@@ -270,20 +279,21 @@ class _StageBuilder:
                     record_sidx=is_last,
                     batch_size=self.batch_size,
                     reuse=self.reuse,
+                    build=self.build,
                 )
             )
             return False
         if boundary == "idx":
             self.reducer = GroupLookupReducer(
                 op, op_id, j, stats_acc, batch_size=self.batch_size,
-                reuse=self.reuse,
+                reuse=self.reuse, build=self.build,
             )
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
             return False
         if boundary == "post":
             self.reducer = GroupLookupReducer(
                 op, op_id, j, stats_acc, batch_size=self.batch_size,
-                reuse=self.reuse,
+                reuse=self.reuse, build=self.build,
             )
             self.reduce_post.append(PostProcessFn(op, op_id, stats_acc))
             self.close_stage(label=f"shuffle-{op_id}.{j}", is_shuffle=True)
@@ -332,6 +342,7 @@ def compile_plan(
     start_at: str = "head",
     batch_size: int = 1,
     reuse=None,
+    build=None,
 ) -> List[StageSpec]:
     """Compile ``iconf`` under ``plan`` into physical stages.
 
@@ -342,10 +353,17 @@ def compile_plan(
     ``reuse`` (a :class:`repro.core.reuse.ReuseStore`, optional) is
     threaded into every lookup stage so results persist across the jobs
     compiled against the same store.
+
+    ``build`` (a :class:`repro.indices.build.BuildSession`, optional)
+    is threaded into every lookup stage (uncovered keys take the
+    scan-assisted path) and its incremental builder is prepended to the
+    first stage's map chain so builds piggyback on the input scan.
     """
     stats_registry = stats_registry or {}
     op_stats = op_stats or {}
-    builder = _StageBuilder(iconf, cluster, batch_size=batch_size, reuse=reuse)
+    builder = _StageBuilder(
+        iconf, cluster, batch_size=batch_size, reuse=reuse, build=build
+    )
 
     placed = iconf.placed_operators()
 
@@ -361,6 +379,11 @@ def compile_plan(
         )
 
     if start_at == "head":
+        if build is not None:
+            # The piggyback builder sees the raw input stream before any
+            # operator stage; a mid-reduce resume never re-reads the
+            # input, so it gets no builder.
+            builder.map_chain.append(build.builder_fn())
         smap_accs = [
             stats_registry[op_id]
             for op_id, placement, _ in placed

@@ -25,12 +25,46 @@ class Placement(enum.Enum):
 
 
 class Strategy(enum.Enum):
-    """The four index access strategies of Section 3."""
+    """The four index access strategies of Section 3, plus the
+    partial-index hybrid used while an index is still being built
+    incrementally (see ``indices/build/``)."""
 
     BASELINE = "base"
     CACHE = "cache"
     REPART = "repart"
     IDXLOC = "idxloc"
+    PARTIAL = "partial"
+
+
+#: Service-time premium of a scan-assisted lookup against a key the
+#: partial index does not cover yet: the store falls back to scanning
+#: the unindexed partition remainder instead of probing the clustered
+#: index. ``BuildCostModel.scan_multiplier`` defaults to the same value;
+#: the planner only uses this fallback until it has observed real scans.
+DEFAULT_SCAN_MULTIPLIER = 4.0
+
+
+def _coverage(idx: IndexStats) -> float:
+    return min(1.0, max(0.0, idx.build_coverage))
+
+
+def scan_lookup_time(env: "CostEnv", idx: IndexStats) -> float:
+    """Per-key time of a scan-assisted lookup (uncovered key).
+
+    Observed scan service times win; before any scan has been sampled
+    the model assumes ``DEFAULT_SCAN_MULTIPLIER`` times the indexed
+    service time. Transfer and latency are paid either way -- the values
+    still come back over the wire -- but cache, reuse, and dedup do not
+    apply: the scan path bypasses them all.
+    """
+    tj_scan = (
+        idx.build_scan_tj
+        if idx.build_scan_tj > 0.0
+        else DEFAULT_SCAN_MULTIPLIER * idx.effective_tj()
+    )
+    return (idx.sik + idx.siv) / env.lookup_bw + idx.effective_latency(
+        env.latency
+    ) + tj_scan
 
 
 @dataclass(frozen=True)
@@ -83,12 +117,21 @@ def cost_baseline(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
     store (or a cold one) the factor is 1 and the equation reduces to
     the paper's exactly; reuse probes themselves are free (see
     ``core/reuse.py``), so there is no additive probe term.
+
+    Under a partially built index (coverage < 1) only the covered key
+    fraction can take this path; the remainder pays the scan-assisted
+    lookup instead. At full coverage the blend is skipped entirely and
+    the expression is bit-identical to the pre-build-subsystem one.
     """
-    return op.n1 * idx.nik * idx.reuse_survival() * (
+    base = op.n1 * idx.nik * idx.reuse_survival() * (
         (idx.sik + idx.siv) / env.lookup_bw
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
     )
+    cov = _coverage(idx)
+    if cov >= 1.0:
+        return base
+    return cov * base + op.n1 * idx.nik * (1.0 - cov) * scan_lookup_time(env, idx)
 
 
 def cost_cache(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
@@ -106,6 +149,34 @@ def cost_cache(env: CostEnv, op: OperatorStats, idx: IndexStats) -> float:
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
     )
+    return op.n1 * idx.nik * per_key
+
+
+def cost_partial(
+    env: CostEnv,
+    op: OperatorStats,
+    idx: IndexStats,
+    placement: Placement,
+    carried_bytes: float = 0.0,
+) -> float:
+    """The partial-index hybrid: Equation 2 scaled by build coverage.
+
+    The covered key fraction is accessed through the lookup cache
+    exactly as Equation 2 prices it; the uncovered remainder pays a
+    scan-assisted lookup per occurrence (scans bypass the cache, the
+    ReuseStore, and adjacent-dedup, so no probe or survival factors
+    apply there). ``placement`` and ``carried_bytes`` are accepted for
+    dispatch uniformity; the strategy runs in-job, so neither matters.
+    At coverage 1 this degenerates to Equation 2 -- which is why the
+    optimizer only offers PARTIAL while ``0 < coverage < 1``.
+    """
+    cov = _coverage(idx)
+    indexed_per_key = env.t_cache + idx.miss_ratio * idx.reuse_survival() * (
+        (idx.sik + idx.siv) / env.lookup_bw
+        + idx.effective_latency(env.latency)
+        + idx.effective_tj()
+    )
+    per_key = cov * indexed_per_key + (1.0 - cov) * scan_lookup_time(env, idx)
     return op.n1 * idx.nik * per_key
 
 
@@ -158,13 +229,21 @@ def cost_repart(
 
     Only the per-distinct-key lookup term gains the reuse survival
     factor; the shuffle and materialisation terms move records whether
-    or not the store answers their lookups.
+    or not the store answers their lookups. Under partial coverage the
+    lookup term is coverage-blended like Equation 1's: uncovered keys
+    scan per occurrence (the scan path skips the dedup memo, so no
+    ``Theta`` division on that side).
     """
     lookup = (op.n1 * idx.nik * idx.reuse_survival() / max(1.0, idx.theta)) * (
         (idx.sik + idx.siv) / env.lookup_bw
         + idx.effective_latency(env.latency)
         + idx.effective_tj()
     )
+    cov = _coverage(idx)
+    if cov < 1.0:
+        lookup = cov * lookup + op.n1 * idx.nik * (1.0 - cov) * scan_lookup_time(
+            env, idx
+        )
     return (
         env.extra_job_overhead
         + cost_shuffle(env, op, carried_bytes)
@@ -186,10 +265,18 @@ def cost_idxloc(
 
     As in Equation 3, only the local-lookup term shrinks by the reuse
     survival factor; the input still ships to the index partitions.
+    Partial coverage blends the local-lookup term the same way Equation
+    3 blends its remote one; the input-shipping term is unaffected.
     """
-    lookup = (
+    local = (
         op.n1 * idx.nik * idx.reuse_survival() / max(1.0, idx.theta)
-    ) * idx.effective_tj() + op.n1 * (op.spre + carried_bytes) / env.bw
+    ) * idx.effective_tj()
+    cov = _coverage(idx)
+    if cov < 1.0:
+        local = cov * local + op.n1 * idx.nik * (1.0 - cov) * scan_lookup_time(
+            env, idx
+        )
+    lookup = local + op.n1 * (op.spre + carried_bytes) / env.bw
     return (
         env.extra_job_overhead
         + cost_shuffle(env, op, carried_bytes)
@@ -215,4 +302,6 @@ def strategy_cost(
         return cost_repart(env, op, idx, placement, carried_bytes)
     if strategy is Strategy.IDXLOC:
         return cost_idxloc(env, op, idx, placement, carried_bytes)
+    if strategy is Strategy.PARTIAL:
+        return cost_partial(env, op, idx, placement, carried_bytes)
     raise ValueError(f"unknown strategy: {strategy!r}")

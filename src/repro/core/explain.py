@@ -29,6 +29,7 @@ _STRATEGY_LABEL = {
     Strategy.CACHE: "lookup cache (node-local LRU)",
     Strategy.REPART: "re-partitioning (shuffle groups duplicate keys)",
     Strategy.IDXLOC: "index locality (lookups co-located with partitions)",
+    Strategy.PARTIAL: "partial index (cached lookups + scan of unbuilt remainder)",
 }
 
 
@@ -142,7 +143,7 @@ def _runtime_lines(result) -> list:
     """The post-run section: fault/batch counter groups and the
     adaptive audit records collected during the run."""
     lines = ["runtime:"]
-    for group in ("fault", "batch"):
+    for group in ("fault", "batch", "build"):
         totals = result.counters.group(group)
         if group == "batch" and totals.get("batches_issued"):
             # Counters merge additively across tasks; the mean batch
@@ -155,6 +156,7 @@ def _runtime_lines(result) -> list:
             lines.append(f"  {group}.*: {pairs}")
         else:
             lines.append(f"  {group}.*: none")
+    lines.extend(_build_coverage_lines(result))
     audit = getattr(result, "audit", None) or []
     if audit:
         from repro.obs.audit import AdaptiveAuditLog
@@ -165,6 +167,28 @@ def _runtime_lines(result) -> list:
         lines.extend(f"    {line}" for line in log.summary_lines())
     else:
         lines.append("  adaptive audit: no evaluations recorded")
+    return lines
+
+
+def _build_coverage_lines(result) -> list:
+    """One coverage line per index that ran under a build session
+    (identified by sampled coverage below 1, or scan-assisted lookups
+    observed); silent for build-free runs."""
+    lines = []
+    stats = getattr(result, "stats", None) or {}
+    for op_id in sorted(stats):
+        for j, idx in sorted(stats[op_id].per_index.items()):
+            if idx.build_coverage >= 1.0 and idx.build_scan_tj == 0.0:
+                continue
+            scan = (
+                f", scan tj {idx.build_scan_tj * 1e3:.2f}ms"
+                if idx.build_scan_tj > 0.0
+                else ""
+            )
+            lines.append(
+                f"  build coverage: {op_id}/index {j} "
+                f"{idx.build_coverage:.0%} built{scan}"
+            )
     return lines
 
 

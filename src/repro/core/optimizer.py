@@ -50,11 +50,22 @@ def eligible_strategies(
     A non-idempotent index (accessor flag, paper footnote 2) is pinned
     to the baseline: caching or deduplicating its lookups would change
     the results.
+
+    While an index is only partially built (``0 < coverage < 1``,
+    reported by the build session of ``indices/build/``), the plain
+    cache strategy is replaced by the PARTIAL hybrid: Equation 2 is
+    predicated on the index answering every key, which a partial index
+    cannot, so PARTIAL prices the same cached access coverage-blended
+    with the scan-assisted remainder. At coverage 0 or 1 the set is
+    exactly the pre-build one.
     """
     if not idempotent:
         return [Strategy.BASELINE]
-    out = [Strategy.BASELINE, Strategy.CACHE]
     idx = op.index(index_id)
+    if 0.0 < idx.build_coverage < 1.0:
+        out = [Strategy.BASELINE, Strategy.PARTIAL]
+    else:
+        out = [Strategy.BASELINE, Strategy.CACHE]
     if allow_extra_job and idx.nik <= _MAX_NIK_FOR_REPART and idx.nik > 0:
         out.append(Strategy.REPART)
         if supports_locality:
@@ -117,7 +128,7 @@ def _cost_of_order(
         idx = op.index(index_id)
         # Later shuffles must carry this index's results (Property 2).
         carried += idx.nik * idx.siv
-        if strategy in (Strategy.BASELINE, Strategy.CACHE):
+        if strategy in (Strategy.BASELINE, Strategy.CACHE, Strategy.PARTIAL):
             extra_job_allowed = False
     return total, strategies
 

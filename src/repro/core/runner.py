@@ -9,7 +9,7 @@ reusing completed tasks' results per Figures 9-10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import PlanningError
@@ -26,6 +26,7 @@ from repro.core.optimizer import baseline_plan, forced_plan, optimize_operator
 from repro.core.plan import AccessPlan, OperatorPlan
 from repro.core.reuse import reuse_store_of
 from repro.core.statistics import (
+    IndexStats,
     OperatorStats,
     OperatorStatsAccumulator,
     StatisticsCatalog,
@@ -112,6 +113,7 @@ class EFindRunner:
         speculation_factor: Optional[float] = None,
         speculation: Optional["SpeculationConfig"] = None,
         route_policy: Optional[str] = None,
+        build=None,
     ):
         self.cluster = cluster
         self.dfs = dfs
@@ -121,6 +123,11 @@ class EFindRunner:
         # ReuseStore) whose state outlives each job this runner runs.
         self.reuse = reuse
         self._reuse_store = reuse_store_of(reuse)
+        # Adaptive in-job index construction: a BuildSession
+        # (repro.indices.build) whose catalog outlives each job. None
+        # (the default) leaves every build gate short-circuited and
+        # execution bit-identical to the pre-build runner.
+        self.build = build
         # repro.obs.Observability (or None): tracing + metrics + the
         # adaptive audit log. Purely passive -- simulated results are
         # identical with or without it.
@@ -218,6 +225,10 @@ class EFindRunner:
         audit_start = (
             len(self.obs.audit.records) if self.obs is not None else 0
         )
+        if self.build is not None:
+            # Freeze per-index build fractions for this job; coverage
+            # itself only advances at the commit below.
+            self.build.begin_job()
         result = self._execute(
             iconf,
             the_plan,
@@ -227,6 +238,8 @@ class EFindRunner:
             boundary_override=boundary_override,
             start_time=start_time,
         )
+        if self.build is not None:
+            self.build.commit_job()
         if update_catalog:
             self._update_catalog(iconf, registry, result)
         if self.obs is not None:
@@ -261,11 +274,19 @@ class EFindRunner:
                     index, "supports_routing", False
                 ):
                     continue
-                index.set_router(
-                    self._routers.setdefault(
-                        index.name, ReplicaRouter(policy=self.route_policy)
-                    )
+                router = self._routers.setdefault(
+                    index.name, ReplicaRouter(policy=self.route_policy)
                 )
+                if (
+                    self.build is not None
+                    and index.name in getattr(self.build, "targets", ())
+                ):
+                    # HAIL per-replica layouts: prefer replicas whose
+                    # clustered layout covers the query key.
+                    router.set_layout_preference(
+                        self.build.layout_preference(index.name)
+                    )
+                index.set_router(router)
 
     # ------------------------------------------------------------------
     # Planning helpers
@@ -275,8 +296,27 @@ class EFindRunner:
         for op_id, _, op in iconf.placed_operators():
             stats = self.catalog.get(op.signature())
             if stats is not None:
-                out[op_id] = stats
+                out[op_id] = self._with_build_state(op, stats)
         return out
+
+    def _with_build_state(self, op, stats: OperatorStats) -> OperatorStats:
+        """Overlay the build catalog's authoritative coverage onto
+        catalog statistics (copies; the shared catalog stays pristine).
+
+        Coverage sampled by a previous run is stale by construction --
+        the commit at that job's end advanced it -- so planning always
+        prices against what the manager says is built *now*."""
+        if self.build is None:
+            return stats
+        per_index = dict(stats.per_index)
+        for j, accessor in enumerate(op.accessors):
+            idx = per_index.get(j, IndexStats())
+            per_index[j] = replace(
+                idx,
+                build_coverage=self.build.coverage(accessor.name),
+                build_debt=self.build.job_debt(accessor.name),
+            )
+        return replace(stats, per_index=per_index)
 
     def _static_plan(
         self, iconf: IndexJobConf
@@ -338,6 +378,7 @@ class EFindRunner:
             boundary_override,
             batch_size=self.batch_size,
             reuse=self._reuse_store,
+            build=self.build,
         )
         self._assign_paths(iconf, stages, tag="a")
         stages[0].conf.input_paths = list(iconf.input_paths)
@@ -361,6 +402,7 @@ class EFindRunner:
                 cache_capacity=self.cache_capacity,
                 audit=audit, now=max(r.end for r in runs),
                 reuse=self._reuse_store, num_hosts=self.cluster.num_nodes,
+                build=self.build,
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "map"
@@ -375,6 +417,7 @@ class EFindRunner:
                 cache_capacity=self.cache_capacity,
                 audit=audit, now=max(r.end for r in runs),
                 reuse=self._reuse_store, num_hosts=self.cluster.num_nodes,
+                build=self.build,
             )
             if decision is not None:
                 cell["decision"], cell["phase"] = decision, "reduce"
@@ -410,7 +453,7 @@ class EFindRunner:
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
             self.cache_capacity, batch_size=self.batch_size,
-            reuse=self._reuse_store,
+            reuse=self._reuse_store, build=self.build,
         )
         self._assign_paths(iconf, stages, tag="b")
 
@@ -459,7 +502,7 @@ class EFindRunner:
         stages = compile_plan(
             iconf, new_plan, self.cluster, registry, decision.fresh_stats,
             self.cache_capacity, start_at="reduce", batch_size=self.batch_size,
-            reuse=self._reuse_store,
+            reuse=self._reuse_store, build=self.build,
         )
         self._assign_paths(iconf, stages, tag="c")
 

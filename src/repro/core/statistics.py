@@ -106,6 +106,14 @@ class TaskSample:
     c_key_total: Dict[int, float] = field(default_factory=dict)
     reuse_probes: Dict[int, int] = field(default_factory=dict)
     reuse_hits: Dict[int, int] = field(default_factory=dict)
+    # Partial-index builds (indices/build/): per-index counts of lookups
+    # that hit the built portion vs. fell back to a scan-assisted
+    # lookup, and the summed scan service times. Untouched (and
+    # therefore invisible to aggregation) unless a build session is
+    # attached to the run.
+    build_covered: Dict[int, int] = field(default_factory=dict)
+    build_scanned: Dict[int, int] = field(default_factory=dict)
+    build_scan_tj_total: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -128,6 +136,19 @@ class IndexStats:
     reuse_hit_ratio: float = 0.0  # observed cross-job reuse-hit fraction
     reuse_seed: float = 0.0  # planner prior from warm-store occupancy
     reuse_probes_observed: int = 0
+    # Partial-index build state (indices/build/). Coverage defaults to 1
+    # -- a prebuilt index covers everything -- so every formula reduces
+    # to the pre-build-subsystem expression unless a build session
+    # reports otherwise. ``build_scan_tj`` is the observed scan-assisted
+    # service time (0 = none observed; the cost model then falls back to
+    # ``DEFAULT_SCAN_MULTIPLIER`` times ``effective_tj()``).
+    # ``build_debt`` is this job's charged incremental-build time; it is
+    # strategy-invariant (the builder piggybacks on the map phase no
+    # matter which access strategy runs) so it is reported in the audit
+    # log rather than added to any equation.
+    build_coverage: float = 1.0
+    build_debt: float = 0.0
+    build_scan_tj: float = 0.0
 
     def effective_tj(self) -> float:
         """Per-lookup service time the cost model should charge.
@@ -309,6 +330,15 @@ class OperatorStatsAccumulator:
             if reuse_probes:
                 reuse_hits = sum(s.reuse_hits.get(j, 0) for s in self.samples)
                 idx.reuse_hit_ratio = reuse_hits / reuse_probes
+            covered = sum(s.build_covered.get(j, 0) for s in self.samples)
+            scanned = sum(s.build_scanned.get(j, 0) for s in self.samples)
+            if covered or scanned:
+                idx.build_coverage = covered / (covered + scanned)
+            if scanned:
+                idx.build_scan_tj = (
+                    sum(s.build_scan_tj_total.get(j, 0.0) for s in self.samples)
+                    / scanned
+                )
             if total_keys:
                 distinct = max(1.0, self.fm[j].estimate())
                 idx.distinct = distinct
@@ -442,6 +472,9 @@ class StatisticsCatalog:
                         "reuse_hit_ratio": idx.reuse_hit_ratio,
                         "reuse_seed": idx.reuse_seed,
                         "reuse_probes_observed": idx.reuse_probes_observed,
+                        "build_coverage": idx.build_coverage,
+                        "build_debt": idx.build_debt,
+                        "build_scan_tj": idx.build_scan_tj,
                     }
                     for j, idx in stats.per_index.items()
                 },

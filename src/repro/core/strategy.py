@@ -105,6 +105,78 @@ class PreProcessFn(ChainedFunction):
         return f"pre[{self.operator_id}]"
 
 
+class _BuildGate:
+    """Shared partial-index plumbing for the lookup stages.
+
+    Host classes set ``self.build`` (a
+    :class:`repro.indices.build.BuildSession` or None) and provide
+    ``self.accessor``, ``self.index_id``, and ``self.stats``. With no
+    session attached every method is a no-op and the lookup paths are
+    bit-identical to the pre-build-subsystem ones.
+
+    A key the partial index does not cover yet cannot take the indexed
+    path at all: it is served by a *scan-assisted lookup* -- the store
+    scans the unindexed partition remainder, costing
+    ``scan_multiplier * T_j`` -- and bypasses the LRU cache, the
+    ReuseStore, and the adjacent-dedup memo (none of which exist on a
+    scan path). Coverage checks themselves charge zero simulated time.
+    """
+
+    build = None
+
+    def _build_uncovered(self, ik, ctx) -> bool:
+        """True when ``ik`` must scan; also records the per-task
+        coverage observation either way."""
+        if self.build is None:
+            return False
+        covered = self.build.covered(self.accessor.name, ik)
+        if covered:
+            ctx.counters.increment("build", "indexed_lookups")
+            if self.stats is not None:
+                sample = self.stats.sample_for(ctx.task_id)
+                j = self.index_id
+                sample.build_covered[j] = sample.build_covered.get(j, 0) + 1
+        return not covered
+
+    def _scan_fetch(self, ik, ctx) -> List[Any]:
+        """Serve an uncovered key by scan: same values, same fault
+        semantics, ``scan_multiplier * T_j`` service time."""
+        tm = ctx.time_model
+        t0 = ctx.charged_time
+        values = self.accessor.lookup(ik, ctx)
+        tj_scan = (
+            self.accessor.service_time()
+            * self.build.scan_multiplier(self.accessor.name)
+        )
+        local = ctx.node.hostname in self.accessor.hosts_for_key(ik)
+        if local:
+            ctx.charge(tm.local_lookup_time(tj_scan))
+        else:
+            ctx.charge(
+                tm.remote_lookup_time(sizeof(ik), sizeof(tuple(values)), tj_scan)
+            )
+        ctx.counters.increment("build", "unindexed_lookups")
+        ctx.counters.increment("build", "scan_seconds", ctx.charged_time - t0)
+        if ctx.trace is not None:
+            ctx.trace.charged_span(
+                "build.scan_lookup",
+                "op",
+                t0,
+                ctx.charged_time,
+                DEPTH_DETAIL,
+                index=self.index_id,
+                local=local,
+            )
+        if self.stats is not None:
+            sample = self.stats.sample_for(ctx.task_id)
+            j = self.index_id
+            sample.build_scanned[j] = sample.build_scanned.get(j, 0) + 1
+            sample.build_scan_tj_total[j] = (
+                sample.build_scan_tj_total.get(j, 0.0) + tj_scan
+            )
+        return values
+
+
 class _ReuseTier:
     """Shared cross-job ReuseStore plumbing for the lookup stages.
 
@@ -202,7 +274,7 @@ class _ReuseTier:
             sample.reuse_hits[j] = sample.reuse_hits.get(j, 0) + 1
 
 
-class LookupFn(_ReuseTier, ChainedFunction):
+class LookupFn(_BuildGate, _ReuseTier, ChainedFunction):
     """Performs one index's lookups inline (baseline / cache / the
     post-shuffle leg of re-partitioning and index locality).
 
@@ -239,6 +311,7 @@ class LookupFn(_ReuseTier, ChainedFunction):
         record_sidx: bool = False,
         batch_size: int = 1,
         reuse=None,
+        build=None,
     ):
         self.operator = operator
         self.operator_id = operator_id
@@ -252,6 +325,7 @@ class LookupFn(_ReuseTier, ChainedFunction):
         self.record_sidx = record_sidx
         self.batch_size = max(1, int(batch_size))
         self.reuse = reuse
+        self.build = build
         self._node_caches: dict = {}
         self._node_shadows: dict = {}
         self._memo_key: Any = _NO_MEMO
@@ -333,6 +407,10 @@ class LookupFn(_ReuseTier, ChainedFunction):
         return values
 
     def _lookup_impl(self, ik: Any, ctx: TaskContext) -> List[Any]:
+        if self._build_uncovered(ik, ctx):
+            # Scans stay invisible to the memo and caches: the key has
+            # no indexed entry for them to hold.
+            return self._scan_fetch(ik, ctx)
         tm = ctx.time_model
         if self.dedup_adjacent:
             if ik == self._memo_key:
@@ -459,6 +537,11 @@ class LookupFn(_ReuseTier, ChainedFunction):
         now) but still resolves from the flush results -- without this,
         a duplicate inside one unflushed batch counted as a miss and
         batched/unbatched cache counters diverged."""
+        if self._build_uncovered(ik, ctx):
+            # Uncovered keys never batch: the scan resolves immediately
+            # and, as on the unbatched path, leaves the memo and
+            # ``_batch_prev_ik`` untouched.
+            return tuple(self._scan_fetch(ik, ctx))
         tm = ctx.time_model
         prev = self._batch_prev_ik
         self._batch_prev_ik = ik
@@ -724,7 +807,7 @@ class KeyByIkFn(ChainedFunction):
         return f"keyby[{self.operator_id}.{self.index_id}]"
 
 
-class GroupLookupReducer(_ReuseTier, Reducer):
+class GroupLookupReducer(_BuildGate, _ReuseTier, Reducer):
     """Reduce side of a shuffle job with the boundary *after* the
     lookup: one lookup per distinct key, results fanned back out to
     every carrier of the group.
@@ -743,6 +826,7 @@ class GroupLookupReducer(_ReuseTier, Reducer):
         stats: Optional[OperatorStatsAccumulator] = None,
         batch_size: int = 1,
         reuse=None,
+        build=None,
     ):
         self.operator = operator
         self.operator_id = operator_id
@@ -751,12 +835,19 @@ class GroupLookupReducer(_ReuseTier, Reducer):
         self.stats = stats
         self.batch_size = max(1, int(batch_size))
         self.reuse = reuse
+        self.build = build
         self._pending_groups: list = []
 
     def start(self, ctx):
         self._pending_groups = []
 
     def reduce(self, ik, carriers, collector, ctx):
+        if ik is not None and self._build_uncovered(ik, ctx):
+            # One scan per distinct key (the shuffle already grouped the
+            # duplicates); uncovered groups never batch.
+            values = self._scan_fetch(ik, ctx)
+            self._emit_group(ik, carriers, (tuple(values),), collector)
+            return
         if self.batch_size == 1:
             if ik is None:
                 results: Tuple[Any, ...] = ()

@@ -1,0 +1,58 @@
+"""Adaptive in-job index construction (HAIL/LIAH-style).
+
+Three layers:
+
+* ``model`` -- the build cost model (per-record extract/sort/merge
+  charges, scan premium for uncovered keys);
+* ``manager`` -- the build catalog (per-index coverage buckets, epochs,
+  layout widths; persists across jobs);
+* ``builder``/``bulk``/``layouts`` -- the incremental piggyback builder,
+  the offline bulk-build MapReduce job, and HAIL per-replica layouts
+  wired into the ReplicaRouter.
+
+The planner sees coverage through coverage-blended cost equations and
+the PARTIAL hybrid strategy (``core/costmodel.py``); the executor sees
+it through the build gates in ``core/strategy.py``. With no
+:class:`BuildSession` attached every gate short-circuits and the whole
+subsystem is zero-overhead.
+"""
+
+from repro.indices.build.builder import (
+    DEFAULT_BUILD_FRACTION,
+    BuildSession,
+    IndexBuilderFn,
+)
+from repro.indices.build.bulk import (
+    BulkBuildResult,
+    bulk_build_job,
+    run_bulk_build,
+)
+from repro.indices.build.layouts import (
+    covering_hosts,
+    enable_layouts,
+    layout_preference,
+    replica_for_bucket,
+)
+from repro.indices.build.manager import (
+    DEFAULT_NUM_BUCKETS,
+    BuildState,
+    IndexManager,
+)
+from repro.indices.build.model import BuildCostModel
+
+__all__ = [
+    "DEFAULT_BUILD_FRACTION",
+    "DEFAULT_NUM_BUCKETS",
+    "BuildCostModel",
+    "BuildSession",
+    "BuildState",
+    "BulkBuildResult",
+    "IndexBuilderFn",
+    "IndexManager",
+    "bulk_build_job",
+    "covering_hosts",
+    "enable_layouts",
+    "layout_preference",
+    "replica_for_bucket",
+    "run_bulk_build",
+]

@@ -1,0 +1,88 @@
+"""HAIL-style per-replica layouts.
+
+HAIL ("Only Aggressive Elephants are Fast Elephants") clusters each DFS
+replica of a block by a *different* key, so one physical copy of the
+data serves several access paths. Here the layout model is projected
+onto the coverage buckets of the build catalog: with replication ``w``,
+replica position ``r`` of an index partition carries the clustered
+layout for buckets with ``bucket % w == r``.
+
+Two integrations hang off that rule:
+
+* :func:`enable_layouts` records the layout width in the build catalog
+  and annotates the backing DFS file's blocks with per-host layout tags
+  (purely descriptive metadata -- inspection and tests).
+* :func:`layout_preference` produces the callable the PR 6
+  ReplicaRouter consumes via ``set_layout_preference``: given a key and
+  the replica set, return the hosts whose layout covers the key's
+  bucket. Routing stays time-free -- the preference only narrows the
+  candidate pool; load-based tie-breaking still applies inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.indices.build.manager import IndexManager
+from repro.mapreduce.api import stable_hash
+
+
+def replica_for_bucket(bucket: int, layout_width: int) -> int:
+    """Replica position that carries the clustered layout for a bucket."""
+    return bucket % max(1, layout_width)
+
+
+def layout_preference(
+    manager: IndexManager, name: str
+) -> Callable[[Any, Sequence[str]], List[str]]:
+    """Preference callable for ``ReplicaRouter.set_layout_preference``.
+
+    Returns the replicas (by position in the replica list) whose layout
+    covers ``key``'s bucket; an untracked index, width-1 layouts, or an
+    empty match defer to the full replica set so routing behaviour is
+    unchanged wherever layouts say nothing.
+    """
+
+    def prefer(key: Any, replicas: Sequence[str]) -> List[str]:
+        state = manager.get(name)
+        if state is None or state.layout_width <= 1:
+            return list(replicas)
+        r = replica_for_bucket(state.bucket_of(key), state.layout_width)
+        preferred = [
+            host
+            for position, host in enumerate(replicas)
+            if replica_for_bucket(position, state.layout_width) == r
+        ]
+        return preferred or list(replicas)
+
+    return prefer
+
+
+def enable_layouts(
+    manager: IndexManager,
+    name: str,
+    replication: int,
+    dfs=None,
+    path: Optional[str] = None,
+) -> None:
+    """Turn on per-replica layouts for ``name`` at the given replication
+    width; optionally tag the backing DFS file's block replicas.
+
+    The block annotation (``layouts[host] = "name/rN"``) is metadata
+    only: lookup timing never reads it, matching HAIL's property that
+    layout diversity costs nothing at write time in the model.
+    """
+    manager.set_layout_width(name, replication)
+    if dfs is not None and path is not None and dfs.exists(path):
+
+        def tag(block_index: int, position: int, host: str) -> str:
+            return f"{name}/r{replica_for_bucket(position, replication)}"
+
+        dfs.annotate_layouts(path, tag)
+
+
+def covering_hosts(
+    manager: IndexManager, name: str, key: Any, replicas: Sequence[str]
+) -> List[str]:
+    """Convenience wrapper: hosts whose layout covers ``key``."""
+    return layout_preference(manager, name)(key, replicas)

@@ -40,9 +40,14 @@ class DynamicComputedIndex(IndexService):
 
     def _lookup(self, key: Any) -> List[Any]:
         result = self._compute(key)
-        if not isinstance(result, list):
-            result = [result]
-        return result
+        # Normalise any non-string sequence of values (tuple, generator
+        # output materialised as a list, ...) to a list; strings and
+        # bytes are scalar results, not value sequences.
+        if isinstance(result, (str, bytes)):
+            return [result]
+        if isinstance(result, Sequence):
+            return list(result)
+        return [result]
 
     def replace_compute(
         self, compute: Callable[[Any], List[Any]]

@@ -34,7 +34,7 @@ identical routes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Route every key to its partition's first live replica (the
 #: pre-routing behavior).
@@ -78,6 +78,12 @@ class ReplicaRouter:
             raise ValueError("hot_key_threshold must be >= 2")
         self.policy = policy
         self.hot_key_threshold = hot_key_threshold
+        # Optional HAIL layout preference (indices/build/layouts.py):
+        # ``fn(key, replicas) -> hosts`` whose clustered layout covers
+        # the key. None (the default) routes exactly as before.
+        self.layout_preference: Optional[
+            Callable[[Any, Sequence[str]], Sequence[str]]
+        ] = None
         self._load: Dict[str, int] = {}
         self._freq: Dict[Any, int] = {}
         self._hot_cursor: Dict[Any, int] = {}
@@ -102,6 +108,15 @@ class ReplicaRouter:
         the same algorithm without mutating the live router.
         """
         pool = list(live) if live else list(replicas)
+        if self.layout_preference is not None and len(pool) > 1:
+            # Narrow to replicas whose per-replica layout covers the
+            # key; liveness and load balancing still apply inside the
+            # preferred subset, and an empty intersection (all covering
+            # replicas dead) falls back to the full pool.
+            preferred = self.layout_preference(key, replicas)
+            narrowed = [host for host in pool if host in preferred]
+            if narrowed:
+                pool = narrowed
         count = freq.get(key, 0) + 1
         freq[key] = count
         hot = (
@@ -125,6 +140,12 @@ class ReplicaRouter:
             host = pool[0]
         load[host] = load.get(host, 0) + 1
         return host, hot
+
+    def set_layout_preference(
+        self, fn: Optional[Callable[[Any, Sequence[str]], Sequence[str]]]
+    ) -> None:
+        """Install (or clear, with None) the HAIL layout preference."""
+        self.layout_preference = fn
 
     def assign(self, keys: Sequence[Any], locate: Locate) -> RouteDecision:
         """Route one batch, mutating the router's cumulative state."""

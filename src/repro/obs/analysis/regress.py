@@ -66,7 +66,7 @@ class Delta:
     experiment: str
     row: str
     mode: str
-    quantity: str  # "time" or "faults.<name>" / "batches.<name>" / "reuse.<name>"
+    quantity: str  # "time" or "<counter group>.<name>", e.g. "build.<name>"
     old: Optional[float]
     new: Optional[float]
     status: str  # ok | regression | improvement | counter-drift | missing | added
@@ -186,7 +186,7 @@ def compare(old: dict, new: dict, tolerances: Tolerances) -> RegressionReport:
                 else:
                     status = "improvement"
                 add(experiment, label, mode, "time", o, n, status)
-            for group in ("faults", "batches", "reuse"):
+            for group in ("faults", "batches", "reuse", "spec", "route", "build"):
                 old_group = old_row.get(group, {})
                 new_group = new_row.get(group, {})
                 for mode in sorted(set(old_group) | set(new_group)):

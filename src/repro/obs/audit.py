@@ -155,6 +155,12 @@ def index_samples(stats) -> Dict[str, Dict[str, float]]:
             "reuse_seed": idx.reuse_seed,
             "reuse_survival": idx.reuse_survival(),
             "reuse_probes_observed": idx.reuse_probes_observed,
+            # Partial-index builds: the catalog coverage the evaluation
+            # priced with, plus this job's accrued build debt (strategy
+            # invariant -- reported, never added to a cost equation).
+            "build_coverage": idx.build_coverage,
+            "build_debt": idx.build_debt,
+            "build_scan_tj": idx.build_scan_tj,
         }
     return out
 

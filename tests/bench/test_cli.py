@@ -21,7 +21,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig12", "fig13", "sec53", "batching", "faults",
-            "reuse-q3", "spec-q3",
+            "reuse-q3", "spec-q3", "build-q3",
             "fig11a-small", "fig11b-small", "fig11f-small",
         }
         for title, run, fmt in EXPERIMENTS.values():

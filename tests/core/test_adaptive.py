@@ -258,7 +258,13 @@ class TestAuditRecords:
         detail = next(o for o in record.operators if o["operator"] == "head0")
         # every strategy priced for every index, plus eligibility
         for table in detail["strategies"].values():
-            assert set(table["costs"]) == {"base", "cache", "repart", "idxloc"}
+            assert set(table["costs"]) == {
+                "base",
+                "cache",
+                "repart",
+                "idxloc",
+                "partial",
+            }
             assert set(table["eligible"]) <= set(table["costs"])
         for sample in detail["samples"].values():
             for field in ("theta", "miss_ratio", "tj", "nik"):

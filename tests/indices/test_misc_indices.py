@@ -75,6 +75,28 @@ class TestDynamicComputedIndex:
         idx = DynamicComputedIndex("sq", lambda k: [k * k])
         assert idx.lookup(5) == idx.lookup(5)
 
+    def test_tuple_result_is_a_sequence_of_values(self):
+        # Regression: a tuple used to be wrapped as [tuple]; any
+        # non-string sequence is a sequence of result values.
+        idx = DynamicComputedIndex("pair", lambda k: (k, k + 1))
+        assert idx.lookup(4) == [4, 5]
+
+    def test_list_result_passthrough(self):
+        idx = DynamicComputedIndex("two", lambda k: [k, -k])
+        assert idx.lookup(2) == [2, -2]
+
+    def test_string_result_is_scalar(self):
+        idx = DynamicComputedIndex("label", lambda k: f"topic-{k}")
+        assert idx.lookup("x") == ["topic-x"]
+
+    def test_bytes_result_is_scalar(self):
+        idx = DynamicComputedIndex("blob", lambda k: b"abc")
+        assert idx.lookup(1) == [b"abc"]
+
+    def test_range_result_materialised(self):
+        idx = DynamicComputedIndex("rng", lambda k: range(k))
+        assert idx.lookup(3) == [0, 1, 2]
+
     def test_costlier_default_service_time(self):
         assert DynamicComputedIndex("x", lambda k: [k]).service_time() > 1e-3
 

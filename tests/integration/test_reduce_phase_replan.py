@@ -164,7 +164,7 @@ class TestMidReduceReplan:
             o for o in record.operators if o["operator"] == "tail0"
         )
         costs = detail["strategies"]["0"]["costs"]
-        assert set(costs) == {"base", "cache", "repart", "idxloc"}
+        assert set(costs) == {"base", "cache", "repart", "idxloc", "partial"}
         assert all(c >= 0.0 for c in costs.values())
         samples = detail["samples"]["0"]
         assert samples["theta"] > 1.0  # many groups share one city

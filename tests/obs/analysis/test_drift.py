@@ -51,7 +51,7 @@ class TestRecompute:
         # agreement, not just "close"
         assert drift.recompute_max_abs_error == pytest.approx(0.0, abs=1e-9)
         strategies = {r.strategy for r in drift.recomputed}
-        assert strategies == {"base", "cache", "repart", "idxloc"}
+        assert strategies == {"base", "cache", "repart", "idxloc", "partial"}
 
     def test_tampered_record_shows_error(self, dyn_artifact):
         row = next(r for r in dyn_artifact.audit_rows if r.get("operators"))

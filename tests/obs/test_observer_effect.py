@@ -156,7 +156,7 @@ class TestTpchQ3Acceptance:
                 for op in record.operators:
                     for table in op["strategies"].values():
                         assert set(table["costs"]) == {
-                            "base", "cache", "repart", "idxloc",
+                            "base", "cache", "repart", "idxloc", "partial",
                         }
         if result.replanned:
             assert obs.audit.applied, "applied replan missing from audit"

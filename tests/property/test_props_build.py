@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the build subsystem: coverage
+monotonicity, the exact indexed/scanned partition of the key space, and
+schedule determinism."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indices.build import BuildCostModel, BuildSession, IndexManager
+from repro.indices.base import IndexService
+
+keys = st.one_of(st.integers(), st.text(max_size=12))
+fractions = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+bucket_counts = st.integers(min_value=1, max_value=96)
+
+
+class _NullIndex(IndexService):
+    """Lookup-free IndexService stand-in for session-level properties."""
+
+    def _lookup(self, key):
+        return [key]
+
+
+class TestCoverageProperties:
+    @given(st.lists(fractions, max_size=12), bucket_counts)
+    def test_coverage_monotone_within_an_epoch(self, steps, num_buckets):
+        mgr = IndexManager()
+        mgr.track("i", num_buckets=num_buckets)
+        last = 0.0
+        for fraction in steps:
+            mgr.advance("i", fraction)
+            cov = mgr.coverage("i")
+            assert cov >= last
+            assert 0.0 <= cov <= 1.0
+            last = cov
+
+    @given(fractions, bucket_counts)
+    def test_converges_in_ceil_inverse_fraction_steps(
+        self, fraction, num_buckets
+    ):
+        mgr = IndexManager()
+        mgr.track("i", num_buckets=num_buckets)
+        steps = 0
+        while mgr.coverage("i") < 1.0:
+            assert mgr.advance("i", fraction) > 0
+            steps += 1
+            assert steps <= math.ceil(1.0 / fraction)
+        # Per-step progress is ceil(fraction * buckets), so the walk
+        # can only be faster than the per-key bound, never slower.
+        assert steps <= math.ceil(1.0 / fraction)
+
+    @given(st.lists(fractions, min_size=1, max_size=8), bucket_counts)
+    def test_schedule_is_deterministic(self, steps, num_buckets):
+        def walk():
+            mgr = IndexManager()
+            mgr.track("i", num_buckets=num_buckets)
+            for fraction in steps:
+                mgr.advance("i", fraction)
+            return mgr.get("i").built
+
+        assert walk() == walk()
+
+    @given(st.lists(keys, min_size=1, max_size=40), bucket_counts, fractions)
+    def test_indexed_and_scanned_keys_partition_exactly(
+        self, ks, num_buckets, fraction
+    ):
+        """Every key is either covered or uncovered -- never both, never
+        neither -- at every point of the build walk."""
+        mgr = IndexManager()
+        mgr.track("i", num_buckets=num_buckets)
+        state = mgr.get("i")
+        while True:
+            covered = {k for k in ks if mgr.covered("i", k)}
+            scanned = {k for k in ks if not mgr.covered("i", k)}
+            assert covered | scanned == set(ks)
+            assert covered & scanned == set()
+            # Covered keys are exactly those whose bucket is built.
+            for k in ks:
+                assert mgr.covered("i", k) == (state.bucket_of(k) in state.built)
+            if mgr.coverage("i") >= 1.0:
+                break
+            mgr.advance("i", fraction)
+        assert all(mgr.covered("i", k) for k in ks)
+
+    @given(st.lists(keys, min_size=1, max_size=30), bucket_counts)
+    def test_coverage_decision_is_stable_per_key(self, ks, num_buckets):
+        mgr = IndexManager()
+        mgr.track("i", num_buckets=num_buckets)
+        mgr.advance("i", 0.5)
+        first = [mgr.covered("i", k) for k in ks]
+        again = [mgr.covered("i", k) for k in ks]
+        assert first == again
+
+    @given(bucket_counts, fractions)
+    def test_reset_restarts_the_same_walk(self, num_buckets, fraction):
+        mgr = IndexManager()
+        mgr.track("i", num_buckets=num_buckets)
+        mgr.advance("i", fraction)
+        first = set(mgr.get("i").built)
+        epoch = mgr.reset("i")
+        assert epoch >= 1
+        assert mgr.coverage("i") == 0.0
+        mgr.advance("i", fraction)
+        assert mgr.get("i").built == first
+
+
+class TestSessionProperties:
+    @settings(max_examples=30)
+    @given(fractions, st.integers(min_value=0, max_value=5000))
+    def test_job_fraction_never_overshoots(self, fraction, records):
+        idx = _NullIndex("i")
+        session = BuildSession({"i": idx}, fraction=fraction)
+        jobs = 0
+        while session.coverage("i") < 1.0 and jobs < 200:
+            session.begin_job()
+            frozen = session._job_fraction["i"]
+            assert 0.0 <= frozen <= fraction + 1e-12
+            assert frozen <= 1.0 - session.coverage("i") + 1e-12
+            session.note_built("i", max(1, records), 0.0)
+            session.commit_job()
+            jobs += 1
+        assert session.coverage("i") == 1.0
+        # Saturated: further jobs freeze a zero fraction.
+        session.begin_job()
+        assert session._job_fraction["i"] == 0.0
+        session.commit_job()
+
+    @given(st.integers(min_value=0, max_value=100000))
+    def test_build_time_nonnegative_and_linear(self, records):
+        model = BuildCostModel()
+        t = model.incremental_build_time(records)
+        assert t >= 0.0
+        assert t == records * model.build_cpu_per_record
+
+    @given(st.lists(st.tuples(fractions, st.booleans()), max_size=10))
+    def test_snapshot_restore_is_exact(self, ops):
+        idx = _NullIndex("i")
+        session = BuildSession({"i": idx})
+        for fraction, do_build in ops:
+            session.begin_job()
+            if do_build:
+                session.note_built("i", 10, 1e-4)
+            session.commit_job()
+        snap = session.snapshot()
+        before = session.manager.get("i").to_dict()
+        session.manager.complete("i")
+        session.manager.record_entries("i", 999, 24.0)
+        session.restore(snap)
+        assert session.manager.get("i").to_dict() == before
