@@ -273,6 +273,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--live",
+        metavar="RULES",
+        nargs="?",
+        const="",
+        default=None,
+        help=(
+            "attach the live telemetry bus + SLO rule engine to the "
+            "traced re-runs (requires --trace) and export each run's "
+            "alert timeline as <base>.alerts.jsonl; optional RULES is "
+            "an SLO rule file (default: benchmarks/slo_rules.json when "
+            "present, else the built-in rule set)"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         action="store_true",
         help=(
@@ -289,15 +303,31 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.list:
-        for name, (title, _run, _fmt) in EXPERIMENTS.items():
-            print(f"  {name:12s} {title}")
-        return 0
-
     if args.trace is not None:
         from repro.obs.config import set_trace_dir
 
         set_trace_dir(args.trace)
+
+    if args.live is not None:
+        import os
+
+        from repro.obs.config import set_live_rules
+
+        if args.trace is None:
+            print("--live requires --trace (live telemetry rides on the "
+                  "traced re-run)", file=sys.stderr)
+            return 2
+        rules = args.live
+        if rules == "" and os.path.exists(
+            os.path.join("benchmarks", "slo_rules.json")
+        ):
+            rules = os.path.join("benchmarks", "slo_rules.json")
+        set_live_rules(rules)
+
+    if args.list:
+        for name, (title, _run, _fmt) in EXPERIMENTS.items():
+            print(f"  {name:12s} {title}")
+        return 0
 
     if args.baseline:
         from repro.bench import baseline
@@ -340,6 +370,14 @@ def main(argv=None) -> int:
                         f"off {wall['off']:.2f}s wall, on {wall['on']:.2f}s "
                         f"({wall['overhead']:+.2f}s)"
                     )
+        if args.live is not None:
+            from repro.obs.live.engine import summary_lines
+
+            for row in rows:
+                for mode, alert_rows in getattr(row, "alerts", {}).items():
+                    print(f"  live {row.label}/{mode}:")
+                    for line in summary_lines(alert_rows):
+                        print(f"    {line}")
         print(f"({time.time() - started:.1f}s wall)")
     return 0
 

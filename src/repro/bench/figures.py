@@ -691,7 +691,48 @@ def run_spec_q3() -> List[ExperimentRow]:
             raise AssertionError(
                 f"spec-q3 {row.label!r} produced different output"
             )
+    _check_spec_q3_live(by_label)
     return rows
+
+
+def _check_spec_q3_live(by_label) -> None:
+    """With ``--trace --live`` attached, spec-q3 doubles as the SLO
+    acceptance experiment: a clean cluster must fire zero alerts, and
+    the un-mitigated slow host must fire ``wave-straggler`` with a
+    firing window that overlaps its critical-path segments."""
+    from repro.obs.config import get_live_rules, get_trace_dir
+
+    if get_live_rules() is None or get_trace_dir() is None:
+        return
+    for label in ("clean-off", "clean-on"):
+        fired = by_label[label].alerts.get("Cache", [])
+        if fired:
+            raise AssertionError(
+                f"spec-q3 {label!r} fired {len(fired)} SLO alert(s) on a "
+                f"clean cluster: {[a['rule'] for a in fired]}"
+            )
+    fired = by_label["slow-off"].alerts.get("Cache", [])
+    if not any(a["rule"] == "wave-straggler" for a in fired):
+        raise AssertionError(
+            "spec-q3 'slow-off' (x4-slow node05, speculation off) did "
+            f"not fire the wave-straggler SLO; fired: "
+            f"{[a['rule'] for a in fired]}"
+        )
+    from repro.obs.analysis import critical_path as cp
+    from repro.obs.analysis.loader import load_one
+
+    artifact = load_one(by_label["slow-off"].trace_paths["Cache"]["trace"])
+    annotated = [
+        seg
+        for path in cp.critical_paths(artifact.spans, alerts=artifact.alert_rows)
+        for seg in path.segments
+        if seg.kind == "task" and any("wave-straggler" in a for a in seg.alerts)
+    ]
+    if not annotated:
+        raise AssertionError(
+            "spec-q3 'slow-off': no critical-path task segment overlaps "
+            "the wave-straggler alert's firing window"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -93,6 +93,10 @@ class ExperimentRow:
     build: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-variant ``build.*`` counter totals (empty unless a build
     session is attached)."""
+    alerts: Dict[str, List[dict]] = field(default_factory=dict)
+    """Per-variant live SLO alert rows from the traced re-run (only
+    populated with ``--trace`` + ``--live``; an empty list means the
+    live run fired no alerts)."""
 
     def speedup_over_base(self, mode: str) -> float:
         return self.times["Base"] / self.times[mode]
@@ -303,10 +307,23 @@ def _traced_rerun(
     produce the trace. Tracing must not perturb the simulation, so any
     divergence in simulated time or counters is a bug (the
     observer-effect guarantee) and raises here.
+
+    With ``--live`` (``repro.obs.config.set_live_rules``) a
+    :class:`repro.obs.live.LiveSession` subscribes to the traced
+    re-run's telemetry bus; the bus is as passive as the tracer, so the
+    same bit-identity assertions cover it, and the resulting SLO alert
+    timeline is exported as ``<base>.alerts.jsonl`` next to the trace.
     """
     from repro.obs import Observability
+    from repro.obs.config import get_live_rules
 
-    obs = Observability()
+    live_rules = get_live_rules()
+    session = None
+    if live_rules is not None:
+        from repro.obs.live import LiveSession
+
+        session = LiveSession(rules=live_rules)
+    obs = Observability(bus=session.bus if session is not None else None)
     started = time.perf_counter()
     traced = execute(mode, obs=obs)
     wall_on = time.perf_counter() - started
@@ -317,8 +334,13 @@ def _traced_rerun(
         )
     if traced.counters.to_dict() != untraced.counters.to_dict():
         raise AssertionError(f"{mode}: tracing changed the job counters")
+    alerts = None
+    if session is not None:
+        session.finish()
+        alerts = session.alert_rows()
+        row.alerts[mode] = alerts
     base = re.sub(r"[^A-Za-z0-9._+-]+", "_", f"{label or 'job'}-{mode.lower()}")
-    row.trace_paths[mode] = obs.export(trace_dir, base)
+    row.trace_paths[mode] = obs.export(trace_dir, base, alerts=alerts)
     row.trace_wall[mode] = {
         "off": wall_off,
         "on": wall_on,

@@ -143,6 +143,12 @@ class JobRunner:
         self._tracer = (
             obs.tracer if obs is not None and obs.tracer.enabled else None
         )
+        # Live telemetry bus (repro.obs.live): per-task counter deltas
+        # are published as dedicated events (the tracer publishes spans
+        # itself). Only active alongside an enabled tracer.
+        self._bus = (
+            getattr(obs, "bus", None) if self._tracer is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Fault-model helpers
@@ -274,6 +280,27 @@ class JobRunner:
         )
         if speculative:
             args["speculative"] = True
+        if self._bus is not None:
+            # Embed the deltas in the task span args (so an exported
+            # trace can replay them) and publish the counters event
+            # *before* the span -- the replay re-inserts it in exactly
+            # this position, keeping replayed and live event order
+            # identical.
+            deltas = {
+                f"{group}.{name}": value
+                for group, name, value in sorted(run.counters.items())
+            }
+            args["counters"] = deltas
+            self._bus.publish_counters(
+                "task",
+                track,
+                run.start,
+                run.end,
+                deltas,
+                task=run.task_id,
+                kind=run.kind,
+                wave=run.wave,
+            )
         self._tracer.span(
             "task", "task", track, run.start, run.end, DEPTH_TASK, **args
         )

@@ -49,24 +49,40 @@ class Observability:
     :class:`JobRunner`) to record; pass None (the default everywhere)
     for the zero-cost path."""
 
-    def __init__(self, enabled: bool = True, max_task_detail: int = 256):
+    def __init__(
+        self, enabled: bool = True, max_task_detail: int = 256, bus=None
+    ):
+        # Optional repro.obs.live.TelemetryBus: spans, counter deltas,
+        # and audit verdicts stream to its subscribers while the run
+        # executes. Publishing is as passive as recording -- a run with
+        # a subscribed bus stays bit-identical to one without.
+        self.bus = bus if enabled else None
         self.metrics = MetricsRegistry()
         self.tracer: Tracer = (
-            Tracer(metrics=self.metrics, max_task_detail=max_task_detail)
+            Tracer(
+                metrics=self.metrics,
+                max_task_detail=max_task_detail,
+                bus=self.bus,
+            )
             if enabled
             else NULL_TRACER
         )
-        self.audit = AdaptiveAuditLog()
+        self.audit = AdaptiveAuditLog(bus=self.bus)
 
     @property
     def enabled(self) -> bool:
         return self.tracer.enabled
 
     # ------------------------------------------------------------------
-    def export(self, directory: str, base: str) -> dict:
+    def export(self, directory: str, base: str, alerts=None) -> dict:
         """Write ``<base>.trace.json`` (Chrome ``trace_event``),
         ``<base>.audit.jsonl``, and ``<base>.metrics.json`` under
-        ``directory``; returns the paths keyed by kind."""
+        ``directory``; returns the paths keyed by kind.
+
+        ``alerts`` (live-run SLO alert rows, as produced by
+        :meth:`repro.obs.live.LiveSession.alert_rows`) additionally
+        writes ``<base>.alerts.jsonl`` and embeds the firing windows in
+        the Chrome trace as async ``b``/``e`` bands."""
         from repro.obs.export import write_chrome_trace, write_json, write_jsonl
 
         os.makedirs(directory, exist_ok=True)
@@ -75,7 +91,10 @@ class Observability:
             "audit": os.path.join(directory, f"{base}.audit.jsonl"),
             "metrics": os.path.join(directory, f"{base}.metrics.json"),
         }
-        write_chrome_trace(self.tracer, paths["trace"])
+        write_chrome_trace(self.tracer, paths["trace"], alerts=alerts)
         write_jsonl(self.audit.to_dicts(), paths["audit"])
         write_json(self.metrics.to_dict(), paths["metrics"])
+        if alerts is not None:
+            paths["alerts"] = os.path.join(directory, f"{base}.alerts.jsonl")
+            write_jsonl(alerts, paths["alerts"])
         return paths

@@ -1,9 +1,12 @@
-"""CLI: ``python -m repro.obs {report,validate} <trace-file-or-dir>``.
+"""CLI: ``python -m repro.obs {report,validate,live} <trace-file-or-dir>``.
 
-``report`` prints the per-phase critical path, slowest lookups, and
-re-plan timeline of each exported trace; ``validate`` structurally
-checks traces (exit 1 on problems) and is what the CI traced-bench
-step runs.
+``report`` prints the per-phase critical path, slowest lookups,
+re-plan timeline, and (for live runs) the SLO alert timeline of each
+exported trace; ``validate`` structurally checks traces (exit 1 on
+problems) and is what the CI traced-bench step runs; ``live`` replays
+a traced run tick-by-tick through the telemetry bus, printing a
+progress frame per tick and the resulting alert timeline (asserting it
+against the recorded ``alerts.jsonl`` when present).
 
 Artifact problems -- a missing or empty trace directory, a truncated
 or partially written export -- exit 2 with a one-line reason instead
@@ -61,7 +64,40 @@ def main(argv=None) -> int:
         help="also require at least this max span nesting depth",
     )
 
+    p_live = sub.add_parser(
+        "live", help="replay a traced run tick-by-tick through the live bus"
+    )
+    p_live.add_argument("path", help="a *.trace.json file or a directory")
+    p_live.add_argument(
+        "--rules",
+        default=None,
+        help="SLO rule file (default: the built-in rule set)",
+    )
+    p_live.add_argument(
+        "--ticks",
+        type=int,
+        default=None,
+        help="progress frames to render (default 20)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "live":
+        from repro.obs.live.render import DEFAULT_TICKS, render_path
+        from repro.obs.live.rules import RuleError
+
+        try:
+            lines = render_path(
+                args.path,
+                rules=args.rules,
+                ticks=args.ticks if args.ticks is not None else DEFAULT_TICKS,
+            )
+        except (TraceArtifactError, RuleError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for line in lines:
+            print(line)
+        return 0
 
     if args.command == "report":
         try:

@@ -39,20 +39,33 @@ def _analyze(artifact: TraceArtifacts) -> dict:
         "base": artifact.base,
         "trace": artifact.trace_path,
         "dropped_detail": artifact.dropped_detail,
-        "critical_paths": [p.to_dict() for p in cp.critical_paths(artifact.spans)],
-        "stragglers": [p.to_dict() for p in st.phase_profiles(artifact.spans)],
+        "critical_paths": [
+            p.to_dict()
+            for p in cp.critical_paths(
+                artifact.spans, alerts=artifact.alert_rows
+            )
+        ],
+        "stragglers": [
+            p.to_dict()
+            for p in st.phase_profiles(
+                artifact.spans, alerts=artifact.alert_rows
+            )
+        ],
         "drift": [d.to_dict() for d in dr.job_drift(artifact)],
+        "alerts": list(artifact.alert_rows),
     }
 
 
 def _print_critical_path(artifact: TraceArtifacts) -> None:
-    for path in cp.critical_paths(artifact.spans):
+    for path in cp.critical_paths(artifact.spans, alerts=artifact.alert_rows):
         for line in cp.render(path):
             print(line)
 
 
 def _print_stragglers(artifact: TraceArtifacts) -> None:
-    for line in st.render(st.phase_profiles(artifact.spans)):
+    for line in st.render(
+        st.phase_profiles(artifact.spans, alerts=artifact.alert_rows)
+    ):
         print(line)
 
 
@@ -96,7 +109,10 @@ def cmd_critical_path(args) -> int:
     artifacts = load_artifacts(args.trace)
     if args.json:
         doc = {
-            a.base: [p.to_dict() for p in cp.critical_paths(a.spans)]
+            a.base: [
+                p.to_dict()
+                for p in cp.critical_paths(a.spans, alerts=a.alert_rows)
+            ]
             for a in artifacts
         }
         print(json.dumps(doc, indent=2, sort_keys=True))
@@ -111,7 +127,10 @@ def cmd_stragglers(args) -> int:
     artifacts = load_artifacts(args.trace)
     if args.json:
         doc = {
-            a.base: [p.to_dict() for p in st.phase_profiles(a.spans)]
+            a.base: [
+                p.to_dict()
+                for p in st.phase_profiles(a.spans, alerts=a.alert_rows)
+            ]
             for a in artifacts
         }
         print(json.dumps(doc, indent=2, sort_keys=True))

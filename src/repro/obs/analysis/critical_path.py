@@ -63,6 +63,9 @@ class PathSegment:
     track: str = ""
     #: bucket -> seconds, summing to the segment duration (tasks only).
     attribution: Dict[str, float] = field(default_factory=dict)
+    #: ``rule(severity)`` labels of live SLO alerts whose firing window
+    #: overlapped this segment (empty without an alert timeline).
+    alerts: List[str] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -80,6 +83,7 @@ class PathSegment:
             "wave": self.wave,
             "track": self.track,
             "attribution": dict(sorted(self.attribution.items())),
+            "alerts": list(self.alerts),
         }
 
 
@@ -321,8 +325,26 @@ def _walk_phase(
     )
 
 
-def job_critical_path(spans: List[dict], job_span: dict) -> JobCriticalPath:
-    """The critical path of one depth-0 job span."""
+def _annotate_alerts(
+    segments: List[PathSegment], alerts: Optional[List[dict]]
+) -> None:
+    """Stamp each segment with the live SLO alerts whose firing window
+    overlapped it (the alert-annotated analysis join)."""
+    if not alerts:
+        return
+    from repro.obs.live.engine import alert_labels, overlapping_alerts
+
+    for seg in segments:
+        seg.alerts = alert_labels(
+            overlapping_alerts(alerts, seg.start, seg.end)
+        )
+
+
+def job_critical_path(
+    spans: List[dict], job_span: dict, alerts: Optional[List[dict]] = None
+) -> JobCriticalPath:
+    """The critical path of one depth-0 job span, optionally annotated
+    with a live run's SLO alert timeline."""
     job = str(job_span["args"].get("job", job_span["name"]))
     t0 = job_span["start"]
     t1 = job_span["start"] + job_span["dur"]
@@ -382,19 +404,22 @@ def job_critical_path(spans: List[dict], job_span: dict) -> JobCriticalPath:
             cursor = stage_end
     if t1 > cursor + _EPS:
         segments.append(PathSegment("driver.tail", "job tail", cursor, t1))
+    _annotate_alerts(segments, alerts)
     return JobCriticalPath(
         job=job, start=t0, end=t1, segments=segments, phases=phases_out
     )
 
 
-def critical_paths(spans: List[dict]) -> List[JobCriticalPath]:
+def critical_paths(
+    spans: List[dict], alerts: Optional[List[dict]] = None
+) -> List[JobCriticalPath]:
     """One :class:`JobCriticalPath` per depth-0 job span, in start
     order (ties broken by job name for determinism)."""
     jobs = sorted(
         (s for s in spans if s["depth"] == DEPTH_JOB),
         key=lambda s: (s["start"], str(s["args"].get("job", s["name"]))),
     )
-    return [job_critical_path(spans, j) for j in jobs]
+    return [job_critical_path(spans, j, alerts=alerts) for j in jobs]
 
 
 # ----------------------------------------------------------------------
@@ -429,9 +454,10 @@ def render(path: JobCriticalPath, max_segments: int = 40) -> List[str]:
             top = max(seg.attribution.items(), key=lambda kv: kv[1])
             detail = f" (top: {top[0]} {top[1]:.3f}s)"
         wave = f" wave {seg.wave}" if seg.wave is not None else ""
+        alerts = f" [ALERT {', '.join(seg.alerts)}]" if seg.alerts else ""
         lines.append(
             f"    {seg.start:8.3f}s +{seg.duration:.3f}s {seg.kind} "
-            f"{seg.name}{wave}{detail}"
+            f"{seg.name}{wave}{detail}{alerts}"
         )
     if len(path.segments) > len(shown):
         lines.append(f"    ... {len(path.segments) - len(shown)} more segment(s)")

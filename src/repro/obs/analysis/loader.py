@@ -1,13 +1,14 @@
 """Robust loading of exported observability artifacts.
 
-One traced run exports a triple next to each other (see
+One traced run exports a set of siblings next to each other (see
 :meth:`repro.obs.Observability.export`)::
 
     <base>.trace.json     Chrome trace_event JSON
     <base>.audit.jsonl    adaptive audit log, one record per line
     <base>.metrics.json   metrics registry snapshot
+    <base>.alerts.jsonl   live SLO alert timeline (``--live`` runs only)
 
-The loader finds and parses those triples, raising
+The loader finds and parses those sets, raising
 :class:`TraceArtifactError` -- with the file and the reason -- instead
 of a traceback when a directory is empty, an export was interrupted
 mid-write, or a file is not the format its name claims. Every analysis
@@ -38,6 +39,9 @@ class TraceArtifacts:
     instants: List[dict] = field(default_factory=list)
     audit_rows: List[dict] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Live-run SLO alerts (``<base>.alerts.jsonl`` rows; empty for a
+    #: run recorded without ``--live``).
+    alert_rows: List[dict] = field(default_factory=list)
 
     @property
     def dropped_detail(self) -> int:
@@ -132,6 +136,48 @@ def extract_spans(payload: dict) -> Tuple[List[dict], List[dict]]:
     return spans, instants
 
 
+def extract_alerts(payload: dict) -> List[dict]:
+    """Reconstruct alert rows from the trace's async ``b``/``e`` pairs.
+
+    Fallback for a live trace whose ``alerts.jsonl`` sibling went
+    missing: the embedded bands carry rule/severity/metric/state/peak,
+    so the analysis join still works (evidence samples only live in the
+    jsonl). ``cleared_at`` comes from the matching ``e`` unless the
+    band was exported ``state="open"`` (an open alert's ``e`` sits at
+    the trace end only to close the band visually).
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return []
+    us = 1_000_000.0
+    rows: List[dict] = []
+    open_rows: Dict[Tuple[str, Any], dict] = {}
+    for ev in events:
+        if ev.get("cat") != "alert":
+            continue
+        ph = ev.get("ph")
+        key = (str(ev.get("name")), ev.get("id"))
+        if ph == "b":
+            args = ev.get("args", {})
+            row = {
+                "seq": ev.get("id"),
+                "rule": str(ev.get("name")),
+                "severity": args.get("severity"),
+                "metric": args.get("metric"),
+                "fired_at": ev.get("ts", 0.0) / us,
+                "cleared_at": None,
+                "state": args.get("state", "open"),
+                "peak": args.get("peak"),
+            }
+            rows.append(row)
+            open_rows[key] = row
+        elif ph == "e":
+            row = open_rows.pop(key, None)
+            if row is not None and row["state"] == "cleared":
+                row["cleared_at"] = ev.get("ts", 0.0) / us
+    return rows
+
+
 def load_one(trace_path: str) -> TraceArtifacts:
     """Load one export triple by its ``*.trace.json`` path (the audit
     and metrics siblings are found by naming convention; a missing
@@ -154,6 +200,7 @@ def load_one(trace_path: str) -> TraceArtifacts:
     base = os.path.basename(trace_path)[: -len(".trace.json")]
     audit_path = trace_path[: -len(".trace.json")] + ".audit.jsonl"
     metrics_path = trace_path[: -len(".trace.json")] + ".metrics.json"
+    alerts_path = trace_path[: -len(".trace.json")] + ".alerts.jsonl"
     audit_rows = (
         load_jsonl_file(audit_path, "audit") if os.path.exists(audit_path) else []
     )
@@ -166,6 +213,11 @@ def load_one(trace_path: str) -> TraceArtifacts:
         raise TraceArtifactError(
             f"{metrics_path}: metrics is {type(metrics).__name__}, not an object"
         )
+    alert_rows = (
+        load_jsonl_file(alerts_path, "alerts")
+        if os.path.exists(alerts_path)
+        else extract_alerts(payload)
+    )
     return TraceArtifacts(
         base=base,
         trace_path=trace_path,
@@ -174,6 +226,7 @@ def load_one(trace_path: str) -> TraceArtifacts:
         instants=instants,
         audit_rows=audit_rows,
         metrics=metrics,
+        alert_rows=alert_rows,
     )
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.trace import DEPTH_OP, DEPTH_TASK
 
@@ -105,6 +105,9 @@ class Straggler:
     cause: str
     #: bucket -> (task seconds, wave-median seconds) behind the cause.
     evidence: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: ``rule(severity)`` labels of live SLO alerts whose firing window
+    #: overlapped this task (empty without an alert timeline).
+    alerts: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -115,6 +118,7 @@ class Straggler:
                 k: {"task": a, "wave_median": b}
                 for k, (a, b) in sorted(self.evidence.items())
             },
+            "alerts": list(self.alerts),
         }
 
 
@@ -246,12 +250,28 @@ def _attribute_cause(
     return "slow-compute", evidence
 
 
+def _span_alert_labels(
+    span: dict, alerts: Optional[List[dict]]
+) -> List[str]:
+    """Live SLO alert labels overlapping one task span's interval."""
+    if not alerts:
+        return []
+    from repro.obs.live.engine import alert_labels, overlapping_alerts
+
+    return alert_labels(
+        overlapping_alerts(alerts, span["start"], span["start"] + span["dur"])
+    )
+
+
 def phase_profiles(
     spans: List[dict],
     straggler_threshold: float = DEFAULT_STRAGGLER_THRESHOLD,
+    alerts: Optional[List[dict]] = None,
 ) -> List[PhaseProfile]:
     """Profile every (stage, phase kind) with task attempts in the
-    trace, in deterministic (stage, kind) order."""
+    trace, in deterministic (stage, kind) order; each flagged straggler
+    is annotated with the live SLO alerts that overlapped it when an
+    alert timeline is given."""
     tasks = [
         s for s in spans if s["depth"] == DEPTH_TASK and s["name"] == "task"
     ]
@@ -330,6 +350,7 @@ def phase_profiles(
                         slowdown=t["dur"] / wave_median,
                         cause=cause,
                         evidence=evidence,
+                        alerts=_span_alert_labels(t, alerts),
                     )
                 )
         # Killed primaries never ran to completion; judge their
@@ -354,6 +375,7 @@ def phase_profiles(
                     slowdown=projected / wave_median,
                     cause="mitigated-by-speculation",
                     evidence={"projected.seconds": (projected, wave_median)},
+                    alerts=_span_alert_labels(t, alerts),
                 )
             )
         stragglers.sort(key=lambda s: (-s.slowdown, s.task))
@@ -400,9 +422,10 @@ def render(profiles: List[PhaseProfile], top_k: int = 5) -> List[str]:
             )
         if p.stragglers:
             for s in p.stragglers[:top_k]:
+                alerts = f" [ALERT {', '.join(s.alerts)}]" if s.alerts else ""
                 lines.append(
                     f"  straggler {s.task} on {s.track}: {s.duration:.3f}s "
-                    f"({s.slowdown:.2f}x wave median) -- {s.cause}"
+                    f"({s.slowdown:.2f}x wave median) -- {s.cause}{alerts}"
                 )
             if len(p.stragglers) > top_k:
                 lines.append(

@@ -11,7 +11,11 @@ tracks onto that as:
 * ``"M"`` metadata events name every process/thread, and
   ``thread_sort_index`` keeps slot order stable in the UI;
 * every event carries ``args.depth`` (the explicit nesting level, see
-  :mod:`repro.obs.trace`), so tools need no containment inference.
+  :mod:`repro.obs.trace`), so tools need no containment inference;
+* SLO alerts (from a live run) become async ``"b"``/``"e"`` pairs on
+  the ``driver/alerts`` track, so the firing windows render as bands
+  over the run in the trace UI. An alert still open at end of run
+  closes its ``"e"`` at the trace end.
 """
 
 from __future__ import annotations
@@ -39,9 +43,16 @@ def _track_ids(tracks: Iterable[str]) -> Dict[str, Tuple[int, int]]:
     return ids
 
 
-def to_chrome_trace(tracer: Tracer) -> dict:
-    """Convert a tracer's spans/instants to a Chrome trace dict."""
+#: Track carrying SLO alert bands in the exported trace.
+ALERT_TRACK = "driver/alerts"
+
+
+def to_chrome_trace(tracer: Tracer, alerts: List[dict] = None) -> dict:
+    """Convert a tracer's spans/instants (and optionally the live SLO
+    ``alerts.jsonl`` rows) to a Chrome trace dict."""
     tracks = {s.track for s in tracer.spans} | {i.track for i in tracer.instants}
+    if alerts:
+        tracks.add(ALERT_TRACK)
     ids = _track_ids(tracks)
 
     events: List[dict] = []
@@ -98,6 +109,50 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             }
         )
 
+    if alerts:
+        pid, tid = ids[ALERT_TRACK]
+        trace_end = max(
+            [s.end for s in tracer.spans] + [i.ts for i in tracer.instants],
+            default=0.0,
+        )
+        for row in alerts:
+            fired = float(row.get("fired_at", 0.0))
+            cleared = row.get("cleared_at")
+            ends = (
+                float(cleared)
+                if isinstance(cleared, (int, float))
+                else max(trace_end, fired)
+            )
+            common = {
+                "name": str(row.get("rule", "alert")),
+                "cat": "alert",
+                "id": int(row.get("seq", 0)),
+                "pid": pid,
+                "tid": tid,
+            }
+            events.append(
+                dict(
+                    common,
+                    ph="b",
+                    ts=round(fired * _US, 3),
+                    args={
+                        "depth": 0,
+                        "severity": row.get("severity"),
+                        "metric": row.get("metric"),
+                        "state": row.get("state"),
+                        "peak": row.get("peak"),
+                    },
+                )
+            )
+            events.append(
+                dict(
+                    common,
+                    ph="e",
+                    ts=round(ends * _US, 3),
+                    args={"depth": 0},
+                )
+            )
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -108,8 +163,8 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
-    write_json(to_chrome_trace(tracer), path)
+def write_chrome_trace(tracer: Tracer, path: str, alerts: List[dict] = None) -> None:
+    write_json(to_chrome_trace(tracer, alerts=alerts), path)
 
 
 def write_json(payload: Any, path: str) -> None:
@@ -132,6 +187,9 @@ _REQUIRED_BY_PHASE = {
     "X": ("name", "ts", "dur", "pid", "tid", "args"),
     "i": ("name", "ts", "pid", "tid", "args"),
     "M": ("name", "pid", "args"),
+    # Async begin/end pairs -- SLO alert bands from live runs.
+    "b": ("name", "cat", "id", "ts", "pid", "tid", "args"),
+    "e": ("name", "cat", "id", "ts", "pid", "tid", "args"),
 }
 
 
@@ -141,7 +199,8 @@ def validate_chrome_trace(payload: dict) -> List[str]:
 
     Checks: top-level shape, per-phase required fields, non-negative
     timestamps/durations, ``args.depth`` on every X/i event, named
-    processes and threads for every (pid, tid) used by events.
+    processes and threads for every (pid, tid) used by events, and
+    balanced ``b``/``e`` async pairs per (name, id).
     """
     problems: List[str] = []
     events = payload.get("traceEvents")
@@ -153,10 +212,14 @@ def validate_chrome_trace(payload: dict) -> List[str]:
     named_processes = set()
     named_threads = set()
     used_threads = set()
+    async_open: Dict[Tuple[Any, Any], int] = {}
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph not in _REQUIRED_BY_PHASE:
-            problems.append(f"event {i}: unsupported phase {ph!r}")
+            problems.append(
+                f"event {i}: unsupported phase {ph!r} "
+                f"(known: {', '.join(sorted(_REQUIRED_BY_PHASE))})"
+            )
             continue
         for key in _REQUIRED_BY_PHASE[ph]:
             if key not in ev:
@@ -174,10 +237,23 @@ def validate_chrome_trace(payload: dict) -> List[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i}: bad dur {dur!r}")
-        depth = ev.get("args", {}).get("depth")
-        if not isinstance(depth, int) or depth < 0:
-            problems.append(f"event {i}: missing args.depth")
+        if ph in ("b", "e"):
+            key = (ev.get("name"), ev.get("id"))
+            async_open[key] = async_open.get(key, 0) + (1 if ph == "b" else -1)
+        elif ph in ("X", "i"):
+            depth = ev.get("args", {}).get("depth")
+            if not isinstance(depth, int) or depth < 0:
+                problems.append(f"event {i}: missing args.depth")
         used_threads.add((ev.get("pid"), ev.get("tid")))
+
+    for (name, async_id), balance in sorted(
+        async_open.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        if balance:
+            problems.append(
+                f"async pair {name!r} id={async_id!r}: unmatched 'b'/'e' "
+                f"(balance {balance:+d})"
+            )
 
     for pid, tid in sorted(used_threads):
         if pid not in named_processes:

@@ -1,0 +1,171 @@
+"""The in-process telemetry event bus.
+
+A :class:`TelemetryBus` streams what the tracer and runtime record --
+spans, instant events, per-task counter deltas, and audit verdicts --
+to in-process subscribers *while the simulated run executes*, instead
+of only after export. Like every other part of :mod:`repro.obs` it is
+strictly passive: publishing charges no simulated time, subscribers
+receive plain read-only event records, and a run with a subscribed bus
+is bit-identical (simulated time, counters, outputs) to a run without
+one. The observer-effect tests pin that down.
+
+Delivery is synchronous and in publish order. The simulation itself is
+single-threaded and deterministic, so the event stream -- including the
+monotone ``seq`` stamped on every event -- is byte-reproducible across
+runs and processes. Note that publish order is *commit* order, not
+simulated-time order: a task committed later can end earlier than its
+predecessor, so consumers that need a monotone clock should track a
+watermark (see :class:`repro.obs.live.windows.LiveAggregators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+#: Event kinds, in the vocabulary the aggregators consume.
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+KIND_COUNTERS = "counters"
+KIND_AUDIT = "audit"
+
+_US = 1_000_000.0
+
+
+def _quantize_range(start: float, end: float) -> "tuple":
+    """Snap a span's endpoints onto the Chrome-trace export grid.
+
+    The export stores ``ts = round(start*1e6, 3)`` and ``dur =
+    round(duration*1e6, 3)``; the loader reconstructs ``start = ts/1e6``
+    and ``end = start + dur/1e6``. Publishing the *same* quantized
+    values at execution time -- mirroring those expressions term by
+    term, because float arithmetic does not distribute -- is what lets
+    ``python -m repro.obs live`` replay an exported trace into the
+    bit-identical sample stream and alert timeline the live run saw.
+    """
+    start_q = round(start * _US, 3) / _US
+    end_q = start_q + round(max(0.0, end - start) * _US, 3) / _US
+    return start_q, end_q
+
+
+def _quantize_ts(ts: float) -> float:
+    """The instant-event analogue of :func:`_quantize_range`."""
+    return round(ts * _US, 3) / _US
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One bus event.
+
+    ``start``/``ts`` are simulated seconds; for spans ``ts`` is the
+    span's *end* (the moment the simulation learns the span existed),
+    for everything else ``start == ts``. ``payload`` carries the
+    kind-specific detail (span args, counter deltas, audit fields) and
+    must be treated as read-only by subscribers.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    track: str
+    start: float
+    ts: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Synchronous publish/subscribe fan-out of telemetry events.
+
+    Subscribers are called in subscription order, inside the publishing
+    call. They must not mutate simulation state (the bus hands them the
+    live ``payload`` dicts for cheapness; treat them as frozen).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+        self._seq = 0
+        self.published = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        self._subscribers.remove(fn)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        kind: str,
+        name: str,
+        track: str,
+        start: float,
+        ts: float,
+        payload: Dict[str, Any],
+    ) -> TelemetryEvent:
+        event = TelemetryEvent(self._seq, kind, name, track, start, ts, payload)
+        self._seq += 1
+        self.published += 1
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    # Convenience producers --------------------------------------------
+    def publish_span(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        start: float,
+        end: float,
+        depth: int,
+        args: Dict[str, Any],
+    ) -> None:
+        start, end = _quantize_range(start, end)
+        self.publish(
+            KIND_SPAN, name, track, start, end,
+            {"cat": cat, "depth": depth, "args": args},
+        )
+
+    def publish_instant(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        ts: float,
+        depth: int,
+        args: Dict[str, Any],
+    ) -> None:
+        ts = _quantize_ts(ts)
+        self.publish(
+            KIND_INSTANT, name, track, ts, ts,
+            {"cat": cat, "depth": depth, "args": args},
+        )
+
+    def publish_counters(
+        self,
+        name: str,
+        track: str,
+        start: float,
+        end: float,
+        deltas: Dict[str, float],
+        **extra: Any,
+    ) -> None:
+        """One completed unit of work's counter deltas, keyed
+        ``<group>.<name>`` (sorted by the producer for determinism)."""
+        payload: Dict[str, Any] = {"deltas": deltas}
+        payload.update(extra)
+        start, end = _quantize_range(start, end)
+        self.publish(KIND_COUNTERS, name, track, start, end, payload)
+
+    def publish_audit(
+        self, verdict: str, sim_time: float, **fields: Any
+    ) -> None:
+        self.publish(KIND_AUDIT, verdict, "driver", sim_time, sim_time, fields)

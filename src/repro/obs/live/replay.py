@@ -1,0 +1,152 @@
+"""Reconstruct a telemetry event stream from exported artifacts.
+
+``python -m repro.obs live`` replays a traced run tick-by-tick without
+re-running the simulation: the exported trace preserves the tracer's
+append order, which is exactly the order the bus published span events
+during execution, so feeding the spans back through a fresh
+:class:`~repro.obs.live.LiveSession` reproduces the execution-time
+sample stream -- and therefore the alert timeline -- byte-for-byte.
+
+Counter-delta events are only reconstructible when the run was
+recorded live: the runtime then embeds each task's counter deltas in
+the task span's ``args.counters``, and the replay re-publishes the
+deltas immediately *before* the task span, matching the execution-time
+publish order. Replaying a non-live trace still works -- span-derived
+metrics (throughput, cache hit ratio, straggler ratio) are intact --
+but counter-derived metrics (reuse ratio, retry rate, build progress)
+have no events to fold.
+
+Instant and audit events never influence the aggregators (they are
+display-only for the snapshot), so the replay merges them into the
+stream by timestamp purely for rendering fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.obs.live import bus as busmod
+
+#: One reconstructed event before publishing:
+#: (kind, name, track, start, ts, payload)
+RawEvent = Tuple[str, str, str, float, float, Dict[str, Any]]
+
+
+def events_from_artifacts(artifact) -> List[RawEvent]:
+    """The replayable event stream of one
+    :class:`~repro.obs.analysis.loader.TraceArtifacts`."""
+    primary: List[RawEvent] = []
+    for span in artifact.spans:
+        args = dict(span.get("args", {}))
+        depth = span.get("depth", 0)
+        start = span["start"]
+        end = start + span.get("dur", 0.0)
+        deltas = args.get("counters")
+        if span.get("name") == "task" and isinstance(deltas, dict):
+            primary.append(
+                (
+                    busmod.KIND_COUNTERS,
+                    "task",
+                    span.get("track", "?"),
+                    start,
+                    end,
+                    {
+                        "deltas": deltas,
+                        "task": args.get("task"),
+                        "kind": args.get("kind"),
+                        "wave": args.get("wave"),
+                    },
+                )
+            )
+        primary.append(
+            (
+                busmod.KIND_SPAN,
+                span.get("name", "?"),
+                span.get("track", "?"),
+                start,
+                end,
+                {"cat": span.get("cat", ""), "depth": depth, "args": args},
+            )
+        )
+
+    secondary: List[RawEvent] = []
+    for inst in artifact.instants:
+        ts = inst["start"]
+        secondary.append(
+            (
+                busmod.KIND_INSTANT,
+                inst.get("name", "?"),
+                inst.get("track", "?"),
+                ts,
+                ts,
+                {
+                    "cat": inst.get("cat", ""),
+                    "depth": inst.get("depth", 0),
+                    "args": dict(inst.get("args", {})),
+                },
+            )
+        )
+    for row in artifact.audit_rows:
+        ts = float(row.get("sim_time", 0.0))
+        secondary.append(
+            (
+                busmod.KIND_AUDIT,
+                str(row.get("verdict", "?")),
+                "driver",
+                ts,
+                ts,
+                {
+                    "job": row.get("job"),
+                    "phase": row.get("phase"),
+                    "seq": row.get("seq"),
+                },
+            )
+        )
+    secondary.sort(key=lambda e: e[4])
+
+    # Stable merge: display-only events slot in before the first
+    # primary event that ends at or after them; the primary (span /
+    # counters) order -- which determines the alert timeline -- is
+    # never perturbed.
+    merged: List[RawEvent] = []
+    si = 0
+    for event in primary:
+        while si < len(secondary) and secondary[si][4] <= event[4]:
+            merged.append(secondary[si])
+            si += 1
+        merged.append(event)
+    merged.extend(secondary[si:])
+    return merged
+
+
+def replay(session, events: List[RawEvent]) -> None:
+    """Publish every reconstructed event through ``session.bus``."""
+    for kind, name, track, start, ts, payload in events:
+        session.bus.publish(kind, name, track, start, ts, payload)
+    session.finish()
+
+
+def replay_ticks(
+    session, events: List[RawEvent], ticks: int
+) -> Iterator[Tuple[float, int]]:
+    """Publish ``events`` in ``ticks`` equal slices of simulated time,
+    yielding ``(tick_time, events_so_far)`` after each slice (the
+    renderer prints one frame per yield). The final slice is always
+    yielded, even for an empty stream."""
+    if ticks < 1:
+        raise ValueError("ticks must be >= 1")
+    end = max((e[4] for e in events), default=0.0)
+    i = 0
+    for tick in range(1, ticks + 1):
+        horizon = end * tick / ticks
+        while i < len(events) and events[i][4] <= horizon:
+            kind, name, track, start, ts, payload = events[i]
+            session.bus.publish(kind, name, track, start, ts, payload)
+            i += 1
+        yield horizon, i
+    # Anything sitting exactly past the last horizon due to float noise.
+    while i < len(events):
+        kind, name, track, start, ts, payload = events[i]
+        session.bus.publish(kind, name, track, start, ts, payload)
+        i += 1
+    session.finish()

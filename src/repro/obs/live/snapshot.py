@@ -1,0 +1,129 @@
+"""The live progress snapshot API.
+
+:class:`LiveSnapshot` subscribes to the telemetry bus and keeps just
+enough state to answer "where is this run right now?" at any moment:
+the simulated watermark, completed tasks per (stage, phase), sealed
+waves, audit verdict counts, the aggregators' latest metric values,
+and the rule engine's active alerts. :meth:`snapshot` returns a
+deterministic plain dict (everything sorted) and :meth:`render_line`
+formats the one-line frame the terminal renderer prints per tick.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.live import bus as busmod
+
+#: Metrics shown in the one-line frame, in display order.
+_FRAME_METRICS = (
+    "throughput.map",
+    "throughput.reduce",
+    "cache_hit_ratio",
+    "reuse_hit_ratio",
+    "fault_retry_rate",
+    "straggler_ratio",
+)
+
+
+class LiveSnapshot:
+    """Progress bookkeeping over the raw event stream."""
+
+    def __init__(self, bus=None, aggregators=None, engine=None):
+        self.aggregators = aggregators
+        self.engine = engine
+        self.watermark = 0.0
+        self.events = 0
+        self.tasks_done: Dict[tuple, int] = {}
+        self.waves_done = 0
+        self.crashes = 0
+        self.audit_verdicts: Dict[str, int] = {}
+        self.jobs_seen: List[str] = []
+        if bus is not None:
+            bus.subscribe(self.on_event)
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: busmod.TelemetryEvent) -> None:
+        self.events += 1
+        if event.ts > self.watermark:
+            self.watermark = event.ts
+        if event.kind == busmod.KIND_SPAN:
+            args = event.payload.get("args", {})
+            if event.name == "task":
+                task_id = str(args.get("task", ""))
+                stage = task_id.rsplit("-", 1)[0] if "-" in task_id else "?"
+                key = (stage, str(args.get("kind", "?")))
+                self.tasks_done[key] = self.tasks_done.get(key, 0) + 1
+            elif event.name == "task.crash":
+                self.crashes += 1
+            elif event.payload.get("cat") == "wave":
+                self.waves_done += 1
+            elif event.payload.get("cat") == "job":
+                job = str(args.get("job", event.name))
+                if job not in self.jobs_seen:
+                    self.jobs_seen.append(job)
+        elif event.kind == busmod.KIND_AUDIT:
+            self.audit_verdicts[event.name] = (
+                self.audit_verdicts.get(event.name, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    def _metric_values(self) -> Dict[str, float]:
+        if self.aggregators is None:
+            return {}
+        out: Dict[str, float] = {}
+        for metric in _FRAME_METRICS + ("build_progress",):
+            value = self.aggregators.current(metric)
+            if value is not None:
+                out[metric] = value
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deterministic point-in-time progress dict."""
+        active = self.engine.active if self.engine is not None else []
+        hist = (
+            self.aggregators.lookup_latency if self.aggregators is not None else None
+        )
+        return {
+            "watermark": self.watermark,
+            "events": self.events,
+            "tasks_done": {
+                f"{stage}/{kind}": n
+                for (stage, kind), n in sorted(self.tasks_done.items())
+            },
+            "waves_done": self.waves_done,
+            "crashes": self.crashes,
+            "jobs_seen": list(self.jobs_seen),
+            "audit_verdicts": dict(sorted(self.audit_verdicts.items())),
+            "metrics": self._metric_values(),
+            "lookup_latency": (
+                {
+                    "count": hist.count,
+                    "p50": hist.quantile(0.5),
+                    "p99": hist.quantile(0.99),
+                }
+                if hist is not None and hist.count
+                else {}
+            ),
+            "alerts_fired": (
+                len(self.engine.alerts) if self.engine is not None else 0
+            ),
+            "alerts_active": [a.rule for a in active],
+        }
+
+    def render_line(self) -> str:
+        """One terminal frame: ``t=.. | tasks .. | metrics .. | alerts``."""
+        snap = self.snapshot()
+        tasks = sum(self.tasks_done.values())
+        parts = [f"t={snap['watermark']:8.3f}s", f"tasks={tasks:4d}"]
+        parts.append(f"waves={snap['waves_done']:3d}")
+        metrics = snap["metrics"]
+        for metric in _FRAME_METRICS:
+            if metric in metrics:
+                short = metric.replace("throughput.", "thr.")
+                parts.append(f"{short}={metrics[metric]:.2f}")
+        if snap["alerts_active"]:
+            parts.append("ALERT " + ",".join(snap["alerts_active"]))
+        elif snap["alerts_fired"]:
+            parts.append(f"alerts={snap['alerts_fired']}")
+        return " | ".join(parts)

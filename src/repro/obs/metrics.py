@@ -106,6 +106,59 @@ class Histogram:
                 return bound
         return self.buckets[-1]
 
+    # ------------------------------------------------------------------
+    def boundaries(self) -> List:
+        """Every bucket edge including the implicit overflow, as
+        exported: the finite upper bounds followed by ``"+Inf"``."""
+        return [*self.buckets, "+Inf"]
+
+    def to_export(self) -> dict:
+        """The JSON shape written to ``<base>.metrics.json`` (see
+        :meth:`MetricsRegistry.to_dict`). ``boundaries`` makes the edge
+        set explicit -- including the overflow bucket -- so offline
+        consumers reprice quantiles from exactly the edges the
+        histogram observed with, instead of assuming the defaults."""
+        return {
+            "buckets": self.buckets,
+            "boundaries": self.boundaries(),
+            "counts": self.counts,
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+    @classmethod
+    def from_export(cls, name: str, payload: dict) -> "Histogram":
+        """Rebuild a histogram from its exported dict. Quantiles
+        repriced on the rebuilt instance match the exported ones
+        exactly (same edges, same counts, same nearest-rank rule)."""
+        hist = cls(name, boundaries_from_export(payload))
+        counts = list(payload.get("counts", ()))
+        if len(counts) != len(hist.buckets):
+            raise ValueError(
+                f"{name}: {len(counts)} counts for {len(hist.buckets)} buckets"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.overflow = int(payload.get("overflow", 0))
+        hist.count = int(payload.get("count", 0))
+        hist.sum = float(payload.get("sum", 0.0))
+        return hist
+
+
+def boundaries_from_export(payload: dict) -> List[float]:
+    """The finite bucket edges of one exported histogram dict.
+
+    Prefers the explicit ``boundaries`` field (dropping the trailing
+    ``"+Inf"`` overflow marker); falls back to ``buckets`` for exports
+    predating it."""
+    edges = payload.get("boundaries")
+    if edges:
+        return [float(e) for e in edges if not isinstance(e, str)]
+    return [float(e) for e in payload.get("buckets", ())]
+
 
 class MetricsRegistry:
     """Get-or-create registry of named counters/gauges/histograms."""
@@ -154,16 +207,7 @@ class MetricsRegistry:
             },
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
             "histograms": {
-                name: {
-                    "buckets": h.buckets,
-                    "counts": h.counts,
-                    "overflow": h.overflow,
-                    "count": h.count,
-                    "sum": h.sum,
-                    "mean": h.mean,
-                    "p50": h.quantile(0.5),
-                    "p99": h.quantile(0.99),
-                }
+                name: h.to_export()
                 for name, h in sorted(self._histograms.items())
             },
         }

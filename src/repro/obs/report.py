@@ -46,17 +46,34 @@ def _spans(payload: dict) -> List[dict]:
 
 
 # ----------------------------------------------------------------------
-def phase_critical_paths(spans: List[dict]) -> List[str]:
+def _alert_annotator(alerts):
+    """A ``fn(start, end) -> " [ALERT ...]" | ""`` suffix maker for one
+    alert timeline (the no-timeline annotator always answers "")."""
+    if not alerts:
+        return lambda start, end: ""
+    from repro.obs.live.engine import alert_labels, overlapping_alerts
+
+    def suffix(start: float, end: float) -> str:
+        labels = alert_labels(overlapping_alerts(alerts, start, end))
+        return f" [ALERT {', '.join(labels)}]" if labels else ""
+
+    return suffix
+
+
+def phase_critical_paths(spans: List[dict], alerts=None) -> List[str]:
     """Per phase span: the chain of slowest task attempts per wave.
 
     In the simulated cluster a phase ends when its last wave's slowest
     task ends, so the max-duration task of each wave is the critical
     chain; the report shows each link and the slack (phase duration
-    minus chain sum, i.e. scheduling gaps / startup).
+    minus chain sum, i.e. scheduling gaps / startup). With a live alert
+    timeline, each phase and chain link is annotated with the SLO
+    alerts that overlapped it.
     """
     lines: List[str] = []
     phases = [s for s in spans if s["depth"] == DEPTH_PHASE]
     tasks = [s for s in spans if s["depth"] == DEPTH_TASK]
+    labels_for = _alert_annotator(alerts)
     for phase in sorted(phases, key=lambda s: s["start"]):
         inside = [
             t
@@ -71,6 +88,7 @@ def phase_critical_paths(spans: List[dict]) -> List[str]:
             f"phase {phase['args'].get('job', '')}/{phase['name']}"
             f" @ t={phase['start']:.3f}s dur={phase['dur']:.3f}s"
             f" ({len(inside)} task attempt(s))"
+            + labels_for(phase["start"], phase["start"] + phase["dur"])
         )
         by_wave: Dict[Any, List[dict]] = {}
         for t in inside:
@@ -83,6 +101,7 @@ def phase_critical_paths(spans: List[dict]) -> List[str]:
                 f"  wave {wave}: slowest {slowest['args'].get('task', '?')}"
                 f" on {slowest['track']} dur={slowest['dur']:.3f}s"
                 f" ({len(by_wave[wave])} task(s))"
+                + labels_for(slowest["start"], slowest["start"] + slowest["dur"])
             )
         lines.append(
             f"  critical chain {chain:.3f}s, slack {phase['dur'] - chain:.3f}s"
@@ -158,6 +177,7 @@ def build_report(trace_path: str, top_k: int = 10) -> str:
     artifact = load_one(trace_path)
     spans = artifact.spans
     audit_rows = artifact.audit_rows
+    alert_rows = artifact.alert_rows
 
     sections = [
         f"=== {os.path.basename(trace_path)} ===",
@@ -166,7 +186,7 @@ def build_report(trace_path: str, top_k: int = 10) -> str:
         f"{artifact.dropped_detail}",
         "",
         "--- per-phase critical path ---",
-        *phase_critical_paths(spans),
+        *phase_critical_paths(spans, alerts=alert_rows),
         "",
         "--- slowest lookups ---",
         *slowest_lookups(spans, top_k),
@@ -174,4 +194,8 @@ def build_report(trace_path: str, top_k: int = 10) -> str:
         "--- re-plan timeline ---",
         *replan_timeline(audit_rows),
     ]
+    if alert_rows:
+        from repro.obs.live.engine import summary_lines
+
+        sections.extend(["", "--- SLO alerts ---", *summary_lines(alert_rows)])
     return "\n".join(sections)

@@ -85,16 +85,27 @@ class Instant:
 
 
 class Tracer:
-    """Collects spans and instant events in simulated time."""
+    """Collects spans and instant events in simulated time.
+
+    With a :class:`~repro.obs.live.bus.TelemetryBus` attached, every
+    recorded span/instant is additionally published to the bus at the
+    moment it lands in the tracer -- so bus order *is* tracer append
+    order *is* export file order, which is what lets the live replay
+    (:mod:`repro.obs.live.replay`) reproduce the execution-time event
+    stream from the exported artifacts alone. Publishing charges no
+    simulated time; the observer-effect tests pin bit-identity with the
+    bus attached.
+    """
 
     enabled = True
 
-    def __init__(self, metrics=None, max_task_detail: int = 256):
+    def __init__(self, metrics=None, max_task_detail: int = 256, bus=None):
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
         self.metrics = metrics
         self.max_task_detail = max_task_detail
         self.dropped_detail = 0
+        self.bus = bus
 
     # ------------------------------------------------------------------
     def span(
@@ -108,11 +119,15 @@ class Tracer:
         **args: Any,
     ) -> None:
         self.spans.append(Span(name, cat, track, start, end, depth, args))
+        if self.bus is not None:
+            self.bus.publish_span(name, cat, track, start, end, depth, args)
 
     def instant(
         self, name: str, cat: str, track: str, ts: float, depth: int, **args: Any
     ) -> None:
         self.instants.append(Instant(name, cat, track, ts, depth, args))
+        if self.bus is not None:
+            self.bus.publish_instant(name, cat, track, ts, depth, args)
 
     # ------------------------------------------------------------------
     def task_buffer(self, task_id: str) -> "TaskTraceBuffer":
@@ -139,15 +154,16 @@ class Tracer:
             return
         for name, cat, rel_start, rel_end, depth, args in buffer.rel_spans:
             args.setdefault("task", buffer.task_id)
-            self.spans.append(
-                Span(name, cat, track, task_start + rel_start,
-                     task_start + rel_end, depth, args)
-            )
+            start, end = task_start + rel_start, task_start + rel_end
+            self.spans.append(Span(name, cat, track, start, end, depth, args))
+            if self.bus is not None:
+                self.bus.publish_span(name, cat, track, start, end, depth, args)
         for name, cat, rel_ts, depth, args in buffer.rel_instants:
             args.setdefault("task", buffer.task_id)
-            self.instants.append(
-                Instant(name, cat, track, task_start + rel_ts, depth, args)
-            )
+            ts = task_start + rel_ts
+            self.instants.append(Instant(name, cat, track, ts, depth, args))
+            if self.bus is not None:
+                self.bus.publish_instant(name, cat, track, ts, depth, args)
         self.dropped_detail += buffer.dropped
         if self.metrics is not None:
             for name, (count, total) in sorted(buffer.totals.items()):
@@ -187,6 +203,7 @@ class NullTracer(Tracer):
         self.metrics = None
         self.max_task_detail = 0
         self.dropped_detail = 0
+        self.bus = None
 
     def span(self, *a: Any, **kw: Any) -> None:
         pass

@@ -109,6 +109,84 @@ class TestValidator:
         assert validate_chrome_trace({"traceEvents": []})
         assert validate_chrome_trace({})
 
+    def test_unknown_phase_is_named_precisely(self):
+        payload = to_chrome_trace(small_tracer())
+        payload["traceEvents"][0]["ph"] = "Z"
+        (problem,) = [
+            p for p in validate_chrome_trace(payload) if "phase" in p
+        ]
+        assert "unsupported phase 'Z'" in problem
+        # ...and tells the reader what would have been accepted.
+        for known in ("X", "i", "M", "b", "e"):
+            assert known in problem
+
+
+ALERT_ROWS = [
+    {
+        "seq": 0, "rule": "wave-straggler", "severity": "warning",
+        "metric": "straggler_ratio", "fired_at": 0.6, "cleared_at": 1.8,
+        "state": "cleared", "peak": 3.0, "samples": 2,
+        "evidence": [{"ts": 0.6, "value": 3.0}], "detail": {},
+    },
+    {
+        "seq": 1, "rule": "retry-storm", "severity": "critical",
+        "metric": "fault_retry_rate", "fired_at": 2.0, "cleared_at": None,
+        "state": "open", "peak": 5.0, "samples": 4,
+        "evidence": [{"ts": 2.0, "value": 5.0}], "detail": {},
+    },
+]
+
+
+class TestAlertBands:
+    """Live alert timelines export as async b/e band pairs the
+    validator and report tooling must recognize."""
+
+    def test_bands_validate_and_pair_up(self):
+        payload = to_chrome_trace(small_tracer(), alerts=ALERT_ROWS)
+        assert validate_chrome_trace(payload) == []
+        bands = [
+            ev for ev in payload["traceEvents"] if ev.get("cat") == "alert"
+        ]
+        assert [ev["ph"] for ev in bands] == ["b", "e", "b", "e"]
+        begin = bands[0]
+        assert begin["name"] == "wave-straggler"
+        assert begin["ts"] == 0.6 * 1e6
+        assert begin["args"]["severity"] == "warning"
+        # An open alert's closing "e" sits at the trace end, but its
+        # band still says so.
+        assert bands[2]["args"]["state"] == "open"
+
+    def test_unbalanced_pair_is_detected(self):
+        payload = to_chrome_trace(small_tracer(), alerts=ALERT_ROWS)
+        payload["traceEvents"] = [
+            ev
+            for ev in payload["traceEvents"]
+            if not (ev.get("ph") == "e" and ev.get("cat") == "alert")
+        ]
+        problems = validate_chrome_trace(payload)
+        assert any(
+            "unmatched 'b'/'e'" in p and "wave-straggler" in p
+            for p in problems
+        )
+
+    def test_alert_rows_recoverable_from_bands(self):
+        from repro.obs.analysis.loader import extract_alerts
+
+        payload = to_chrome_trace(small_tracer(), alerts=ALERT_ROWS)
+        rows = extract_alerts(payload)
+        assert [r["rule"] for r in rows] == ["wave-straggler", "retry-storm"]
+        assert rows[0]["cleared_at"] == 1.8
+        assert rows[1]["cleared_at"] is None  # open band stays open
+
+    def test_report_joins_alerts(self, tmp_path):
+        trace_path = str(tmp_path / "j.trace.json")
+        write_chrome_trace(small_tracer(), trace_path, alerts=ALERT_ROWS)
+        write_jsonl(ALERT_ROWS, str(tmp_path / "j.alerts.jsonl"))
+        report = build_report(trace_path)
+        assert "SLO alerts" in report
+        assert "wave-straggler" in report
+        assert "[ALERT" in report  # critical-path lines annotated
+
 
 class TestReport:
     def test_round_trip_and_sections(self, tmp_path):
@@ -152,3 +230,14 @@ class TestObservabilityExport:
         with open(paths["metrics"], encoding="utf-8") as fh:
             metrics = json.load(fh)
         assert set(metrics) == {"counters", "gauges", "histograms"}
+
+    def test_live_export_adds_alerts_artifact(self, tmp_path):
+        obs = Observability()
+        obs.tracer.span("efind:j", "job", DRIVER_TRACK, 0.0, 1.0, DEPTH_JOB)
+        paths = obs.export(str(tmp_path), "j", alerts=ALERT_ROWS)
+        assert set(paths) == {"trace", "audit", "metrics", "alerts"}
+        with open(paths["alerts"], encoding="utf-8") as fh:
+            rows = [json.loads(line) for line in fh]
+        assert rows == ALERT_ROWS
+        payload = load_trace(paths["trace"])
+        assert validate_chrome_trace(payload) == []

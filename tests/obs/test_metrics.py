@@ -7,6 +7,7 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     Histogram,
     MetricsRegistry,
+    boundaries_from_export,
 )
 
 
@@ -157,13 +158,67 @@ class TestAbsorbCounters:
         assert r.gauge("counters.g.n").value == 5.0
 
 
+class TestExportBoundaries:
+    """The exported histogram names its bucket edges explicitly -- the
+    regression pinned here is that live rolling windows and offline
+    consumers reprice quantiles from *exactly* the edges the histogram
+    observed with, not from assumed defaults."""
+
+    def test_boundaries_include_overflow_marker(self):
+        h = Histogram("h", buckets=[0.1, 1.0])
+        assert h.boundaries() == [0.1, 1.0, "+Inf"]
+        export = h.to_export()
+        assert export["boundaries"] == [0.1, 1.0, "+Inf"]
+        assert export["buckets"] == [0.1, 1.0]
+
+    def test_boundaries_are_exact_not_approximate(self):
+        # Deliberately awkward edges: repr round-trips must be exact.
+        edges = [1e-5, 0.1 + 0.2, 1 / 3, 7.000000000000001]
+        h = Histogram("h", buckets=sorted(edges))
+        assert boundaries_from_export(h.to_export()) == sorted(edges)
+
+    def test_from_export_round_trips_quantiles(self):
+        h = Histogram("h", buckets=[0.01, 0.1, 1.0, 10.0])
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        export = h.to_export()
+        rebuilt = Histogram.from_export("h", export)
+        assert rebuilt.buckets == h.buckets
+        assert rebuilt.counts == h.counts
+        assert rebuilt.overflow == h.overflow
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert rebuilt.quantile(q) == h.quantile(q)
+        assert rebuilt.to_export() == export
+
+    def test_from_export_rejects_count_mismatch(self):
+        export = Histogram("h", buckets=[0.1, 1.0]).to_export()
+        export["counts"] = [1]
+        with pytest.raises(ValueError, match="1 counts for 2 buckets"):
+            Histogram.from_export("h", export)
+
+    def test_boundaries_from_export_falls_back_to_buckets(self):
+        # Exports predating the explicit field still reprice correctly.
+        assert boundaries_from_export({"buckets": [0.1, 1.0]}) == [0.1, 1.0]
+        assert boundaries_from_export(
+            {"boundaries": [0.1, 1.0, "+Inf"], "buckets": [9.9]}
+        ) == [0.1, 1.0]
+
+    def test_live_aggregator_uses_the_same_edges(self):
+        """The live lookup-latency histogram and the offline export
+        share one Histogram class, so their edges cannot drift."""
+        from repro.obs.live.windows import LiveAggregators
+
+        agg = LiveAggregators()
+        assert agg.lookup_latency.boundaries() == Histogram("h").boundaries()
+
+
 class TestToDict:
     def test_histogram_snapshot_shape(self):
         r = MetricsRegistry()
         r.histogram("h", buckets=[0.1, 1.0]).observe(0.05)
         snap = r.to_dict()["histograms"]["h"]
-        for key in ("buckets", "counts", "overflow", "count", "sum", "mean",
-                    "p50", "p99"):
+        for key in ("buckets", "boundaries", "counts", "overflow", "count",
+                    "sum", "mean", "p50", "p99"):
             assert key in snap
         assert snap["count"] == 1
 

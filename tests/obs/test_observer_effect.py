@@ -61,6 +61,83 @@ class TestObserverEffect:
         assert traced.sim_time == plain.sim_time
 
 
+class TestLiveObserverEffect:
+    """The live leg: a telemetry bus with the full default rule set
+    subscribed is as passive as tracing itself."""
+
+    def test_subscribed_bus_changes_nothing_simulated(self, efind_env):
+        from repro.obs.live import LiveSession
+
+        plain = efind_env.runner().run(
+            efind_env.make_job("oe-live-ref"), mode="dynamic"
+        )
+        session = LiveSession()  # aggregators + engine + snapshot attached
+        obs = Observability(bus=session.bus)
+        live = efind_env.runner(obs=obs).run(
+            efind_env.make_job("oe-live"), mode="dynamic"
+        )
+        session.finish()
+        assert session.bus.published > 0  # the bus really streamed
+        assert live.sim_time == plain.sim_time
+        assert live.counters.to_dict() == plain.counters.to_dict()
+        assert sorted(live.output) == sorted(plain.output)
+
+    def test_alert_timeline_byte_deterministic_across_processes(self, tmp_path):
+        """The exported alerts.jsonl of the same run is byte-identical
+        under different ``PYTHONHASHSEED`` values: no iteration-order
+        or hash-randomized state leaks into the timeline."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.bench.harness import bench_cluster
+            from repro.core.runner import EFindRunner
+            from repro.dfs.filesystem import DistributedFileSystem
+            from repro.obs import Observability
+            from repro.obs.live import LiveSession
+            from repro.simcluster.faults import FaultPlan
+            from repro.workloads import tpch
+
+            cluster = bench_cluster()
+            dfs = DistributedFileSystem(cluster, block_size=12 * 1024)
+            data = tpch.generate(tpch.TpchConfig(sf=0.002))
+            tpch.write_lineitem(dfs, "/in/lineitem", data)
+            indexes = tpch.build_indexes(cluster, data, service_time=6e-3)
+            session = LiveSession()
+            obs = Observability(bus=session.bus)
+            EFindRunner(
+                cluster, dfs, obs=obs,
+                fault_plan=FaultPlan(seed=7, straggler_factors={"node05": 4.0}),
+            ).run(
+                tpch.make_q3_job("hs", "/in/lineitem", "/out/hs", indexes),
+                mode="dynamic",
+            )
+            session.finish()
+            session.export_alerts(sys.argv[1])
+            """
+        )
+        outputs = []
+        for seed in ("0", "31337"):
+            out = tmp_path / f"alerts-{seed}.jsonl"
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), "src") if p
+            )
+            subprocess.run(
+                [sys.executable, "-c", script, str(out)],
+                check=True,
+                env=env,
+                cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+            )
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert b"wave-straggler" in outputs[0]  # the run really alerted
+
+
 class TestTraceStructure:
     def test_spans_cover_all_levels(self, efind_env):
         obs = Observability()
