@@ -18,7 +18,14 @@ did this change make anything slower":
   joins predictions against measured per-strategy times in the trace;
 * :mod:`repro.obs.analysis.regress`       -- BENCH baseline comparison
   (``python -m repro.obs.analysis regress OLD NEW``) with configurable
-  tolerances, non-zero exit on regression.
+  tolerances, non-zero exit on regression;
+* :mod:`repro.obs.analysis.align` /
+  :mod:`repro.obs.analysis.diff`          -- two-run differential
+  analysis: structural alignment by stable identity (never
+  timestamps) and exact hierarchical attribution of the sim-time
+  delta (job -> stage -> phase -> wave -> task -> op), plus audit
+  verdict-flip, counter, and alert-timeline diffs
+  (``python -m repro.obs.analysis diff OLD NEW``).
 
 Everything here consumes *exported* artifacts -- never live tracer
 objects -- so it runs on anything downloaded from CI.

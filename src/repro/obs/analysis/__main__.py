@@ -6,13 +6,17 @@ Subcommands::
     critical-path TRACE [--json]   per-job critical path only
     stragglers    TRACE [--json]   per-phase straggler/skew profile only
     drift         TRACE [--json]   cost-model drift only
+    diff OLD NEW [--json] [--top K]   two-run hierarchical diff
     regress OLD NEW [--tolerance-config FILE | --rel-tol X --abs-tol Y]
+                 [--trace-old DIR --trace-new DIR]
 
 ``TRACE`` is one ``*.trace.json`` export or a directory of them (as
 written by ``python -m repro.bench --trace DIR``). Artifact problems --
 missing directory, truncated export, wrong format -- exit 2 with a
 one-line reason instead of a traceback. ``regress`` exits 1 when the
-new baseline regresses past tolerance.
+new baseline regresses past tolerance; ``diff`` exits 1 when the two
+runs differ at all (0 only on an identical pair), so it doubles as a
+byte-semantics equality check in CI.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import sys
 from typing import List
 
 from repro.obs.analysis import critical_path as cp
+from repro.obs.analysis import diff as df
 from repro.obs.analysis import drift as dr
 from repro.obs.analysis import regress as rg
 from repro.obs.analysis import stragglers as st
@@ -158,6 +163,16 @@ def cmd_drift(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    result = df.diff_paths(args.old, args.new)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in df.render(result, top=args.top):
+            print(line)
+    return 0 if result.identical else 1
+
+
 def cmd_regress(args) -> int:
     if args.tolerance_config:
         tolerances = rg.Tolerances.load(args.tolerance_config)
@@ -172,12 +187,31 @@ def cmd_regress(args) -> int:
             rel_tol=args.rel_tol if args.rel_tol is not None else rg.DEFAULT_REL_TOL,
             abs_tol=args.abs_tol if args.abs_tol is not None else rg.DEFAULT_ABS_TOL,
         )
+    if bool(args.trace_old) != bool(args.trace_new):
+        print(
+            "--trace-old and --trace-new must be given together",
+            file=sys.stderr,
+        )
+        return 2
     report = rg.compare_files(args.old, args.new, tolerances)
+    trace_diff = None
+    if args.trace_old and (args.json or not report.ok):
+        # A failing gate gets a root-cause section: the hierarchical
+        # trace diff of the two baseline runs' artifacts.
+        trace_diff = df.diff_paths(args.trace_old, args.trace_new)
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        doc = report.to_dict()
+        if trace_diff is not None:
+            doc["trace_diff"] = trace_diff.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         for line in rg.render(report, verbose=args.verbose):
             print(line)
+        if trace_diff is not None:
+            print()
+            print("root cause (trace diff old -> new):")
+            for line in df.render(trace_diff, top=args.top):
+                print(f"  {line}")
     return 0 if report.ok else 1
 
 
@@ -200,6 +234,23 @@ def main(argv=None) -> int:
     trace_cmd("drift", cmd_drift, "cost-model drift detection")
 
     p = sub.add_parser(
+        "diff",
+        help="hierarchical two-run trace diff (exit 1 when runs differ)",
+    )
+    p.add_argument("old", help="old *.trace.json export or directory")
+    p.add_argument("new", help="new *.trace.json export or directory")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="show the top K contributors (default: enough to cover "
+        ">=90%% of the attributed delta)",
+    )
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
         "regress", help="compare two BENCH baseline files (exit 1 on regression)"
     )
     p.add_argument("old", help="committed baseline BENCH_*.json")
@@ -215,6 +266,26 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument(
         "--verbose", action="store_true", help="also list every in-tolerance delta"
+    )
+    p.add_argument(
+        "--trace-old",
+        metavar="DIR",
+        default=None,
+        help="trace artifacts of the OLD baseline run; with --trace-new, "
+        "a failing gate appends a root-cause trace-diff section",
+    )
+    p.add_argument(
+        "--trace-new",
+        metavar="DIR",
+        default=None,
+        help="trace artifacts of the NEW baseline run (see --trace-old)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="contributor cap for the root-cause section",
     )
     p.set_defaults(func=cmd_regress)
 

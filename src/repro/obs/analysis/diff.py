@@ -1,0 +1,1281 @@
+"""Differential trace analysis: two runs, one attributed delta.
+
+``python -m repro.obs.analysis diff OLD NEW`` aligns two traced runs
+structurally (:mod:`repro.obs.analysis.align` -- by names and indices,
+never by timestamps) and attributes the total simulated-time delta
+hierarchically, job -> stage -> phase -> wave -> task -> op, so every
+second of the delta lands on the deepest level that actually differs.
+
+The attribution is exact by construction. At each level the parent's
+measure tiles into identified child measures plus an explicit residual:
+
+* a *job* is the unit of total time (the diff total is the sum of job
+  durations -- jobs can overlap in simulated time, e.g. a profiling
+  run and its optimized run, so a makespan would under-count);
+* *stages* and *phases* are driver-sequential, so their durations tile
+  the parent directly; the residual is the driver/startup gap;
+* a *wave*'s measure is its **frontier increment**: how far this
+  wave's completion pushed the phase's running-max end time. Shadowed
+  waves (fully inside an earlier straggler's window) measure 0; the
+  increments plus the phase tail telescope to the phase duration;
+* a matched wave's increment window is tiled along the **binding
+  slot's chain** -- the tasks occupying the frontier-setting slot
+  inside the window -- so a task's contribution is the window time it
+  actually bound, and scheduling slack lands in an explicit
+  ``wave.schedule`` residual;
+* a fully-window-covered matched task's delta splits once more into
+  per-op seconds from the task span's exact ``op_totals`` aggregates
+  (top-level ops only; nested detail would double-count), with the
+  uninstrumented remainder as ``compute``.
+
+Spans present in only one run -- speculation backups, dynamic-replan
+stage re-runs, added/killed tasks -- are reported as explicit added or
+removed contributors: weighted by their tiled measure when they sit on
+a binding chain, listed at zero weight ("off-frontier") when they ran
+in parallel slack and did not move the clock. Either way they never
+silently skew a parent's residual.
+
+Invariants (pinned by the self-consistency suites):
+
+* ``diff(run, run)`` is exactly ``0.0`` at every level -- identical
+  inputs produce identical measures, and every residual is a
+  difference of equal floats;
+* on any pair, the contributors sum to the total simulated-time delta
+  to within 1e-9 (each residual is computed as a remainder, so the
+  telescoping cannot leak).
+
+On top of the span diff: per-phase ``op_totals`` work deltas
+(compute / lookup / shuffle / io / build task-seconds -- *work*, not
+makespan), per-job counter-group deltas (cache / reuse / batch /
+fault / spec / route / build / lookup / task), an **audit diff**
+listing every Algorithm-1 evaluation whose verdict flipped with the
+Eq 1-4 cost tables side-by-side and the single largest moved Table-1
+term named, and an alert-timeline diff (fired / cleared / duration per
+SLO rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.analysis.align import (
+    AlignedNode,
+    SpanNode,
+    align_forests,
+    job_name_map,
+)
+from repro.obs.analysis.critical_path import ATTRIBUTION_BUCKETS
+from repro.obs.analysis.loader import TraceArtifacts, load_artifacts
+
+_EPS = 1e-9
+
+#: Task-span ``op_totals`` names that charge non-overlapping task time
+#: (the :data:`ATTRIBUTION_BUCKETS` ops plus the build piggyback).
+#: Nested detail (``cache.probe``, ``index.fetch``, ``build.scan_lookup``)
+#: overlaps its parent lookup span and is excluded from the exact
+#: decomposition.
+TOP_LEVEL_OPS = frozenset(ATTRIBUTION_BUCKETS) | {"build.increment"}
+
+#: Work-delta bucket per top-level op (``build.increment`` -> build).
+OP_BUCKETS = dict(ATTRIBUTION_BUCKETS, **{"build.increment": "build"})
+
+
+# ----------------------------------------------------------------------
+# Result dataclasses
+# ----------------------------------------------------------------------
+@dataclass
+class Contributor:
+    """One attributed piece of the simulated-time delta."""
+
+    level: str  # job | stage | phase | wave | task | op
+    kind: str  # duration | gap | tail | schedule | window | compute |
+    #            op | added | removed | added-offpath | removed-offpath
+    delta: float
+    old_seconds: Optional[float]
+    new_seconds: Optional[float]
+    job: str = ""
+    stage: str = ""
+    phase: str = ""
+    wave: Optional[int] = None
+    task: str = ""
+    op: str = ""
+    note: str = ""
+    #: Slot tracks (``host/kindN``) of the underlying task span(s); set
+    #: for task/op-level contributors so slow-host attribution is
+    #: checkable ("the improvement came off node05").
+    old_track: str = ""
+    new_track: str = ""
+
+    @property
+    def weighted(self) -> bool:
+        return not self.kind.endswith("-offpath")
+
+    def path_label(self) -> str:
+        parts = [self.job]
+        if self.stage:
+            parts.append(self.stage)
+        if self.phase:
+            parts.append(self.phase)
+        if self.wave is not None:
+            parts.append(f"wave {self.wave}")
+        if self.task:
+            parts.append(self.task)
+        if self.op:
+            parts.append(f"op {self.op}")
+        return " / ".join(p for p in parts if p)
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "kind": self.kind,
+            "delta": self.delta,
+            "old_seconds": self.old_seconds,
+            "new_seconds": self.new_seconds,
+            "job": self.job,
+            "stage": self.stage,
+            "phase": self.phase,
+            "wave": self.wave,
+            "task": self.task,
+            "op": self.op,
+            "note": self.note,
+            "old_track": self.old_track,
+            "new_track": self.new_track,
+        }
+
+
+@dataclass
+class PhaseWorkDelta:
+    """Per-phase op_totals work deltas (task-seconds, not makespan)."""
+
+    job: str
+    stage: str
+    phase: str
+    tasks_old: int
+    tasks_new: int
+    buckets: Dict[str, Tuple[float, float]]  # bucket -> (old, new)
+
+    def deltas(self) -> Dict[str, float]:
+        return {b: n - o for b, (o, n) in self.buckets.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job,
+            "stage": self.stage,
+            "phase": self.phase,
+            "tasks_old": self.tasks_old,
+            "tasks_new": self.tasks_new,
+            "buckets": {
+                b: {"old": o, "new": n, "delta": n - o}
+                for b, (o, n) in sorted(self.buckets.items())
+            },
+        }
+
+
+@dataclass
+class CounterDelta:
+    job: str
+    group: str
+    name: str
+    old: Optional[float]
+    new: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.old is None or self.new is None:
+            return None
+        return self.new - self.old
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job, "group": self.group, "name": self.name,
+            "old": self.old, "new": self.new, "delta": self.delta,
+        }
+
+
+@dataclass
+class AuditFlip:
+    """One matched Algorithm-1 evaluation whose verdict flipped."""
+
+    job: str
+    phase: str
+    index_in_phase: int
+    old_verdict: str
+    new_verdict: str
+    old_sim_time: float
+    new_sim_time: float
+    old_plan: Optional[str]
+    new_plan: Optional[str]
+    #: operator -> index -> strategy -> (old cost, new cost)
+    cost_tables: Dict[str, Dict[str, Dict[str, Tuple[Optional[float], Optional[float]]]]]
+    #: "operator[index].term old -> new" for the single largest
+    #: relative move among env / sizes / Table-1 samples.
+    largest_moved_term: str
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job,
+            "phase": self.phase,
+            "index_in_phase": self.index_in_phase,
+            "old_verdict": self.old_verdict,
+            "new_verdict": self.new_verdict,
+            "old_sim_time": self.old_sim_time,
+            "new_sim_time": self.new_sim_time,
+            "old_plan": self.old_plan,
+            "new_plan": self.new_plan,
+            "cost_tables": {
+                op: {
+                    idx: {s: list(pair) for s, pair in sorted(table.items())}
+                    for idx, table in sorted(indexes.items())
+                }
+                for op, indexes in sorted(self.cost_tables.items())
+            },
+            "largest_moved_term": self.largest_moved_term,
+        }
+
+
+@dataclass
+class AuditDiff:
+    evaluations_old: int
+    evaluations_new: int
+    flips: List[AuditFlip] = field(default_factory=list)
+    #: Evaluations with no counterpart: (side, job, phase, verdict, t).
+    unmatched: List[Tuple[str, str, str, str, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def differs(self) -> bool:
+        return bool(self.flips or self.unmatched)
+
+    def to_dict(self) -> dict:
+        return {
+            "evaluations_old": self.evaluations_old,
+            "evaluations_new": self.evaluations_new,
+            "flips": [f.to_dict() for f in self.flips],
+            "unmatched": [list(u) for u in self.unmatched],
+        }
+
+
+@dataclass
+class AlertDelta:
+    rule: str
+    fired_old: int
+    fired_new: int
+    duration_old: float
+    duration_new: float
+    open_old: int
+    open_new: int
+
+    @property
+    def differs(self) -> bool:
+        return (
+            self.fired_old != self.fired_new
+            or self.duration_old != self.duration_new
+            or self.open_old != self.open_new
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "fired_old": self.fired_old, "fired_new": self.fired_new,
+            "duration_old": self.duration_old,
+            "duration_new": self.duration_new,
+            "open_old": self.open_old, "open_new": self.open_new,
+        }
+
+
+@dataclass
+class ArtifactDiff:
+    """The full diff of one aligned artifact pair."""
+
+    base_old: str
+    base_new: str
+    total_old: float
+    total_new: float
+    contributors: List[Contributor]
+    phase_work: List[PhaseWorkDelta]
+    counters: List[CounterDelta]
+    audit: AuditDiff
+    alerts: List[AlertDelta]
+
+    @property
+    def total_delta(self) -> float:
+        return self.total_new - self.total_old
+
+    @property
+    def attributed_delta(self) -> float:
+        return sum(c.delta for c in self.contributors)
+
+    def max_abs_by_level(self) -> Dict[str, float]:
+        """Largest |contributor delta| per hierarchy level (0.0 for a
+        level with no contributors) -- the "exactly zero at every
+        level" check of the self-consistency suite."""
+        out = {lvl: 0.0 for lvl in ("job", "stage", "phase", "wave", "task", "op")}
+        for c in self.contributors:
+            out[c.level] = max(out.get(c.level, 0.0), abs(c.delta))
+        return out
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.total_old == self.total_new
+            and all(
+                c.delta == 0.0 and c.kind not in _STRUCTURAL_KINDS
+                for c in self.contributors
+            )
+            and not self.counters
+            and not self.audit.differs
+            and not any(a.differs for a in self.alerts)
+        )
+
+    def ranked(self, top: Optional[int] = None, coverage: float = 0.90):
+        """Contributors by |delta| descending, cut at the first prefix
+        covering ``coverage`` of the total absolute mass (or ``top``
+        entries when given). Returns ``(shown, covered_fraction)``."""
+        nonzero = [c for c in self.contributors if c.delta != 0.0]
+        nonzero.sort(key=lambda c: (-abs(c.delta), c.path_label(), c.kind))
+        mass = sum(abs(c.delta) for c in nonzero)
+        if top is not None:
+            shown = nonzero[:top]
+        else:
+            shown, acc = [], 0.0
+            for c in nonzero:
+                shown.append(c)
+                acc += abs(c.delta)
+                if mass and acc / mass >= coverage:
+                    break
+        covered = (
+            sum(abs(c.delta) for c in shown) / mass if mass else 1.0
+        )
+        return shown, covered
+
+    def structure_changes(self) -> List[Contributor]:
+        return [c for c in self.contributors if c.kind in _STRUCTURAL_KINDS]
+
+    def to_dict(self) -> dict:
+        return {
+            "base_old": self.base_old,
+            "base_new": self.base_new,
+            "total_old": self.total_old,
+            "total_new": self.total_new,
+            "total_delta": self.total_delta,
+            "attributed_delta": self.attributed_delta,
+            "identical": self.identical,
+            "max_abs_by_level": self.max_abs_by_level(),
+            "contributors": [c.to_dict() for c in self.contributors],
+            "phase_work": [p.to_dict() for p in self.phase_work],
+            "counters": [c.to_dict() for c in self.counters],
+            "audit": self.audit.to_dict(),
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+
+_STRUCTURAL_KINDS = frozenset(
+    {"added", "removed", "added-offpath", "removed-offpath"}
+)
+
+
+@dataclass
+class TraceDiff:
+    """A diff over two artifact sets (directories or single exports)."""
+
+    artifacts: List[ArtifactDiff]
+    #: Bases present on only one side: (base, total job seconds).
+    added_bases: List[Tuple[str, float]] = field(default_factory=list)
+    removed_bases: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def total_delta(self) -> float:
+        return (
+            sum(a.total_delta for a in self.artifacts)
+            + sum(sec for _, sec in self.added_bases)
+            - sum(sec for _, sec in self.removed_bases)
+        )
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.added_bases
+            and not self.removed_bases
+            and all(a.identical for a in self.artifacts)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "total_delta": self.total_delta,
+            "added_bases": [list(b) for b in self.added_bases],
+            "removed_bases": [list(b) for b in self.removed_bases],
+            "artifacts": [a.to_dict() for a in self.artifacts],
+        }
+
+
+# ----------------------------------------------------------------------
+# Span-tree attribution
+# ----------------------------------------------------------------------
+def _frontiers(
+    phase: SpanNode,
+) -> Dict[Tuple, Tuple[float, float, float]]:
+    """Per wave ident: (increment, window start, window end), where the
+    frontier is the running max of wave end times (base: phase start).
+    Shadowed waves get increment 0 and an empty window."""
+    out: Dict[Tuple, Tuple[float, float, float]] = {}
+    frontier = phase.start
+    for wave in phase.children:  # already in wave-index order
+        end = max(wave.end, frontier)
+        out[wave.ident] = (end - frontier, frontier, end)
+        frontier = end
+    return out
+
+
+def _binding_task(wave: SpanNode) -> Optional[SpanNode]:
+    """The completed task that set this wave's end (ties broken by
+    track then id for determinism); falls back to any span kind when a
+    wave has no completed task."""
+    completed = [t for t in wave.children if t.name == "task"]
+    pool = completed or wave.children
+    if not pool:
+        return None
+    return max(pool, key=lambda t: (t.end, t.track, t.label))
+
+
+def _window_pieces(
+    phase: SpanNode, wave: SpanNode, win_start: float, win_end: float
+) -> Tuple[Dict[Tuple, Tuple[float, SpanNode, bool]], float, set]:
+    """Tile ``[win_start, win_end]`` along the binding slot's chain.
+
+    Returns ``(pieces, idle_seconds, used_node_ids)`` where pieces maps
+    ``(task short id, span name)`` to ``(overlap seconds, task node,
+    fully-covered)``. Seconds over the same key aggregate (crash
+    attempts re-using a slot), with ``fully-covered`` true only when
+    the key's single task lies entirely inside the window;
+    ``used_node_ids`` holds ``id()`` of every task node that tiled any
+    window time (so off-frontier reporting can skip exactly those).
+    """
+    if win_end - win_start <= _EPS:
+        return {}, 0.0, set()
+    binding = _binding_task(wave)
+    if binding is None:
+        return {}, win_end - win_start, set()
+    track = binding.track
+    chain = sorted(
+        (
+            t
+            for w in phase.children
+            for t in w.children
+            if t.track == track
+            and t.end > win_start + _EPS
+            and t.start < win_end - _EPS
+        ),
+        key=lambda t: (t.start, t.label, t.name),
+    )
+    pieces: Dict[Tuple, Tuple[float, SpanNode, bool]] = {}
+    used: set = set()
+    covered = 0.0
+    for t in chain:
+        overlap = min(t.end, win_end) - max(t.start, win_start)
+        if overlap <= 0.0:
+            continue
+        key = (t.ident[0], t.ident[1])
+        full = (
+            t.start >= win_start - _EPS
+            and t.end <= win_end + _EPS
+            and abs(overlap - t.duration) <= _EPS
+        )
+        if key in pieces:
+            prev_sec, prev_node, _ = pieces[key]
+            pieces[key] = (prev_sec + overlap, prev_node, False)
+        else:
+            pieces[key] = (overlap, t, full)
+        used.add(id(t))
+        covered += overlap
+    return pieces, (win_end - win_start) - covered, used
+
+
+def _op_seconds(task: SpanNode) -> Dict[str, float]:
+    """Exact top-level op seconds of one task span (from op_totals)."""
+    out: Dict[str, float] = {}
+    for name, entry in task.args.get("op_totals", {}).items():
+        if name in TOP_LEVEL_OPS:
+            out[name] = float(entry[1])
+    return out
+
+
+def _task_display(key: Tuple) -> str:
+    short_id, span_name = key
+    return short_id if span_name == "task" else f"{short_id} [{span_name}]"
+
+
+def _wave_contributors(
+    pair: AlignedNode,
+    old_phase: SpanNode,
+    new_phase: SpanNode,
+    old_inc: Tuple[float, float, float],
+    new_inc: Tuple[float, float, float],
+    where: dict,
+) -> List[Contributor]:
+    """Contributors of one matched wave, summing exactly to the delta
+    of its frontier increment."""
+    out: List[Contributor] = []
+    old_pieces, _old_idle, old_used = _window_pieces(
+        old_phase, pair.old, old_inc[1], old_inc[2]
+    )
+    new_pieces, _new_idle, new_used = _window_pieces(
+        new_phase, pair.new, new_inc[1], new_inc[2]
+    )
+    emitted = 0.0
+    for key in sorted(set(old_pieces) | set(new_pieces)):
+        old_entry = old_pieces.get(key)
+        new_entry = new_pieces.get(key)
+        task_label = _task_display(key)
+        if old_entry is not None and new_entry is not None:
+            old_sec, old_node, old_full = old_entry
+            new_sec, new_node, new_full = new_entry
+            delta = new_sec - old_sec
+            tracks = {
+                "old_track": old_node.track, "new_track": new_node.track,
+            }
+            if old_full and new_full and key[1] == "task":
+                # Fully-bound matched task: split the duration delta
+                # into per-op seconds plus the compute remainder.
+                old_ops = _op_seconds(old_node)
+                new_ops = _op_seconds(new_node)
+                op_sum = 0.0
+                for op in sorted(set(old_ops) | set(new_ops)):
+                    o = old_ops.get(op, 0.0)
+                    n = new_ops.get(op, 0.0)
+                    op_delta = n - o
+                    op_sum += op_delta
+                    out.append(
+                        Contributor(
+                            level="op", kind="op", delta=op_delta,
+                            old_seconds=o, new_seconds=n,
+                            task=task_label, op=op, **tracks, **where,
+                        )
+                    )
+                out.append(
+                    Contributor(
+                        level="task", kind="compute", delta=delta - op_sum,
+                        old_seconds=old_sec, new_seconds=new_sec,
+                        task=task_label, op="(compute)", **tracks, **where,
+                    )
+                )
+            else:
+                out.append(
+                    Contributor(
+                        level="task", kind="window", delta=delta,
+                        old_seconds=old_sec, new_seconds=new_sec,
+                        task=task_label,
+                        note="window-clipped", **tracks, **where,
+                    )
+                )
+            emitted += delta
+        elif old_entry is not None:
+            old_sec = old_entry[0]
+            out.append(
+                Contributor(
+                    level="task", kind="removed", delta=-old_sec,
+                    old_seconds=old_sec, new_seconds=None,
+                    task=task_label, old_track=old_entry[1].track, **where,
+                )
+            )
+            emitted += -old_sec
+        else:
+            new_sec = new_entry[0]
+            note = (
+                "speculative backup"
+                if new_entry[1].args.get("speculative")
+                else ""
+            )
+            out.append(
+                Contributor(
+                    level="task", kind="added", delta=new_sec,
+                    old_seconds=None, new_seconds=new_sec,
+                    task=task_label, note=note,
+                    new_track=new_entry[1].track, **where,
+                )
+            )
+            emitted += new_sec
+
+    # Off-frontier structural changes: one-sided tasks that never tiled
+    # a binding window ran in parallel slack -- explicit, zero-weight.
+    # Deduped by node identity, not key: a speculative backup shares
+    # its primary's (id, name) key but is a different span.
+    tiled_nodes = old_used | new_used
+    for child in pair.children:
+        if child.status == "matched":
+            continue
+        key = (child.ident[0], child.ident[1])
+        node = child.old or child.new
+        if id(node) in tiled_nodes:
+            continue
+        kind = f"{child.status}-offpath"
+        out.append(
+            Contributor(
+                level="task", kind=kind, delta=0.0,
+                old_seconds=node.duration if child.old else None,
+                new_seconds=node.duration if child.new else None,
+                task=_task_display(key),
+                old_track=node.track if child.old else "",
+                new_track=node.track if child.new else "",
+                note="off-frontier (no time impact)"
+                + (
+                    "; speculative backup"
+                    if node.args.get("speculative")
+                    else ""
+                ),
+                **where,
+            )
+        )
+
+    inc_delta = new_inc[0] - old_inc[0]
+    out.append(
+        Contributor(
+            level="wave", kind="schedule", delta=inc_delta - emitted,
+            old_seconds=old_inc[0], new_seconds=new_inc[0],
+            note="scheduling slack / binding-chain idle", **where,
+        )
+    )
+    return out
+
+
+def _phase_contributors(
+    pair: AlignedNode, where: dict
+) -> List[Contributor]:
+    out: List[Contributor] = []
+    old_fronts = _frontiers(pair.old)
+    new_fronts = _frontiers(pair.new)
+    emitted = 0.0
+    for wave in pair.children:
+        wave_where = dict(where, wave=wave.ident[0])
+        if wave.status == "matched":
+            contribs = _wave_contributors(
+                wave,
+                pair.old,
+                pair.new,
+                old_fronts[wave.ident],
+                new_fronts[wave.ident],
+                wave_where,
+            )
+            out.extend(contribs)
+            emitted += sum(c.delta for c in contribs)
+        else:
+            inc = (old_fronts if wave.status == "removed" else new_fronts)[
+                wave.ident
+            ][0]
+            sign = -1.0 if wave.status == "removed" else 1.0
+            out.append(
+                Contributor(
+                    level="wave", kind=wave.status, delta=sign * inc,
+                    old_seconds=inc if wave.status == "removed" else None,
+                    new_seconds=inc if wave.status == "added" else None,
+                    **wave_where,
+                )
+            )
+            emitted += sign * inc
+    phase_delta = pair.new.duration - pair.old.duration
+    out.append(
+        Contributor(
+            level="phase", kind="tail", delta=phase_delta - emitted,
+            old_seconds=pair.old.duration, new_seconds=pair.new.duration,
+            note="phase tail past the last frontier", **where,
+        )
+    )
+    return out
+
+
+def _sequential_level(
+    pair: AlignedNode,
+    where: dict,
+    child_where_key: str,
+    recurse,
+    residual_kind: str,
+    residual_note: str,
+) -> List[Contributor]:
+    """Shared stage/job logic: children tile the parent sequentially,
+    the remainder is an explicit gap residual."""
+    out: List[Contributor] = []
+    emitted = 0.0
+    for child in pair.children:
+        node = child.old or child.new
+        label = child.label if child_where_key != "stage" else (
+            child.label or "(main)"
+        )
+        child_where = dict(where, **{child_where_key: label})
+        if child.status == "matched":
+            contribs = recurse(child, child_where)
+            out.extend(contribs)
+            emitted += sum(c.delta for c in contribs)
+        else:
+            sign = -1.0 if child.status == "removed" else 1.0
+            out.append(
+                Contributor(
+                    level=child.level, kind=child.status,
+                    delta=sign * node.duration,
+                    old_seconds=node.duration if child.old else None,
+                    new_seconds=node.duration if child.new else None,
+                    note=(
+                        "dynamic replan stage re-run"
+                        if child.level == "stage" and child.ident[1] > 0
+                        else ""
+                    ),
+                    **child_where,
+                )
+            )
+            emitted += sign * node.duration
+    delta = pair.new.duration - pair.old.duration
+    out.append(
+        Contributor(
+            level=pair.level, kind=residual_kind, delta=delta - emitted,
+            old_seconds=pair.old.duration, new_seconds=pair.new.duration,
+            note=residual_note, **where,
+        )
+    )
+    return out
+
+
+def _stage_contributors(pair: AlignedNode, where: dict) -> List[Contributor]:
+    return _sequential_level(
+        pair, where, "phase", _phase_contributors,
+        "gap", "startup / inter-phase gap",
+    )
+
+
+def _job_contributors(pair: AlignedNode, where: dict) -> List[Contributor]:
+    return _sequential_level(
+        pair, where, "stage", _stage_contributors,
+        "gap", "driver gap between stages",
+    )
+
+
+def span_contributors(aligned_jobs: List[AlignedNode]) -> List[Contributor]:
+    """Every contributor of the aligned job forest; sums exactly to
+    the delta of total job seconds."""
+    out: List[Contributor] = []
+    for job in aligned_jobs:
+        where = {"job": job.label}
+        if job.status == "matched":
+            out.extend(_job_contributors(job, where))
+        else:
+            node = job.old or job.new
+            sign = -1.0 if job.status == "removed" else 1.0
+            out.append(
+                Contributor(
+                    level="job", kind=job.status, delta=sign * node.duration,
+                    old_seconds=node.duration if job.old else None,
+                    new_seconds=node.duration if job.new else None,
+                    **where,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Work (op_totals), counters, audit, alerts
+# ----------------------------------------------------------------------
+def _phase_work_sides(node: SpanNode) -> Tuple[int, Dict[str, float]]:
+    buckets: Dict[str, float] = {}
+    tasks = 0
+    for wave in node.children:
+        for task in wave.children:
+            if task.name != "task":
+                continue
+            tasks += 1
+            attributed = 0.0
+            for op, entry in task.args.get("op_totals", {}).items():
+                bucket = OP_BUCKETS.get(op)
+                if bucket is None:
+                    continue
+                seconds = float(entry[1])
+                buckets[bucket] = buckets.get(bucket, 0.0) + seconds
+                attributed += seconds
+            buckets["compute"] = (
+                buckets.get("compute", 0.0) + task.duration - attributed
+            )
+    return tasks, buckets
+
+
+def phase_work_deltas(
+    aligned_jobs: List[AlignedNode],
+) -> List[PhaseWorkDelta]:
+    out: List[PhaseWorkDelta] = []
+    for job in aligned_jobs:
+        if job.status != "matched":
+            continue
+        for stage in job.children:
+            if stage.status != "matched":
+                continue
+            for phase in stage.children:
+                if phase.status != "matched":
+                    continue
+                tasks_old, old_b = _phase_work_sides(phase.old)
+                tasks_new, new_b = _phase_work_sides(phase.new)
+                buckets = {
+                    b: (old_b.get(b, 0.0), new_b.get(b, 0.0))
+                    for b in sorted(set(old_b) | set(new_b))
+                }
+                out.append(
+                    PhaseWorkDelta(
+                        job=job.label,
+                        stage=stage.label or "(main)",
+                        phase=phase.ident[0],
+                        tasks_old=tasks_old,
+                        tasks_new=tasks_new,
+                        buckets=buckets,
+                    )
+                )
+    return out
+
+
+def _job_gauges(metrics: dict, jobs: List[str]) -> Dict[str, Dict[str, float]]:
+    """``job.<name>.<group>.<counter>`` gauges keyed by job, then by
+    ``<group>.<counter>`` (longest job name wins, so a job name that
+    prefixes another cannot steal its counters)."""
+    out: Dict[str, Dict[str, float]] = {}
+    ordered = sorted(jobs, key=len, reverse=True)
+    for key, value in (metrics.get("gauges") or {}).items():
+        if not key.startswith("job."):
+            continue
+        rest = key[len("job."):]
+        for job in ordered:
+            if rest.startswith(job + "."):
+                out.setdefault(job, {})[rest[len(job) + 1:]] = float(value)
+                break
+    return out
+
+
+def counter_deltas(
+    old: TraceArtifacts,
+    new: TraceArtifacts,
+    job_map: Dict[str, str],
+) -> List[CounterDelta]:
+    """Per-job counter-group deltas plus global ``trace.*`` counters;
+    only quantities that actually differ are returned."""
+    out: List[CounterDelta] = []
+    old_jobs = _job_gauges(old.metrics, list(job_map))
+    new_jobs = _job_gauges(new.metrics, list(job_map.values()))
+    for old_job in sorted(job_map):
+        new_job = job_map[old_job]
+        old_counters = old_jobs.get(old_job, {})
+        new_counters = new_jobs.get(new_job, {})
+        label = (
+            old_job if old_job == new_job else f"{old_job} -> {new_job}"
+        )
+        for name in sorted(set(old_counters) | set(new_counters)):
+            o = old_counters.get(name)
+            n = new_counters.get(name)
+            if o == n:
+                continue
+            group, _, short = name.partition(".")
+            out.append(CounterDelta(label, group, short, o, n))
+    old_global = (old.metrics or {}).get("counters") or {}
+    new_global = (new.metrics or {}).get("counters") or {}
+    for name in sorted(set(old_global) | set(new_global)):
+        o = old_global.get(name)
+        n = new_global.get(name)
+        if o == n:
+            continue
+        short = name[len("trace."):] if name.startswith("trace.") else name
+        out.append(
+            CounterDelta(
+                "(global)", "trace", short,
+                float(o) if o is not None else None,
+                float(n) if n is not None else None,
+            )
+        )
+    return out
+
+
+def _eval_rows(rows: List[dict]) -> List[dict]:
+    """Algorithm-1 evaluations (notes filtered), in seq order -- so
+    the audit diff is stable under JSONL row shuffling."""
+    evals = [r for r in rows if r.get("verdict") != "note"]
+    return sorted(evals, key=lambda r: r.get("seq", 0))
+
+
+def _term_moves(old_row: dict, new_row: dict) -> List[Tuple[float, str, float, float]]:
+    """(relative move, name, old, new) for every numeric pricing term
+    the two evaluations share: CostEnv constants, operator sizes, and
+    per-index Table-1 samples."""
+    moves: List[Tuple[float, str, float, float]] = []
+
+    def consider(name: str, o: Any, n: Any) -> None:
+        if not isinstance(o, (int, float)) or not isinstance(n, (int, float)):
+            return
+        scale = max(abs(o), abs(n))
+        if scale == 0.0:
+            return
+        moves.append((abs(n - o) / scale, name, float(o), float(n)))
+
+    old_env = old_row.get("env") or {}
+    new_env = new_row.get("env") or {}
+    for key in sorted(set(old_env) & set(new_env)):
+        consider(f"env.{key}", old_env[key], new_env[key])
+    old_ops = {o.get("operator"): o for o in old_row.get("operators") or []}
+    new_ops = {o.get("operator"): o for o in new_row.get("operators") or []}
+    for op in sorted(set(old_ops) & set(new_ops), key=str):
+        old_op, new_op = old_ops[op], new_ops[op]
+        old_sizes = old_op.get("sizes") or {}
+        new_sizes = new_op.get("sizes") or {}
+        for key in sorted(set(old_sizes) & set(new_sizes)):
+            consider(f"{op}.sizes.{key}", old_sizes[key], new_sizes[key])
+        old_samples = old_op.get("samples") or {}
+        new_samples = new_op.get("samples") or {}
+        for idx in sorted(set(old_samples) & set(new_samples), key=str):
+            old_terms = old_samples[idx] or {}
+            new_terms = new_samples[idx] or {}
+            for term in sorted(set(old_terms) & set(new_terms)):
+                consider(
+                    f"{op}[{idx}].{term}", old_terms[term], new_terms[term]
+                )
+    return moves
+
+
+def _cost_tables(
+    old_row: dict, new_row: dict
+) -> Dict[str, Dict[str, Dict[str, Tuple[Optional[float], Optional[float]]]]]:
+    tables: Dict[str, Dict[str, Dict[str, Tuple[Optional[float], Optional[float]]]]] = {}
+    old_ops = {o.get("operator"): o for o in old_row.get("operators") or []}
+    new_ops = {o.get("operator"): o for o in new_row.get("operators") or []}
+    for op in sorted(set(old_ops) | set(new_ops), key=str):
+        old_strategies = (old_ops.get(op) or {}).get("strategies") or {}
+        new_strategies = (new_ops.get(op) or {}).get("strategies") or {}
+        per_index: Dict[str, Dict[str, Tuple[Optional[float], Optional[float]]]] = {}
+        for idx in sorted(set(old_strategies) | set(new_strategies), key=str):
+            old_costs = (old_strategies.get(idx) or {}).get("costs") or {}
+            new_costs = (new_strategies.get(idx) or {}).get("costs") or {}
+            per_index[str(idx)] = {
+                s: (old_costs.get(s), new_costs.get(s))
+                for s in sorted(set(old_costs) | set(new_costs))
+            }
+        tables[str(op)] = per_index
+    return tables
+
+
+def audit_diff(
+    old: TraceArtifacts,
+    new: TraceArtifacts,
+    job_map: Dict[str, str],
+) -> AuditDiff:
+    """Verdict flips (with Eq 1-4 cost tables and the largest moved
+    term) plus unmatched evaluations, matching k-th to k-th within
+    each aligned (job, phase)."""
+    old_rows = _eval_rows(old.audit_rows)
+    new_rows = _eval_rows(new.audit_rows)
+    result = AuditDiff(
+        evaluations_old=len(old_rows), evaluations_new=len(new_rows)
+    )
+
+    def grouped(rows: List[dict], rename: Dict[str, str]):
+        groups: Dict[Tuple[str, str], List[dict]] = {}
+        for row in rows:
+            job = rename.get(str(row.get("job")), str(row.get("job")))
+            groups.setdefault((job, str(row.get("phase"))), []).append(row)
+        return groups
+
+    old_groups = grouped(old_rows, job_map)
+    new_groups = grouped(new_rows, {})
+    for key in sorted(set(old_groups) | set(new_groups)):
+        olds = old_groups.get(key, [])
+        news = new_groups.get(key, [])
+        for i, (old_row, new_row) in enumerate(zip(olds, news)):
+            if old_row.get("verdict") == new_row.get("verdict"):
+                continue
+            moves = _term_moves(old_row, new_row)
+            if moves:
+                _, name, o, n = max(moves, key=lambda m: (m[0], m[1]))
+                largest = f"{name}: {o:.6g} -> {n:.6g}"
+            else:
+                largest = "(no shared numeric terms)"
+            result.flips.append(
+                AuditFlip(
+                    job=key[0],
+                    phase=key[1],
+                    index_in_phase=i,
+                    old_verdict=str(old_row.get("verdict")),
+                    new_verdict=str(new_row.get("verdict")),
+                    old_sim_time=float(old_row.get("sim_time", 0.0)),
+                    new_sim_time=float(new_row.get("sim_time", 0.0)),
+                    old_plan=old_row.get("new_plan")
+                    or old_row.get("current_plan"),
+                    new_plan=new_row.get("new_plan")
+                    or new_row.get("current_plan"),
+                    cost_tables=_cost_tables(old_row, new_row),
+                    largest_moved_term=largest,
+                )
+            )
+        for row in olds[len(news):]:
+            result.unmatched.append(
+                (
+                    "removed", key[0], key[1],
+                    str(row.get("verdict")),
+                    float(row.get("sim_time", 0.0)),
+                )
+            )
+        for row in news[len(olds):]:
+            result.unmatched.append(
+                (
+                    "added", key[0], key[1],
+                    str(row.get("verdict")),
+                    float(row.get("sim_time", 0.0)),
+                )
+            )
+    return result
+
+
+def _alert_stats(rows: List[dict]) -> Dict[str, Tuple[int, float, int]]:
+    stats: Dict[str, Tuple[int, float, int]] = {}
+    for row in sorted(rows, key=lambda r: (str(r.get("rule")), r.get("seq", 0))):
+        rule = str(row.get("rule"))
+        fired, duration, open_count = stats.get(rule, (0, 0.0, 0))
+        cleared = row.get("cleared_at")
+        if isinstance(cleared, (int, float)):
+            duration += float(cleared) - float(row.get("fired_at", 0.0))
+        else:
+            open_count += 1
+        stats[rule] = (fired + 1, duration, open_count)
+    return stats
+
+
+def alert_deltas(
+    old: TraceArtifacts, new: TraceArtifacts
+) -> List[AlertDelta]:
+    old_stats = _alert_stats(old.alert_rows)
+    new_stats = _alert_stats(new.alert_rows)
+    out: List[AlertDelta] = []
+    for rule in sorted(set(old_stats) | set(new_stats)):
+        fo, do, oo = old_stats.get(rule, (0, 0.0, 0))
+        fn, dn, on = new_stats.get(rule, (0, 0.0, 0))
+        delta = AlertDelta(rule, fo, fn, do, dn, oo, on)
+        if delta.differs:
+            out.append(delta)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def diff_artifacts(old: TraceArtifacts, new: TraceArtifacts) -> ArtifactDiff:
+    """The full differential analysis of one artifact pair."""
+    aligned = align_forests(old.spans, new.spans)
+    job_map = job_name_map(aligned)
+    contributors = span_contributors(aligned)
+    total_old = sum(
+        n.old.duration for n in aligned if n.old is not None
+    )
+    total_new = sum(
+        n.new.duration for n in aligned if n.new is not None
+    )
+    return ArtifactDiff(
+        base_old=old.base,
+        base_new=new.base,
+        total_old=total_old,
+        total_new=total_new,
+        contributors=contributors,
+        phase_work=phase_work_deltas(aligned),
+        counters=counter_deltas(old, new, job_map),
+        audit=audit_diff(old, new, job_map),
+        alerts=alert_deltas(old, new),
+    )
+
+
+def _pair_artifact_sets(
+    olds: List[TraceArtifacts], news: List[TraceArtifacts]
+) -> Tuple[
+    List[Tuple[TraceArtifacts, TraceArtifacts]],
+    List[TraceArtifacts],
+    List[TraceArtifacts],
+]:
+    """Pair two artifact sets by base name. When each side has the
+    same number of unmatched bases, the leftovers pair positionally in
+    sorted base order (diffing two variant exports whose labels embed
+    the variant, e.g. ``slow-off-cache`` vs ``slow-on-cache``);
+    otherwise any guess would be arbitrary, so every leftover is
+    reported added/removed."""
+    old_by_base = {a.base: a for a in olds}
+    new_by_base = {a.base: a for a in news}
+    pairs = [
+        (old_by_base[b], new_by_base[b])
+        for b in sorted(set(old_by_base) & set(new_by_base))
+    ]
+    left_old = sorted(
+        (a for a in olds if a.base not in new_by_base), key=lambda a: a.base
+    )
+    left_new = sorted(
+        (a for a in news if a.base not in old_by_base), key=lambda a: a.base
+    )
+    if left_old and len(left_old) == len(left_new):
+        pairs.extend(zip(left_old, left_new))
+        left_old, left_new = [], []
+    return pairs, left_new, left_old
+
+
+def _job_seconds(artifact: TraceArtifacts) -> float:
+    from repro.obs.trace import DEPTH_JOB
+
+    return sum(s["dur"] for s in artifact.spans if s["depth"] == DEPTH_JOB)
+
+
+def diff_sets(
+    olds: List[TraceArtifacts], news: List[TraceArtifacts]
+) -> TraceDiff:
+    pairs, added, removed = _pair_artifact_sets(olds, news)
+    return TraceDiff(
+        artifacts=[diff_artifacts(o, n) for o, n in pairs],
+        added_bases=[(a.base, _job_seconds(a)) for a in added],
+        removed_bases=[(a.base, _job_seconds(a)) for a in removed],
+    )
+
+
+def diff_paths(old_path: str, new_path: str) -> TraceDiff:
+    """Diff two exports or directories of exports (the CLI entry)."""
+    return diff_sets(load_artifacts(old_path), load_artifacts(new_path))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_seconds(value: Optional[float]) -> str:
+    return "absent" if value is None else f"{value:.6g}s"
+
+
+def render_artifact(
+    diff: ArtifactDiff, top: Optional[int] = None
+) -> List[str]:
+    lines: List[str] = []
+    pair = (
+        diff.base_old
+        if diff.base_old == diff.base_new
+        else f"{diff.base_old} -> {diff.base_new}"
+    )
+    lines.append(f"=== diff {pair} ===")
+    lines.append(
+        f"total: {diff.total_old:.6f}s -> {diff.total_new:.6f}s "
+        f"(delta {diff.total_delta:+.6f}s, attributed "
+        f"{diff.attributed_delta:+.6f}s)"
+    )
+    if diff.identical:
+        lines.append("  identical: zero delta at every level")
+        return lines
+    shown, covered = diff.ranked(top=top)
+    if shown:
+        lines.append(
+            f"top contributors ({len(shown)} of "
+            f"{len([c for c in diff.contributors if c.delta != 0.0])}, "
+            f"covering {covered:.1%} of the attributed mass):"
+        )
+        for c in shown:
+            note = f" ({c.note})" if c.note else ""
+            lines.append(
+                f"  {c.delta:+10.6f}s  [{c.level}/{c.kind}] "
+                f"{c.path_label()}: "
+                f"{_fmt_seconds(c.old_seconds)} -> "
+                f"{_fmt_seconds(c.new_seconds)}{note}"
+            )
+    structure = diff.structure_changes()
+    if structure:
+        lines.append(f"structure changes ({len(structure)}):")
+        for c in structure[:20]:
+            side = "added" if c.kind.startswith("added") else "removed"
+            seconds = c.new_seconds if side == "added" else c.old_seconds
+            note = f" ({c.note})" if c.note else ""
+            lines.append(
+                f"  {side:>7s} {c.level} {c.path_label()} "
+                f"[{_fmt_seconds(seconds)}]{note}"
+            )
+        if len(structure) > 20:
+            lines.append(f"  ... {len(structure) - 20} more")
+    moved_work = [
+        (p, d)
+        for p in diff.phase_work
+        for d in [p.deltas()]
+        if any(v != 0.0 for v in d.values())
+    ]
+    if moved_work:
+        lines.append("phase work deltas (task-seconds, not makespan):")
+        for p, deltas in moved_work:
+            buckets = ", ".join(
+                f"{b} {v:+.4f}s"
+                for b, v in sorted(deltas.items(), key=lambda kv: -abs(kv[1]))
+                if v != 0.0
+            )
+            tasks = (
+                f", tasks {p.tasks_old} -> {p.tasks_new}"
+                if p.tasks_old != p.tasks_new
+                else ""
+            )
+            lines.append(
+                f"  {p.job} / {p.stage} / {p.phase}: {buckets}{tasks}"
+            )
+    if diff.counters:
+        lines.append(f"counter drift ({len(diff.counters)} counter(s)):")
+        for c in diff.counters[:25]:
+            lines.append(
+                f"  {c.job} {c.group}.{c.name}: "
+                f"{c.old!r} -> {c.new!r}"
+            )
+        if len(diff.counters) > 25:
+            lines.append(f"  ... {len(diff.counters) - 25} more")
+    if diff.audit.differs:
+        lines.append(
+            f"audit diff: {diff.audit.evaluations_old} -> "
+            f"{diff.audit.evaluations_new} evaluation(s), "
+            f"{len(diff.audit.flips)} verdict flip(s), "
+            f"{len(diff.audit.unmatched)} unmatched"
+        )
+        for flip in diff.audit.flips:
+            lines.append(
+                f"  {flip.job} {flip.phase}[{flip.index_in_phase}]: "
+                f"{flip.old_verdict} -> {flip.new_verdict} "
+                f"(t {flip.old_sim_time:.3f}s -> {flip.new_sim_time:.3f}s, "
+                f"plan {flip.old_plan} -> {flip.new_plan})"
+            )
+            lines.append(
+                f"    largest moved term: {flip.largest_moved_term}"
+            )
+            for op, indexes in sorted(flip.cost_tables.items()):
+                for idx, table in sorted(indexes.items()):
+                    cells = ", ".join(
+                        f"{s} {_fmt_cost(o)}|{_fmt_cost(n)}"
+                        for s, (o, n) in sorted(table.items())
+                    )
+                    lines.append(f"    {op}[{idx}] old|new: {cells}")
+        for side, job, phase, verdict, t in diff.audit.unmatched:
+            lines.append(
+                f"  {side} evaluation: {job} {phase}@t={t:.3f}s ({verdict})"
+            )
+    changed_alerts = [a for a in diff.alerts if a.differs]
+    if changed_alerts:
+        lines.append("alert timeline diff:")
+        for a in changed_alerts:
+            lines.append(
+                f"  {a.rule}: fired {a.fired_old} -> {a.fired_new}, "
+                f"duration {a.duration_old:.3f}s -> {a.duration_new:.3f}s"
+                + (
+                    f", open {a.open_old} -> {a.open_new}"
+                    if (a.open_old or a.open_new)
+                    else ""
+                )
+            )
+    return lines
+
+
+def _fmt_cost(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
+def render(diff: TraceDiff, top: Optional[int] = None) -> List[str]:
+    lines: List[str] = []
+    for artifact in diff.artifacts:
+        lines.extend(render_artifact(artifact, top=top))
+    for base, seconds in diff.removed_bases:
+        lines.append(f"=== removed artifact {base} ({seconds:.6f}s) ===")
+    for base, seconds in diff.added_bases:
+        lines.append(f"=== added artifact {base} ({seconds:.6f}s) ===")
+    verdict = "IDENTICAL" if diff.identical else "DIFFERS"
+    lines.append(
+        f"{verdict}: {len(diff.artifacts)} artifact pair(s), "
+        f"total delta {diff.total_delta:+.6f}s"
+    )
+    return lines

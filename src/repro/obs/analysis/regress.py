@@ -162,9 +162,18 @@ def compare(old: dict, new: dict, tolerances: Tolerances) -> RegressionReport:
         for label in sorted(set(old_rows) | set(new_rows)):
             if label not in new_rows:
                 add(experiment, label, "*", "row", None, None, "missing")
+                # Also emit the vanished row's per-mode times, so the
+                # report shows *what* went missing, not just that
+                # something did.
+                for mode, t in sorted(old_rows[label].get("times", {}).items()):
+                    add(experiment, label, mode, "time",
+                        float(t), None, "missing")
                 continue
             if label not in old_rows:
                 add(experiment, label, "*", "row", None, None, "added")
+                for mode, t in sorted(new_rows[label].get("times", {}).items()):
+                    add(experiment, label, mode, "time",
+                        None, float(t), "added")
                 continue
             old_row, new_row = old_rows[label], new_rows[label]
             old_times = old_row.get("times", {})
@@ -225,11 +234,17 @@ def render(report: RegressionReport, verbose: bool = False) -> List[str]:
         report.failures + report.improvements
         + [d for d in report.deltas if d.status == "added"]
     )
+    def fmt(value: Optional[float]) -> str:
+        return "absent" if value is None else f"{value:.6g}"
+
     for d in shown:
         if d.change is not None:
             detail = f"{d.old:.6g} -> {d.new:.6g} ({d.change:+.1%})"
         else:
-            detail = f"{d.old!r} -> {d.new!r}"
+            # No percentage is computable (old absent or zero), but the
+            # magnitudes still matter: an added mode's time, a vanished
+            # row's times, a counter that moved off zero.
+            detail = f"{fmt(d.old)} -> {fmt(d.new)}"
         lines.append(
             f"  [{d.status:>13s}] {d.experiment} / {d.row} / {d.mode} "
             f"{d.quantity}: {detail}"

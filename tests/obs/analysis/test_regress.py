@@ -188,6 +188,54 @@ class TestLoadAndCli:
         assert lines[-1].startswith("OK")
 
 
+class TestRenderMagnitudes:
+    """No-percentage rows (old absent or zero => ``Delta.change`` is
+    None) must still show the values -- a vanished row's times, an
+    added mode's time, a counter that moved off zero."""
+
+    def test_missing_row_renders_its_times(self):
+        old, new = q3_doc(), q3_doc()
+        new["experiments"]["fig11b"]["rows"] = []
+        report = compare(old, new, Tolerances())
+        text = "\n".join(render(report))
+        # Every vanished mode is listed with its old magnitude.
+        assert "Base time: 2.73 -> absent" in text
+        assert "Cache time: 1.17 -> absent" in text
+        assert "None" not in text
+
+    def test_added_mode_renders_new_value(self):
+        old, new = q3_doc(), q3_doc()
+        new["experiments"]["fig11b"]["rows"][0]["times"]["Extra"] = 1.5
+        report = compare(old, new, Tolerances())
+        text = "\n".join(render(report))
+        assert "Extra time: absent -> 1.5" in text
+        assert "None" not in text
+
+    def test_added_row_renders_its_times(self):
+        old, new = q3_doc(), q3_doc()
+        new["experiments"]["fig11b"]["rows"].append(
+            {"label": "Q9", "times": {"Base": 4.2}}
+        )
+        report = compare(old, new, Tolerances())
+        assert report.ok  # added rows never fail the gate
+        text = "\n".join(render(report))
+        assert "Q9 / Base time: absent -> 4.2" in text
+
+    def test_from_zero_counter_renders_magnitudes(self):
+        old, new = q3_doc(), q3_doc()
+        old["experiments"]["fig11b"]["rows"][0]["spec"] = {
+            "Base": {"backups_launched": 0.0}
+        }
+        new["experiments"]["fig11b"]["rows"][0]["spec"] = {
+            "Base": {"backups_launched": 5.0}
+        }
+        report = compare(old, new, Tolerances())
+        (failure,) = report.failures
+        assert failure.change is None  # no percentage from zero...
+        text = "\n".join(render(report))
+        assert "spec.backups_launched: 0 -> 5" in text  # ...values shown
+
+
 class TestCommittedBaselines:
     """The baselines committed in this repo stay loadable and
     self-consistent (regenerating them is covered by CI, which runs
